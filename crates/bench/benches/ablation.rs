@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * parameter-blind planning on/off (the §4.1 vendor behaviour),
+//! * hash joins on/off (all-nested-loop engine),
+//! * cluster vs transparent KONV reads (the 2.2 -> 3.0 conversion),
+//! * cursor caching (prepared reuse) vs re-planning every call.
+//!
+//! Each bench reports wall time; the companion assertions on *simulated*
+//! work live in the integration tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3::opensql::{Cond, SelectSpec};
+use r3::schema::key16;
+use r3::{R3System, Release};
+use rdbms::planner::PlannerConfig;
+use rdbms::types::Value;
+use rdbms::Database;
+use tpcd::DbGen;
+
+const SF: f64 = 0.001;
+
+fn blind_plans(c: &mut Criterion) {
+    let db = Database::with_defaults();
+    tpcd::schema::load(&db, &DbGen::new(SF)).unwrap();
+    let sql = "SELECT l_quantity FROM lineitem WHERE l_quantity < ?";
+    db.execute("CREATE INDEX l_qty ON lineitem (l_quantity)").unwrap();
+    db.execute("ANALYZE lineitem").unwrap();
+
+    let mut group = c.benchmark_group("ablation/blind_param_plans");
+    for (label, blind) in [("vendor_blind", true), ("modern_replan", false)] {
+        let mut config = PlannerConfig::default();
+        config.blind_param_plans = blind;
+        db.set_planner_config(config);
+        let prepared = db.prepare(sql).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| db.execute_prepared(&prepared, &[Value::Int(9999)]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn hash_join_ablation(c: &mut Criterion) {
+    let db = Database::with_defaults();
+    tpcd::schema::load(&db, &DbGen::new(SF)).unwrap();
+    let sql = "SELECT COUNT(*) FROM orders, customer \
+               WHERE o_custkey = c_custkey AND c_mktsegment = 'BUILDING'";
+    let mut group = c.benchmark_group("ablation/join_method");
+    for (label, hash) in [("hash_join", true), ("nested_loop_only", false)] {
+        let mut config = PlannerConfig::default();
+        config.enable_hash_join = hash;
+        db.set_planner_config(config);
+        group.bench_function(label, |b| b.iter(|| db.query(sql).unwrap()));
+    }
+    group.finish();
+}
+
+fn konv_representation(c: &mut Criterion) {
+    // Reading one pricing document through the dictionary: cluster decode
+    // (2.2) vs transparent keyed read (3.0).
+    let gen = DbGen::new(SF);
+    let s22 = R3System::install_default(Release::R22).unwrap();
+    s22.load_tpcd(&gen).unwrap();
+    let s30 = R3System::install_default(Release::R30).unwrap();
+    s30.load_tpcd(&gen).unwrap();
+    let spec = |k: i64| {
+        SelectSpec::from_table("KONV")
+            .fields(&["KPOSN", "KSCHL", "KBETR"])
+            .cond(Cond::eq("KNUMV", key16(k)))
+    };
+    let mut group = c.benchmark_group("ablation/konv_representation");
+    group.bench_function("cluster_22", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = k % gen.n_orders() + 1;
+            s22.open_select(&spec(k)).unwrap()
+        })
+    });
+    group.bench_function("transparent_30", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = k % gen.n_orders() + 1;
+            s30.open_select(&spec(k)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn cursor_caching(c: &mut Criterion) {
+    // Open SQL SELECT SINGLE through the cursor cache vs a fresh direct
+    // statement (parse + plan every time).
+    let gen = DbGen::new(SF);
+    let sys = R3System::install_default(Release::R30).unwrap();
+    sys.load_tpcd(&gen).unwrap();
+    let mut group = c.benchmark_group("ablation/cursor_caching");
+    group.bench_function("cached_cursor", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = k % gen.n_parts() + 1;
+            sys.open_select(
+                &SelectSpec::from_table("MARA")
+                    .fields(&["MTART"])
+                    .cond(Cond::eq("MATNR", key16(k)))
+                    .single(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("replan_every_call", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = k % gen.n_parts() + 1;
+            sys.db
+                .query(&format!(
+                    "SELECT MTART FROM MARA WHERE MANDT = '301' AND MATNR = '{:016}' LIMIT 1",
+                    k
+                ))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(20);
+    targets = blind_plans, hash_join_ablation, konv_representation, cursor_caching
+}
+criterion_main!(ablations);

@@ -1,0 +1,93 @@
+//! One Criterion bench per paper table/figure: measures the wall-clock of
+//! regenerating each experiment at a tiny scale factor. The *simulated*
+//! results (the actual reproduction target) come from the `experiments`
+//! binary; these benches track the harness's own real cost so regressions
+//! in the reproduction pipeline are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3::reports::{run_report, SapInterface};
+use r3::{R3System, Release};
+use tpcd::{DbGen, QueryParams};
+
+const SF: f64 = 0.001;
+
+fn bench_table2_sizes(c: &mut Criterion) {
+    c.bench_function("table2/load_and_size_both_schemas", |b| {
+        b.iter(|| bench::table2(SF).unwrap())
+    });
+}
+
+fn bench_table3_loading(c: &mut Criterion) {
+    c.bench_function("table3/batch_input_load", |b| {
+        b.iter(|| bench::table3(0.0005).unwrap())
+    });
+}
+
+fn bench_power_queries(c: &mut Criterion) {
+    // One bench per configuration of the Tables 4/5 power tests, over a
+    // preloaded system (Q6 as the representative per-query unit; the
+    // experiments binary runs all 17).
+    let gen = DbGen::new(SF);
+    let params = QueryParams::for_scale(SF);
+
+    let db = rdbms::Database::with_defaults();
+    tpcd::schema::load(&db, &gen).unwrap();
+    c.bench_function("table4_5/rdbms_q6", |b| {
+        b.iter(|| tpcd::run_query(&db, 6, &params).unwrap())
+    });
+
+    let s22 = R3System::install_default(Release::R22).unwrap();
+    s22.load_tpcd(&gen).unwrap();
+    c.bench_function("table4/native22_q6", |b| {
+        b.iter(|| run_report(&s22, SapInterface::Native, 6, &params).unwrap())
+    });
+    c.bench_function("table4/open22_q6", |b| {
+        b.iter(|| run_report(&s22, SapInterface::Open, 6, &params).unwrap())
+    });
+
+    let s30 = R3System::install_default(Release::R30).unwrap();
+    s30.load_tpcd(&gen).unwrap();
+    c.bench_function("table5/native30_q6", |b| {
+        b.iter(|| run_report(&s30, SapInterface::Native, 6, &params).unwrap())
+    });
+    c.bench_function("table5/open30_q6", |b| {
+        b.iter(|| run_report(&s30, SapInterface::Open, 6, &params).unwrap())
+    });
+}
+
+fn bench_table6_plan_choice(c: &mut Criterion) {
+    c.bench_function("table6/plan_choice_experiment", |b| {
+        b.iter(|| bench::table6(SF).unwrap())
+    });
+}
+
+fn bench_table7_aggregation(c: &mut Criterion) {
+    c.bench_function("table7/aggregation_placement", |b| {
+        b.iter(|| bench::table7(SF).unwrap())
+    });
+}
+
+fn bench_table8_caching(c: &mut Criterion) {
+    c.bench_function("table8/caching_effectiveness", |b| {
+        b.iter(|| bench::table8(SF).unwrap())
+    });
+}
+
+fn bench_table9_extraction(c: &mut Criterion) {
+    c.bench_function("table9/warehouse_extraction", |b| {
+        b.iter(|| bench::table9(SF).unwrap())
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2_sizes,
+        bench_table3_loading,
+        bench_power_queries,
+        bench_table6_plan_choice,
+        bench_table7_aggregation,
+        bench_table8_caching,
+        bench_table9_extraction
+}
+criterion_main!(tables);

@@ -1,0 +1,69 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--sf <scale>] [table1 .. table9 | figures | all]
+//! ```
+//!
+//! Results print as text tables (paper numbers alongside) and are also
+//! dumped as JSON under `target/experiments/`.
+
+use bench::ExpTable;
+use std::env;
+use std::fs;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut sf = 0.01f64;
+    let mut which: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--sf needs a number"));
+            }
+            other => which.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = (1..=9).map(|n| format!("table{n}")).collect();
+        which.push("figures".into());
+    }
+
+    let out_dir = "target/experiments";
+    let _ = fs::create_dir_all(out_dir);
+
+    let run = |name: &str, table: Result<ExpTable, rdbms::DbError>| {
+        match table {
+            Ok(t) => {
+                println!("{}", t.render());
+                let path = format!("{out_dir}/{name}.json");
+                if let Ok(json) = serde_json::to_string_pretty(&t) {
+                    let _ = fs::write(&path, json);
+                    println!("  (written to {path})\n");
+                }
+            }
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
+    };
+
+    for w in &which {
+        match w.as_str() {
+            "table1" => run("table1", bench::table1()),
+            "table2" => run("table2", bench::table2(sf)),
+            "table3" => run("table3", bench::table3(sf)),
+            "table4" => run("table4", bench::table4(sf)),
+            "table5" => run("table5", bench::table5(sf)),
+            "table6" => run("table6", bench::table6(sf)),
+            "table7" => run("table7", bench::table7(sf)),
+            "table8" => run("table8", bench::table8(sf)),
+            "table9" => run("table9", bench::table9(sf)),
+            "figures" => println!("{}", bench::figures()),
+            other => eprintln!("unknown experiment '{other}'"),
+        }
+    }
+}

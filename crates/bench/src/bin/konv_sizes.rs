@@ -1,0 +1,20 @@
+//! Quick check: cluster (2.2) vs transparent (3.0) KONV storage size.
+use r3::{R3System, Release};
+
+fn main() {
+    let gen = tpcd::DbGen::new(0.002);
+    let s22 = R3System::install_default(Release::R22).unwrap();
+    s22.load_tpcd(&gen).unwrap();
+    let (c_data, c_idx) = s22.logical_table_sizes("KONV").unwrap();
+    let s30 = R3System::install_default(Release::R30).unwrap();
+    s30.load_tpcd(&gen).unwrap();
+    let (t_data, t_idx) = s30.logical_table_sizes("KONV").unwrap();
+    println!(
+        "KONV cluster (2.2): {} KB data, {} KB idx; transparent (3.0): {} KB data, {} KB idx; ratio {:.1}x",
+        c_data / 1024,
+        c_idx / 1024,
+        t_data / 1024,
+        t_idx / 1024,
+        (t_data + t_idx) as f64 / (c_data + c_idx) as f64
+    );
+}

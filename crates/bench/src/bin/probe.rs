@@ -1,0 +1,33 @@
+//! Developer probe: run single SAP report variants with progress output.
+use r3::reports::{run_report, SapInterface};
+use r3::{R3System, Release};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(0.005);
+    let release = if args.get(1).map(|s| s.as_str()) == Some("r22") {
+        Release::R22
+    } else {
+        Release::R30
+    };
+    let gen = tpcd::DbGen::new(sf);
+    let params = tpcd::QueryParams::for_scale(sf);
+    eprintln!("loading {release} at SF={sf}...");
+    let sys = R3System::install_default(release).unwrap();
+    sys.load_tpcd(&gen).unwrap();
+    for iface in [SapInterface::Native, SapInterface::Open] {
+        for n in 1..=17 {
+            let t = std::time::Instant::now();
+            let r = run_report(&sys, iface, n, &params);
+            match r {
+                Ok(r) => eprintln!(
+                    "{iface} Q{n}: sim {:.1}s, wall {:.1}s, {} rows",
+                    r.seconds,
+                    t.elapsed().as_secs_f64(),
+                    r.rows
+                ),
+                Err(e) => eprintln!("{iface} Q{n}: ERROR {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Experiment harness for the paper reproduction: regenerates every table
+//! and figure (see DESIGN.md section 4 for the index).
+
+pub mod experiments;
+pub mod paper;
+
+pub use experiments::{
+    figures, table1, table2, table3, table4, table5, table6, table7, table8, table9, ExpTable,
+};

@@ -1,0 +1,129 @@
+//! The paper's published numbers, for side-by-side "paper vs measured"
+//! reporting (Tables 2-9 of Doppelhammer et al., SIGMOD 1997).
+
+/// Seconds from a "XhYmZs"-style duration.
+pub const fn hms(h: u64, m: u64, s: u64) -> f64 {
+    (h * 3600 + m * 60 + s) as f64
+}
+
+/// Table 4 — TPC-D power test, SAP R/3 2.2G (SF = 0.2), in seconds:
+/// (step, RDBMS, Native SQL, Open SQL).
+pub const TABLE4: [(&str, f64, f64, f64); 19] = [
+    ("Q1", hms(0, 5, 17), hms(2, 14, 56), hms(2, 15, 33)),
+    ("Q2", hms(0, 0, 34), hms(0, 1, 16), hms(0, 3, 19)),
+    ("Q3", hms(0, 5, 55), hms(0, 19, 42), hms(3, 12, 57)),
+    ("Q4", hms(0, 3, 1), hms(0, 7, 12), hms(0, 8, 31)),
+    ("Q5", hms(0, 21, 13), hms(0, 22, 5), hms(1, 8, 22)),
+    ("Q6", hms(0, 1, 18), hms(0, 8, 22), hms(0, 10, 52)),
+    ("Q7", hms(0, 5, 2), hms(0, 39, 13), hms(0, 38, 31)),
+    ("Q8", hms(0, 2, 44), hms(0, 16, 2), hms(0, 28, 26)),
+    ("Q9", hms(0, 9, 14), hms(0, 36, 6), hms(2, 31, 36)),
+    ("Q10", hms(0, 5, 0), hms(0, 22, 42), hms(0, 25, 41)),
+    ("Q11", hms(0, 0, 5), hms(0, 2, 2), hms(0, 1, 55)),
+    ("Q12", hms(0, 2, 59), hms(0, 36, 35), hms(1, 17, 25)),
+    ("Q13", hms(0, 0, 8), hms(0, 0, 21), hms(0, 0, 23)),
+    ("Q14", hms(0, 5, 1), hms(0, 9, 13), hms(0, 11, 27)),
+    ("Q15", hms(0, 3, 46), hms(0, 12, 24), hms(0, 19, 18)),
+    ("Q16", hms(0, 15, 0), hms(0, 8, 56), hms(0, 8, 29)),
+    ("Q17", hms(0, 0, 14), hms(0, 9, 12), hms(0, 12, 7)),
+    ("UF1", hms(0, 1, 59), hms(0, 44, 26), hms(0, 44, 26)),
+    ("UF2", hms(0, 1, 48), hms(0, 8, 49), hms(0, 8, 49)),
+];
+
+/// Table 5 — TPC-D power test, SAP R/3 3.0E (SF = 0.2), in seconds.
+pub const TABLE5: [(&str, f64, f64, f64); 19] = [
+    ("Q1", hms(0, 6, 9), hms(0, 58, 59), hms(0, 56, 18)),
+    ("Q2", hms(0, 0, 53), hms(0, 3, 9), hms(0, 0, 34)),
+    ("Q3", hms(0, 4, 3), hms(0, 9, 2), hms(0, 11, 51)),
+    ("Q4", hms(0, 1, 45), hms(0, 6, 18), hms(0, 6, 38)),
+    ("Q5", hms(0, 6, 39), hms(0, 14, 42), hms(0, 37, 27)),
+    ("Q6", hms(0, 1, 20), hms(0, 7, 28), hms(0, 14, 6)),
+    ("Q7", hms(0, 9, 3), hms(0, 23, 5), hms(0, 29, 24)),
+    ("Q8", hms(0, 1, 54), hms(0, 19, 4), hms(0, 16, 37)),
+    ("Q9", hms(0, 8, 42), hms(0, 31, 33), hms(1, 7, 14)),
+    ("Q10", hms(0, 5, 18), hms(0, 33, 6), hms(0, 57, 49)),
+    ("Q11", hms(0, 0, 5), hms(0, 4, 37), hms(0, 2, 23)),
+    ("Q12", hms(0, 3, 15), hms(0, 9, 48), hms(0, 9, 36)),
+    ("Q13", hms(0, 0, 8), hms(0, 0, 19), hms(0, 0, 25)),
+    ("Q14", hms(0, 6, 23), hms(0, 10, 25), hms(0, 21, 54)),
+    ("Q15", hms(0, 3, 25), hms(0, 13, 51), hms(0, 28, 31)),
+    ("Q16", hms(0, 13, 24), hms(0, 3, 16), hms(0, 3, 22)),
+    ("Q17", hms(0, 0, 11), hms(0, 1, 50), hms(0, 2, 13)),
+    ("UF1", hms(0, 1, 40), hms(1, 46, 54), hms(1, 46, 54)),
+    ("UF2", hms(0, 1, 48), hms(0, 11, 35), hms(0, 11, 35)),
+];
+
+/// Table 2 — database sizes in KB at SF 0.2 (data, indexes) for the
+/// original TPC-D DB and the SAP DB (Version 2.2).
+pub const TABLE2: [(&str, u64, u64, u64, u64); 8] = [
+    ("REGION", 16, 0, 320, 400),
+    ("NATION", 16, 0, 400, 400),
+    ("SUPPLIER", 451, 120, 2_127, 1_884),
+    ("PART", 6_144, 1_792, 79_485, 83_525),
+    ("PARTSUPP", 32_310, 5_275, 102_045, 44_455),
+    ("CUSTOMER", 7_929, 1_463, 37_805, 26_355),
+    ("ORDERS", 52_578, 21_312, 399_190, 125_243),
+    ("LINEITEM", 171_704, 72_860, 2_191_844, 558_746),
+];
+
+/// Table 3 — batch-input loading times in seconds (two parallel processes,
+/// SF 0.2).
+pub const TABLE3: [(&str, f64); 5] = [
+    ("SUPPLIER", hms(0, 18, 0)),
+    ("PART", hms(15, 56, 0)),
+    ("PARTSUPP", hms(30, 24, 0)),
+    ("CUSTOMER", hms(7, 33, 0)),
+    ("ORDER+LINEITEM", 25.0 * 86400.0 + hms(19, 55, 0)),
+];
+
+/// Table 6 — one-table query with an index on KWMENG (seconds).
+pub const TABLE6: [(&str, f64, f64); 2] = [
+    ("high (0 result tuples)", 1.0, 1.0),
+    ("low (1.2M result tuples)", hms(0, 4, 56), hms(1, 50, 2)),
+];
+
+/// Table 7 — grouping-with-complex-aggregation costs (seconds).
+pub const TABLE7: (f64, f64) = (hms(0, 4, 11), hms(0, 13, 48));
+
+/// Table 8 — caching effectiveness: (config, hit ratio, seconds).
+pub const TABLE8: [(&str, f64, f64); 3] = [
+    ("No Caching", 0.00, hms(1, 48, 34)),
+    ("2 MB Cache", 0.11, hms(1, 50, 51)),
+    ("20 MB Cache", 0.85, hms(0, 35, 41)),
+];
+
+/// Table 9 — warehouse extraction costs (seconds), Open SQL 3.0E.
+pub const TABLE9: [(&str, f64); 9] = [
+    ("REGION", 13.0),
+    ("NATION", 4.0),
+    ("SUPPLIER", 41.0),
+    ("PART", hms(0, 12, 31)),
+    ("PARTSUPP", hms(0, 11, 8)),
+    ("CUSTOMER", hms(0, 5, 55)),
+    ("ORDER", hms(0, 57, 31)),
+    ("LINEITEM", hms(4, 37, 2)),
+    ("total", hms(6, 5, 5)),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        // Paper Table 4: Total (quer.) = 1h26m31s / 6h26m19s / 13h14m52s.
+        let q: (f64, f64, f64) = TABLE4[..17]
+            .iter()
+            .fold((0.0, 0.0, 0.0), |a, (_, r, n, o)| (a.0 + r, a.1 + n, a.2 + o));
+        assert_eq!(q.0, hms(1, 26, 31));
+        assert_eq!(q.1, hms(6, 26, 19));
+        assert_eq!(q.2, hms(13, 14, 52));
+        // Table 5: 1h12m37s / 4h10m32s / 6h06m22s.
+        let q5: (f64, f64, f64) = TABLE5[..17]
+            .iter()
+            .fold((0.0, 0.0, 0.0), |a, (_, r, n, o)| (a.0 + r, a.1 + n, a.2 + o));
+        assert_eq!(q5.0, hms(1, 12, 37));
+        assert_eq!(q5.1, hms(4, 10, 32));
+        assert_eq!(q5.2, hms(6, 6, 22));
+    }
+}

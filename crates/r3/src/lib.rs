@@ -1,0 +1,55 @@
+//! # r3 — a three-tier SAP R/3 application-system simulator
+//!
+//! The application-system side of the SIGMOD'97 reproduction. Implements
+//! the architecture of the paper's Figures 1 and 2:
+//!
+//! * a **data dictionary** with transparent / pool / cluster logical tables
+//!   ([`dict`], [`schema`]),
+//! * the **Open SQL** interface — portable, dictionary-mediated,
+//!   release-gated (no joins/aggregates in 2.2; joins and *simple*
+//!   aggregates in 3.0), automatic client (MANDT) injection, translation
+//!   into parameterized SQL with cursor caching ([`opensql`]),
+//! * the **Native SQL** interface — `EXEC SQL` pass-through that cannot
+//!   touch encapsulated tables ([`nativesql`]),
+//! * an **application-server table buffer** ([`buffer`]),
+//! * an ABAP-style **report runtime** with internal tables and
+//!   EXTRACT/SORT/LOOP…AT END OF processing, including the sort-spill
+//!   behaviour of §4.2 ([`report`]),
+//! * the **batch-input** facility with per-record consistency checking
+//!   ([`batch_input`]),
+//! * **EIS warehouse extraction** ([`extract`]),
+//! * and the TPC-D **reports** in four variants each — Native/Open SQL ×
+//!   Release 2.2/3.0 ([`reports`]).
+
+pub mod batch_input;
+pub mod buffer;
+pub mod dict;
+pub mod extract;
+pub mod nativesql;
+pub mod opensql;
+pub mod report;
+pub mod reports;
+pub mod schema;
+pub mod system;
+
+pub use system::R3System;
+
+/// SAP R/3 release. Gates Open SQL features and the KONV representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Release {
+    /// Release 2.2G: Open SQL is single-table (plus join views); no
+    /// grouping/aggregation push-down; KONV is a cluster table.
+    R22,
+    /// Release 3.0E: Open SQL joins and simple aggregations push down;
+    /// KONV converted to a transparent table.
+    R30,
+}
+
+impl std::fmt::Display for Release {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Release::R22 => write!(f, "2.2G"),
+            Release::R30 => write!(f, "3.0E"),
+        }
+    }
+}

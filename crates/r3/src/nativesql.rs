@@ -1,0 +1,213 @@
+//! The Native SQL interface (`EXEC SQL ... ENDEXEC`, paper §2.3).
+//!
+//! Native SQL passes statements straight to the back-end RDBMS:
+//!
+//! * constants are visible, so the optimizer can estimate selectivities
+//!   (§4.1: the Native report got the good plan);
+//! * vendor-specific features are usable (the engine's `VENDOR_CONTAINS`
+//!   string function — using it makes a report non-portable, the paper's
+//!   §3.4.4 footnote);
+//! * **encapsulated (pool/cluster) tables are unreachable** — they are not
+//!   registered under their logical names in the RDBMS schema, and this
+//!   layer rejects statements referencing them;
+//! * nothing injects the client predicate: a report that forgets
+//!   `MANDT = '301'` silently reads every client's data (the paper's
+//!   safety argument for Open SQL).
+
+use crate::dict::TableKind;
+use crate::system::R3System;
+use rdbms::error::{DbError, DbResult};
+use rdbms::sql::ast::{Expr, SelectStmt, Statement, TableRef};
+use rdbms::sql::parse_statement;
+use rdbms::{ExecOutcome, QueryResult};
+
+impl R3System {
+    /// Execute a Native SQL statement.
+    pub fn native_sql(&self, sql: &str) -> DbResult<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        let mut tables = Vec::new();
+        collect_statement_tables(&stmt, &mut tables);
+        for t in &tables {
+            if let Ok(lt) = self.dict.table(t) {
+                if lt.kind.is_encapsulated() {
+                    let kind = match &lt.kind {
+                        TableKind::Pool { .. } => "pool",
+                        TableKind::Cluster { .. } => "cluster",
+                        TableKind::Transparent => unreachable!(),
+                    };
+                    return Err(DbError::analysis(format!(
+                        "Native SQL cannot access {kind} table {t} \
+                         (encapsulated; requires the SAP data dictionary)"
+                    )));
+                }
+            }
+        }
+        self.db_execute_direct(sql)
+    }
+
+    /// Native SQL SELECT returning rows.
+    pub fn native_query(&self, sql: &str) -> DbResult<QueryResult> {
+        self.native_sql(sql)?.rows()
+    }
+}
+
+/// Collect all base-table names referenced by a statement, including
+/// subqueries in FROM and in expressions.
+pub fn collect_statement_tables(stmt: &Statement, out: &mut Vec<String>) {
+    match stmt {
+        Statement::Select(q) => collect_select_tables(q, out),
+        Statement::Insert { table, .. }
+        | Statement::Delete { table, .. }
+        | Statement::Update { table, .. } => out.push(table.clone()),
+        Statement::CreateView { query, .. } => collect_select_tables(query, out),
+        _ => {}
+    }
+}
+
+fn collect_select_tables(q: &SelectStmt, out: &mut Vec<String>) {
+    for tref in &q.from {
+        collect_tableref(tref, out);
+    }
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for item in &q.projections {
+        if let rdbms::sql::ast::SelectItem::Expr { expr, .. } = item {
+            exprs.push(expr);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        exprs.push(w);
+    }
+    if let Some(h) = &q.having {
+        exprs.push(h);
+    }
+    for e in exprs {
+        collect_expr_tables(e, out);
+    }
+}
+
+fn collect_tableref(tref: &TableRef, out: &mut Vec<String>) {
+    match tref {
+        TableRef::Named { name, .. } => out.push(name.clone()),
+        TableRef::Join { left, right, .. } => {
+            collect_tableref(left, out);
+            collect_tableref(right, out);
+        }
+        TableRef::Subquery { query, .. } => collect_select_tables(query, out),
+    }
+}
+
+fn collect_expr_tables(e: &Expr, out: &mut Vec<String>) {
+    // Walk subquery-bearing nodes; Expr::visit does not descend into them.
+    match e {
+        Expr::ScalarSubquery(q) => collect_select_tables(q, out),
+        Expr::Exists { query, .. } => collect_select_tables(query, out),
+        Expr::InSubquery { expr, query, .. } => {
+            collect_expr_tables(expr, out);
+            collect_select_tables(query, out);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_expr_tables(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_expr_tables(left, out);
+            collect_expr_tables(right, out);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_expr_tables(expr, out);
+            collect_expr_tables(low, out);
+            collect_expr_tables(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_expr_tables(expr, out);
+            for x in list {
+                collect_expr_tables(x, out);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_expr_tables(expr, out);
+            collect_expr_tables(pattern, out);
+        }
+        Expr::Case { branches, else_expr } => {
+            for (c, r) in branches {
+                collect_expr_tables(c, out);
+                collect_expr_tables(r, out);
+            }
+            if let Some(x) = else_expr {
+                collect_expr_tables(x, out);
+            }
+        }
+        Expr::Agg { arg: Some(a), .. } => collect_expr_tables(a, out),
+        Expr::Extract { expr, .. } | Expr::IntervalAdd { expr, .. } => {
+            collect_expr_tables(expr, out)
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_expr_tables(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Release;
+    use tpcd::DbGen;
+
+    fn sys(release: Release) -> R3System {
+        let sys = R3System::install_default(release).unwrap();
+        sys.load_tpcd(&DbGen::new(0.001)).unwrap();
+        sys
+    }
+
+    #[test]
+    fn native_sql_reads_transparent_tables() {
+        let s = sys(Release::R22);
+        let r = s
+            .native_query("SELECT COUNT(*) FROM VBAP WHERE MANDT = '301'")
+            .unwrap();
+        assert!(r.scalar().unwrap().as_int().unwrap() > 0);
+        // Crossings metered.
+        assert!(s.snapshot().ipc_crossings >= 1);
+    }
+
+    #[test]
+    fn native_sql_rejects_encapsulated_tables() {
+        let s = sys(Release::R22);
+        let err = s.native_query("SELECT * FROM KONV WHERE MANDT = '301'");
+        assert!(err.is_err(), "cluster KONV must be unreachable in 2.2");
+        let err = s.native_query(
+            "SELECT * FROM VBAP WHERE VBELN IN (SELECT KNUMV FROM A004)",
+        );
+        assert!(err.is_err(), "pool table in subquery must be caught");
+    }
+
+    #[test]
+    fn konv_reachable_after_30_conversion() {
+        let s = sys(Release::R30);
+        let r = s
+            .native_query("SELECT COUNT(*) FROM KONV WHERE MANDT = '301' AND KSCHL = 'DISC'")
+            .unwrap();
+        assert!(r.scalar().unwrap().as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn vendor_function_usable_from_native_sql() {
+        let s = sys(Release::R30);
+        let r = s
+            .native_query(
+                "SELECT COUNT(*) FROM MAKT WHERE MANDT = '301' \
+                 AND VENDOR_CONTAINS(MAKTX, 'green') = TRUE",
+            )
+            .unwrap();
+        assert!(r.scalar().unwrap().as_int().unwrap() > 0, "some parts are green");
+    }
+
+    #[test]
+    fn forgetting_mandt_reads_everything() {
+        // The paper's safety point: Native SQL without the client predicate
+        // is answered happily by the RDBMS.
+        let s = sys(Release::R22);
+        let r = s.native_query("SELECT COUNT(*) FROM KNA1").unwrap();
+        assert!(r.scalar().unwrap().as_int().unwrap() > 0);
+    }
+}

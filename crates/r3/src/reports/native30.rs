@@ -1,0 +1,372 @@
+//! Native SQL reports, Release 3.0 form: every query pushed completely
+//! into the RDBMS as one `EXEC SQL` statement over the SAP schema —
+//! possible because after the upgrade "all involved tables (in particular,
+//! KONV) are transparent" (§3.4.4).
+//!
+//! These texts show what the paper means by query inflation: the TPC-D
+//! single-table Q1 is a 5-way join here (VBAP, VBEP, VBAK, KONV twice);
+//! Q8's 8-way join becomes 9 relations. Nation/region names resolve
+//! through T005T/T005U, discounts and taxes through per-mille KONV rates.
+//!
+//! For queries that do not touch the KONV conditions, the same texts serve
+//! as the Release 2.2 Native reports.
+
+use crate::schema::MANDT;
+use crate::system::R3System;
+use rdbms::error::{DbError, DbResult};
+use rdbms::schema::Row;
+use rdbms::types::{Date, Decimal};
+use tpcd::QueryParams;
+
+fn mandts(aliases: &[&str]) -> String {
+    aliases
+        .iter()
+        .map(|a| format!("{a}.MANDT = '{MANDT}'"))
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+fn dlit(d: Date) -> String {
+    format!("DATE '{d}'")
+}
+
+fn date_of(s: &str) -> Date {
+    Date::parse(s).expect("valid query parameter date")
+}
+
+/// Per-mille discount bounds for Q6 (0.06 +- 0.01 -> 50..70).
+fn q6_permille_bounds(p: &QueryParams) -> (i64, i64) {
+    let center = Decimal::parse(&p.q6_discount).expect("valid discount");
+    let c = center.mul(Decimal::from_int(1000)).trunc_i64();
+    (c - 10, c + 10)
+}
+
+/// The discount/tax join fragment: KD/KT against order `a` and item `v`.
+fn konv_join(a: &str, v: &str, with_tax: bool) -> String {
+    let mut s = format!(
+        "KD.KNUMV = {a}.KNUMV AND KD.KPOSN = {v}.POSNR AND KD.KSCHL = 'DISC'"
+    );
+    if with_tax {
+        s.push_str(&format!(
+            " AND KT.KNUMV = {a}.KNUMV AND KT.KPOSN = {v}.POSNR AND KT.KSCHL = 'TAX'"
+        ));
+    }
+    s
+}
+
+/// SQL statements of query `n` (the last statement yields the rows).
+pub fn sql(n: usize, p: &QueryParams) -> Vec<String> {
+    match n {
+        1 => {
+            let cutoff = date_of("1998-12-01").add_days(-(p.q1_delta as i32));
+            vec![format!(
+                "SELECT V.RFLAG, V.LSTAT, SUM(V.KWMENG) AS SUM_QTY, SUM(V.NETWR) AS SUM_BASE, \
+                   SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS SUM_DISC_PRICE, \
+                   SUM(V.NETWR * (1 - KD.KBETR / 1000) * (1 + KT.KBETR / 1000)) AS SUM_CHARGE, \
+                   AVG(V.KWMENG) AS AVG_QTY, AVG(V.NETWR) AS AVG_PRICE, \
+                   AVG(KD.KBETR / 1000) AS AVG_DISC, COUNT(*) AS COUNT_ORDER \
+                 FROM VBAP V, VBEP E, VBAK A, KONV KD, KONV KT \
+                 WHERE {} AND E.VBELN = V.VBELN AND E.POSNR = V.POSNR \
+                   AND A.VBELN = V.VBELN AND {} \
+                   AND E.EDATU <= {} \
+                 GROUP BY V.RFLAG, V.LSTAT ORDER BY V.RFLAG, V.LSTAT",
+                mandts(&["V", "E", "A", "KD", "KT"]),
+                konv_join("A", "V", true),
+                dlit(cutoff),
+            )]
+        }
+        2 => vec![format!(
+            "SELECT S.SALDO, S.NAME1, T.LANDX, M.MATNR, M.MFRNR, S.STRAS, S.TELF1 \
+             FROM MARA M, LFA1 S, EINA I, EINE P, T005 N, T005T T, T005U U \
+             WHERE {} AND I.MATNR = M.MATNR AND I.LIFNR = S.LIFNR AND P.INFNR = I.INFNR \
+               AND M.GROES = {} AND M.MTART LIKE '%{}' \
+               AND S.LAND1 = N.LAND1 AND T.LAND1 = N.LAND1 AND T.SPRAS = 'E' \
+               AND U.REGIO = N.REGIO AND U.SPRAS = 'E' AND U.BEZEI = '{}' \
+               AND P.NETPR = (SELECT MIN(P2.NETPR) \
+                    FROM EINA I2, EINE P2, LFA1 S2, T005 N2, T005U U2 \
+                    WHERE {} AND I2.MATNR = M.MATNR AND P2.INFNR = I2.INFNR \
+                      AND S2.LIFNR = I2.LIFNR AND S2.LAND1 = N2.LAND1 \
+                      AND U2.REGIO = N2.REGIO AND U2.SPRAS = 'E' AND U2.BEZEI = '{}') \
+             ORDER BY S.SALDO DESC, T.LANDX, S.NAME1, M.MATNR LIMIT 100",
+            mandts(&["M", "S", "I", "P", "N", "T", "U"]),
+            p.q2_size,
+            p.q2_type,
+            p.q2_region,
+            mandts(&["I2", "P2", "S2", "N2", "U2"]),
+            p.q2_region,
+        )],
+        3 => {
+            let d = date_of(&p.q3_date);
+            vec![format!(
+                "SELECT V.VBELN, SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS REVENUE, \
+                   A.AUDAT, A.SPRIO \
+                 FROM KNA1 C, VBAK A, VBAP V, VBEP E, KONV KD \
+                 WHERE {} AND C.KDGRP = '{}' AND C.KUNNR = A.KUNNR AND V.VBELN = A.VBELN \
+                   AND E.VBELN = V.VBELN AND E.POSNR = V.POSNR AND {} \
+                   AND A.AUDAT < {} AND E.EDATU > {} \
+                 GROUP BY V.VBELN, A.AUDAT, A.SPRIO \
+                 ORDER BY REVENUE DESC, A.AUDAT LIMIT 10",
+                mandts(&["C", "A", "V", "E", "KD"]),
+                p.q3_segment,
+                konv_join("A", "V", false),
+                dlit(d),
+                dlit(d),
+            )]
+        }
+        4 => {
+            let d = date_of(&p.q4_date);
+            vec![format!(
+                "SELECT A.PRIOK, COUNT(*) AS ORDER_COUNT FROM VBAK A \
+                 WHERE A.MANDT = '{MANDT}' AND A.AUDAT >= {} AND A.AUDAT < {} \
+                   AND EXISTS (SELECT * FROM VBEP E WHERE E.MANDT = '{MANDT}' \
+                        AND E.VBELN = A.VBELN AND E.WADAT < E.LDDAT) \
+                 GROUP BY A.PRIOK ORDER BY A.PRIOK",
+                dlit(d),
+                dlit(d.add_months(3)),
+            )]
+        }
+        5 => {
+            let d = date_of(&p.q5_date);
+            vec![format!(
+                "SELECT T.LANDX, SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS REVENUE \
+                 FROM KNA1 C, VBAK A, VBAP V, LFA1 S, T005 N, T005T T, T005U U, KONV KD \
+                 WHERE {} AND C.KUNNR = A.KUNNR AND V.VBELN = A.VBELN \
+                   AND V.LIFNR = S.LIFNR AND C.LAND1 = S.LAND1 AND S.LAND1 = N.LAND1 \
+                   AND T.LAND1 = N.LAND1 AND T.SPRAS = 'E' \
+                   AND U.REGIO = N.REGIO AND U.SPRAS = 'E' AND U.BEZEI = '{}' \
+                   AND {} \
+                   AND A.AUDAT >= {} AND A.AUDAT < {} \
+                 GROUP BY T.LANDX ORDER BY REVENUE DESC",
+                mandts(&["C", "A", "V", "S", "N", "T", "U", "KD"]),
+                p.q5_region,
+                konv_join("A", "V", false),
+                dlit(d),
+                dlit(d.add_years(1)),
+            )]
+        }
+        6 => {
+            let d = date_of(&p.q6_date);
+            let (lo, hi) = q6_permille_bounds(p);
+            vec![format!(
+                "SELECT SUM(V.NETWR * (KD.KBETR / 1000)) AS REVENUE \
+                 FROM VBAP V, VBEP E, VBAK A, KONV KD \
+                 WHERE {} AND E.VBELN = V.VBELN AND E.POSNR = V.POSNR \
+                   AND A.VBELN = V.VBELN AND {} \
+                   AND E.EDATU >= {} AND E.EDATU < {} \
+                   AND KD.KBETR BETWEEN {lo} AND {hi} AND V.KWMENG < {}",
+                mandts(&["V", "E", "A", "KD"]),
+                konv_join("A", "V", false),
+                dlit(d),
+                dlit(d.add_years(1)),
+                p.q6_quantity,
+            )]
+        }
+        7 => vec![format!(
+            "SELECT T1.LANDX AS SUPP_NATION, T2.LANDX AS CUST_NATION, \
+               EXTRACT(YEAR FROM E.EDATU) AS L_YEAR, \
+               SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS REVENUE \
+             FROM LFA1 S, VBAP V, VBEP E, VBAK A, KNA1 C, T005T T1, T005T T2, KONV KD \
+             WHERE {} AND S.LIFNR = V.LIFNR AND A.VBELN = V.VBELN \
+               AND E.VBELN = V.VBELN AND E.POSNR = V.POSNR AND C.KUNNR = A.KUNNR \
+               AND T1.LAND1 = S.LAND1 AND T1.SPRAS = 'E' \
+               AND T2.LAND1 = C.LAND1 AND T2.SPRAS = 'E' \
+               AND ((T1.LANDX = '{}' AND T2.LANDX = '{}') \
+                 OR (T1.LANDX = '{}' AND T2.LANDX = '{}')) \
+               AND E.EDATU BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+               AND {} \
+             GROUP BY T1.LANDX, T2.LANDX, EXTRACT(YEAR FROM E.EDATU) \
+             ORDER BY 1, 2, 3",
+            mandts(&["S", "V", "E", "A", "C", "T1", "T2", "KD"]),
+            p.q7_nation1,
+            p.q7_nation2,
+            p.q7_nation2,
+            p.q7_nation1,
+            konv_join("A", "V", false),
+        )],
+        8 => vec![format!(
+            "SELECT EXTRACT(YEAR FROM A.AUDAT) AS O_YEAR, \
+               SUM(CASE WHEN T2.LANDX = '{}' THEN V.NETWR * (1 - KD.KBETR / 1000) \
+                   ELSE 0 END) / SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS MKT_SHARE \
+             FROM MARA M, LFA1 S, VBAP V, VBAK A, KNA1 C, T005 N1, T005U U1, T005T T2, KONV KD \
+             WHERE {} AND M.MATNR = V.MATNR AND S.LIFNR = V.LIFNR AND A.VBELN = V.VBELN \
+               AND C.KUNNR = A.KUNNR AND C.LAND1 = N1.LAND1 \
+               AND U1.REGIO = N1.REGIO AND U1.SPRAS = 'E' AND U1.BEZEI = '{}' \
+               AND T2.LAND1 = S.LAND1 AND T2.SPRAS = 'E' \
+               AND A.AUDAT BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+               AND M.MTART = '{}' AND {} \
+             GROUP BY EXTRACT(YEAR FROM A.AUDAT) ORDER BY O_YEAR",
+            p.q8_nation,
+            mandts(&["M", "S", "V", "A", "C", "N1", "U1", "T2", "KD"]),
+            p.q8_region,
+            p.q8_type,
+            konv_join("A", "V", false),
+        )],
+        9 => vec![format!(
+            "SELECT T.LANDX AS NATION, EXTRACT(YEAR FROM A.AUDAT) AS O_YEAR, \
+               SUM(V.NETWR * (1 - KD.KBETR / 1000) - P.NETPR * V.KWMENG) AS SUM_PROFIT \
+             FROM MAKT MK, LFA1 S, VBAP V, VBAK A, EINA I, EINE P, T005T T, KONV KD \
+             WHERE {} AND S.LIFNR = V.LIFNR AND I.LIFNR = V.LIFNR AND I.MATNR = V.MATNR \
+               AND P.INFNR = I.INFNR AND MK.MATNR = V.MATNR AND MK.SPRAS = 'E' \
+               AND A.VBELN = V.VBELN AND T.LAND1 = S.LAND1 AND T.SPRAS = 'E' \
+               AND MK.MAKTX LIKE '%{}%' AND {} \
+             GROUP BY T.LANDX, EXTRACT(YEAR FROM A.AUDAT) \
+             ORDER BY NATION, O_YEAR DESC",
+            mandts(&["MK", "S", "V", "A", "I", "P", "T", "KD"]),
+            p.q9_color,
+            konv_join("A", "V", false),
+        )],
+        10 => {
+            let d = date_of(&p.q10_date);
+            vec![format!(
+                "SELECT C.KUNNR, C.NAME1, SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS REVENUE, \
+                   C.SALDO, T.LANDX, C.STRAS, C.TELF1 \
+                 FROM KNA1 C, VBAK A, VBAP V, T005T T, KONV KD \
+                 WHERE {} AND C.KUNNR = A.KUNNR AND V.VBELN = A.VBELN \
+                   AND A.AUDAT >= {} AND A.AUDAT < {} AND V.RFLAG = 'R' \
+                   AND T.LAND1 = C.LAND1 AND T.SPRAS = 'E' AND {} \
+                 GROUP BY C.KUNNR, C.NAME1, C.SALDO, C.TELF1, T.LANDX, C.STRAS \
+                 ORDER BY REVENUE DESC LIMIT 20",
+                mandts(&["C", "A", "V", "T", "KD"]),
+                dlit(d),
+                dlit(d.add_months(3)),
+                konv_join("A", "V", false),
+            )]
+        }
+        11 => vec![format!(
+            "SELECT I.MATNR, SUM(P.NETPR * P.BSTMA) AS PART_VALUE \
+             FROM EINA I, EINE P, LFA1 S, T005T T \
+             WHERE {} AND P.INFNR = I.INFNR AND S.LIFNR = I.LIFNR \
+               AND T.LAND1 = S.LAND1 AND T.SPRAS = 'E' AND T.LANDX = '{}' \
+             GROUP BY I.MATNR \
+             HAVING SUM(P.NETPR * P.BSTMA) > \
+               (SELECT SUM(P2.NETPR * P2.BSTMA) * {} \
+                FROM EINA I2, EINE P2, LFA1 S2, T005T T2 \
+                WHERE {} AND P2.INFNR = I2.INFNR AND S2.LIFNR = I2.LIFNR \
+                  AND T2.LAND1 = S2.LAND1 AND T2.SPRAS = 'E' AND T2.LANDX = '{}') \
+             ORDER BY PART_VALUE DESC",
+            mandts(&["I", "P", "S", "T"]),
+            p.q11_nation,
+            p.q11_fraction,
+            mandts(&["I2", "P2", "S2", "T2"]),
+            p.q11_nation,
+        )],
+        12 => {
+            let d = date_of(&p.q12_date);
+            vec![format!(
+                "SELECT E.VSART, \
+                   SUM(CASE WHEN A.PRIOK = '1-URGENT' OR A.PRIOK = '2-HIGH' \
+                       THEN 1 ELSE 0 END) AS HIGH_LINE_COUNT, \
+                   SUM(CASE WHEN A.PRIOK <> '1-URGENT' AND A.PRIOK <> '2-HIGH' \
+                       THEN 1 ELSE 0 END) AS LOW_LINE_COUNT \
+                 FROM VBAK A, VBAP V, VBEP E \
+                 WHERE {} AND A.VBELN = V.VBELN AND E.VBELN = V.VBELN \
+                   AND E.POSNR = V.POSNR AND E.VSART IN ('{}', '{}') \
+                   AND E.WADAT < E.LDDAT AND E.EDATU < E.WADAT \
+                   AND E.LDDAT >= {} AND E.LDDAT < {} \
+                 GROUP BY E.VSART ORDER BY E.VSART",
+                mandts(&["A", "V", "E"]),
+                p.q12_mode1,
+                p.q12_mode2,
+                dlit(d),
+                dlit(d.add_years(1)),
+            )]
+        }
+        13 => vec![format!(
+            "SELECT A.PRIOK, COUNT(*) AS ORDER_COUNT, SUM(A.NETWR) AS TOTAL \
+             FROM VBAK A WHERE A.MANDT = '{MANDT}' AND A.KUNNR = '{:016}' \
+               AND A.AUDAT >= {} \
+             GROUP BY A.PRIOK ORDER BY A.PRIOK",
+            p.q13_custkey,
+            dlit(date_of(&p.q13_date)),
+        )],
+        14 => {
+            let d = date_of(&p.q14_date);
+            vec![format!(
+                "SELECT 100.00 * SUM(CASE WHEN M.MTART LIKE 'PROMO%' \
+                     THEN V.NETWR * (1 - KD.KBETR / 1000) ELSE 0 END) \
+                   / SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS PROMO_REVENUE \
+                 FROM VBAP V, VBEP E, VBAK A, MARA M, KONV KD \
+                 WHERE {} AND E.VBELN = V.VBELN AND E.POSNR = V.POSNR \
+                   AND A.VBELN = V.VBELN AND M.MATNR = V.MATNR AND {} \
+                   AND E.EDATU >= {} AND E.EDATU < {}",
+                mandts(&["V", "E", "A", "M", "KD"]),
+                konv_join("A", "V", false),
+                dlit(d),
+                dlit(d.add_months(1)),
+            )]
+        }
+        15 => {
+            let d = date_of(&p.q15_date);
+            vec![
+                format!(
+                    "CREATE VIEW SAP_REVENUE AS \
+                     SELECT V.LIFNR AS SUPPLIER_NO, \
+                       SUM(V.NETWR * (1 - KD.KBETR / 1000)) AS TOTAL_REVENUE \
+                     FROM VBAP V, VBEP E, VBAK A, KONV KD \
+                     WHERE {} AND E.VBELN = V.VBELN AND E.POSNR = V.POSNR \
+                       AND A.VBELN = V.VBELN AND {} \
+                       AND E.EDATU >= {} AND E.EDATU < {} \
+                     GROUP BY V.LIFNR",
+                    mandts(&["V", "E", "A", "KD"]),
+                    konv_join("A", "V", false),
+                    dlit(d),
+                    dlit(d.add_months(3)),
+                ),
+                format!(
+                    "SELECT S.LIFNR, S.NAME1, S.STRAS, S.TELF1, TOTAL_REVENUE \
+                     FROM LFA1 S, SAP_REVENUE \
+                     WHERE S.MANDT = '{MANDT}' AND S.LIFNR = SUPPLIER_NO \
+                       AND TOTAL_REVENUE = (SELECT MAX(TOTAL_REVENUE) FROM SAP_REVENUE) \
+                     ORDER BY S.LIFNR"
+                ),
+                "DROP VIEW SAP_REVENUE".to_string(),
+            ]
+        }
+        16 => vec![format!(
+            "SELECT M.MATKL, M.MTART, M.GROES, COUNT(DISTINCT I.LIFNR) AS SUPPLIER_CNT \
+             FROM EINA I, MARA M \
+             WHERE {} AND M.MATNR = I.MATNR \
+               AND M.MATKL <> '{}' AND M.MTART NOT LIKE '{}%' \
+               AND M.GROES IN ({}, {}, {}, {}, {}, {}, {}, {}) \
+               AND I.LIFNR NOT IN (SELECT X.TDNAME FROM STXL X \
+                    WHERE X.MANDT = '{MANDT}' AND X.TDOBJECT = 'LFA1' \
+                      AND X.TDLINE LIKE '%Customer%Complaints%') \
+             GROUP BY M.MATKL, M.MTART, M.GROES \
+             ORDER BY SUPPLIER_CNT DESC, M.MATKL, M.MTART, M.GROES",
+            mandts(&["I", "M"]),
+            p.q16_brand,
+            p.q16_type,
+            p.q16_sizes[0],
+            p.q16_sizes[1],
+            p.q16_sizes[2],
+            p.q16_sizes[3],
+            p.q16_sizes[4],
+            p.q16_sizes[5],
+            p.q16_sizes[6],
+            p.q16_sizes[7],
+        )],
+        17 => vec![format!(
+            "SELECT SUM(V.NETWR) / 7.0 AS AVG_YEARLY \
+             FROM VBAP V, MARA M \
+             WHERE {} AND M.MATNR = V.MATNR AND M.MATKL = '{}' AND M.MAGRV = '{}' \
+               AND V.KWMENG < (SELECT 0.2 * AVG(V2.KWMENG) FROM VBAP V2 \
+                    WHERE V2.MANDT = '{MANDT}' AND V2.MATNR = M.MATNR)",
+            mandts(&["V", "M"]),
+            p.q17_brand,
+            p.q17_container,
+        )],
+        other => panic!("TPC-D has queries 1..=17, asked for {other}"),
+    }
+}
+
+/// Run the Native SQL report for query `n` (full push-down).
+pub fn run(sys: &R3System, n: usize, p: &QueryParams) -> DbResult<Vec<Row>> {
+    let mut last: Option<Vec<Row>> = None;
+    for stmt in sql(n, p) {
+        match sys.native_sql(&stmt)? {
+            rdbms::ExecOutcome::Rows(r) => last = Some(r.rows),
+            _ => {}
+        }
+    }
+    last.ok_or_else(|| DbError::execution(format!("native report Q{n} produced no rows")))
+}

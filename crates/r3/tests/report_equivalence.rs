@@ -1,0 +1,163 @@
+//! Cross-configuration answer validation.
+//!
+//! The paper validated all three implementations of every query against a
+//! TPC-D test database (§3.3). We do the same: every query must return the
+//! same answer through all four SAP variants (Native/Open x 2.2/3.0), and
+//! the aggregate-valued queries must match an independent recomputation
+//! straight from the generator's records.
+
+use r3::reports::{run_query_rows, SapInterface};
+use r3::{R3System, Release};
+use rdbms::types::Value;
+use rdbms::Row;
+use tpcd::{DbGen, QueryParams};
+
+const SF: f64 = 0.001;
+
+fn systems() -> (R3System, R3System, DbGen) {
+    let gen = DbGen::new(SF);
+    let s22 = R3System::install_default(Release::R22).unwrap();
+    s22.load_tpcd(&gen).unwrap();
+    let s30 = R3System::install_default(Release::R30).unwrap();
+    s30.load_tpcd(&gen).unwrap();
+    (s22, s30, gen)
+}
+
+/// Normalize a value for cross-variant comparison: SAP CHAR(16) keys
+/// become integers, strings are trimmed, decimals are rounded.
+fn norm(v: &Value) -> String {
+    match v {
+        Value::Str(s) => {
+            let t = s.trim();
+            if !t.is_empty() && t.len() >= 6 && t.chars().all(|c| c.is_ascii_digit()) {
+                // A zero-padded key.
+                format!("{}", t.parse::<i64>().unwrap_or(0))
+            } else {
+                t.to_string()
+            }
+        }
+        Value::Decimal(d) => format!("{:.4}", d.to_f64()),
+        Value::Int(i) => i.to_string(),
+        Value::Null => "NULL".into(),
+        other => other.to_string(),
+    }
+}
+
+fn norm_rows(rows: &[Row]) -> Vec<Vec<String>> {
+    rows.iter().map(|r| r.iter().map(norm).collect()).collect()
+}
+
+/// Rows must agree as *sets* for unordered comparisons and in-order for
+/// ordered queries; we compare sorted normalized rows, which covers both
+/// (every TPC-D query has a deterministic ORDER BY up to ties).
+fn assert_same_answers(q: usize, label_a: &str, a: &[Row], label_b: &str, b: &[Row]) {
+    let mut na = norm_rows(a);
+    let mut nb = norm_rows(b);
+    na.sort();
+    nb.sort();
+    assert_eq!(
+        na.len(),
+        nb.len(),
+        "Q{q}: {label_a} returned {} rows, {label_b} returned {}",
+        a.len(),
+        b.len()
+    );
+    for (ra, rb) in na.iter().zip(nb.iter()) {
+        assert_eq!(ra, rb, "Q{q}: {label_a} vs {label_b} row mismatch");
+    }
+}
+
+#[test]
+fn all_queries_agree_across_all_four_variants() {
+    let (s22, s30, gen) = systems();
+    let p = QueryParams::for_scale(gen.sf);
+    for n in 1..=17 {
+        let native30 = run_query_rows(&s30, SapInterface::Native, n, &p)
+            .unwrap_or_else(|e| panic!("Q{n} native 3.0 failed: {e}"));
+        let open30 = run_query_rows(&s30, SapInterface::Open, n, &p)
+            .unwrap_or_else(|e| panic!("Q{n} open 3.0 failed: {e}"));
+        let native22 = run_query_rows(&s22, SapInterface::Native, n, &p)
+            .unwrap_or_else(|e| panic!("Q{n} native 2.2 failed: {e}"));
+        let open22 = run_query_rows(&s22, SapInterface::Open, n, &p)
+            .unwrap_or_else(|e| panic!("Q{n} open 2.2 failed: {e}"));
+        assert_same_answers(n, "native30", &native30, "open30", &open30);
+        assert_same_answers(n, "native30", &native30, "native22", &native22);
+        assert_same_answers(n, "native30", &native30, "open22", &open22);
+    }
+}
+
+#[test]
+fn q1_matches_generator_reference() {
+    let (_, s30, gen) = systems();
+    let p = QueryParams::for_scale(gen.sf);
+    let (_, lineitems) = gen.orders_and_lineitems();
+    let reference = tpcd::validate::q1_reference(&lineitems, p.q1_delta as i32);
+    let rows = run_query_rows(&s30, SapInterface::Native, 1, &p).unwrap();
+    assert_eq!(rows.len(), reference.len(), "group count");
+    for row in &rows {
+        let key = (row[0].to_string(), row[1].to_string());
+        let r = reference.get(&key).unwrap_or_else(|| panic!("unexpected group {key:?}"));
+        let sum_qty = row[2].as_decimal().unwrap();
+        assert_eq!(sum_qty, r.0, "sum_qty of {key:?}");
+        let sum_base = row[3].as_decimal().unwrap();
+        assert_eq!(sum_base, r.1, "sum_base of {key:?}");
+        let sum_charge = row[5].as_decimal().unwrap();
+        assert_eq!(sum_charge, r.3, "sum_charge of {key:?}");
+        let count = row[9].as_int().unwrap() as u64;
+        assert_eq!(count, r.4, "count of {key:?}");
+    }
+}
+
+#[test]
+fn q6_matches_generator_reference() {
+    let (s22, _, gen) = systems();
+    let p = QueryParams::for_scale(gen.sf);
+    let (_, lineitems) = gen.orders_and_lineitems();
+    let expected = tpcd::validate::q6_reference(&lineitems);
+    let rows = run_query_rows(&s22, SapInterface::Open, 6, &p).unwrap();
+    let got = match &rows[0][0] {
+        Value::Null => rdbms::Decimal::zero(),
+        v => v.as_decimal().unwrap(),
+    };
+    assert_eq!(got, expected, "Q6 through Open SQL 2.2 with the cluster KONV");
+}
+
+#[test]
+fn sap_q1_equals_isolated_rdbms_q1() {
+    // The SAP database and the original TPC-D database hold the same
+    // business data: Q1's answer must be identical in both worlds.
+    let gen = DbGen::new(SF);
+    let p = QueryParams::for_scale(gen.sf);
+    let db = rdbms::Database::with_defaults();
+    tpcd::schema::load(&db, &gen).unwrap();
+    let isolated = tpcd::run_query(&db, 1, &p).unwrap();
+
+    let sys = R3System::install_default(Release::R30).unwrap();
+    sys.load_tpcd(&gen).unwrap();
+    let sap = run_query_rows(&sys, SapInterface::Native, 1, &p).unwrap();
+
+    assert_eq!(isolated.rows.len(), sap.rows().len());
+    for (a, b) in isolated.rows.iter().zip(sap.rows()) {
+        assert_eq!(norm(&a[0]), norm(&b[0]), "returnflag");
+        assert_eq!(norm(&a[1]), norm(&b[1]), "linestatus");
+        // sum_qty, sum_base_price, sum_disc_price, sum_charge
+        for i in 2..=5 {
+            assert_eq!(
+                a[i].as_decimal().unwrap(),
+                b[i].as_decimal().unwrap(),
+                "Q1 aggregate {i}"
+            );
+        }
+        assert_eq!(a[9].as_int().unwrap(), b[9].as_int().unwrap(), "count");
+    }
+}
+
+trait RowsExt {
+    fn rows(&self) -> &[Row];
+}
+
+impl RowsExt for Vec<Row> {
+    fn rows(&self) -> &[Row] {
+        self
+    }
+}

@@ -1,0 +1,711 @@
+//! The `Database` façade: parse, plan, execute.
+
+use crate::catalog::Catalog;
+use crate::clock::{Calibration, CostMeter, MeterSnapshot};
+use crate::error::{DbError, DbResult};
+use crate::exec::expr::ExecCtx;
+use crate::exec::plan::Plan;
+use crate::planner::{PlannedQuery, Planner, PlannerConfig};
+use crate::schema::{Column, Row, Schema};
+use crate::sql::ast::{Expr, Statement};
+use crate::sql::parse_statement;
+use crate::storage::{Pager, PagerConfig};
+use crate::types::Value;
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Database configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    pub pager: PagerConfig,
+    pub planner: PlannerConfig,
+    pub calibration: Calibration,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            pager: PagerConfig::default(),
+            planner: PlannerConfig::default(),
+            calibration: Calibration::default(),
+        }
+    }
+}
+
+/// A query result set.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Single value convenience (first row, first column).
+    pub fn scalar(&self) -> DbResult<Value> {
+        self.rows
+            .first()
+            .and_then(|r| r.first())
+            .cloned()
+            .ok_or_else(|| DbError::execution("empty result, expected scalar"))
+    }
+}
+
+/// Outcome of executing an arbitrary statement.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    Rows(QueryResult),
+    /// Rows affected by DML.
+    Count(u64),
+    /// DDL.
+    Done,
+}
+
+impl ExecOutcome {
+    pub fn rows(self) -> DbResult<QueryResult> {
+        match self {
+            ExecOutcome::Rows(r) => Ok(r),
+            other => Err(DbError::execution(format!("expected rows, got {other:?}"))),
+        }
+    }
+
+    pub fn count(self) -> DbResult<u64> {
+        match self {
+            ExecOutcome::Count(n) => Ok(n),
+            other => Err(DbError::execution(format!("expected count, got {other:?}"))),
+        }
+    }
+}
+
+/// A prepared (parameterized) query: planned once with parameter markers, so
+/// the optimizer never sees the constants (the paper's §4.1 behaviour), then
+/// re-executable with fresh bindings — the engine-side half of SAP R/3's
+/// cursor caching.
+pub struct Prepared {
+    pub plan: Arc<Plan>,
+    pub schema: Schema,
+    pub n_params: usize,
+    /// EXPLAIN text captured at prepare time.
+    pub plan_description: String,
+}
+
+/// The database engine.
+pub struct Database {
+    pager: Arc<Pager>,
+    catalog: Catalog,
+    meter: Arc<CostMeter>,
+    planner_config: RwLock<PlannerConfig>,
+    calibration: Calibration,
+}
+
+impl Database {
+    pub fn new(config: DbConfig) -> Self {
+        let meter = CostMeter::new();
+        let pager = Pager::new(config.pager, Arc::clone(&meter));
+        Database {
+            catalog: Catalog::new(Arc::clone(&pager)),
+            pager,
+            meter,
+            planner_config: RwLock::new(config.planner),
+            calibration: config.calibration,
+        }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::new(DbConfig::default())
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    pub fn calibration(&self) -> Calibration {
+        self.calibration
+    }
+
+    pub fn planner_config(&self) -> PlannerConfig {
+        *self.planner_config.read()
+    }
+
+    pub fn set_planner_config(&self, config: PlannerConfig) {
+        *self.planner_config.write() = config;
+    }
+
+    /// Snapshot the work meter (for experiment bookkeeping).
+    pub fn snapshot(&self) -> MeterSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Execute any single SQL statement (constants visible to the optimizer).
+    pub fn execute(&self, sql: &str) -> DbResult<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a SELECT and return its rows.
+    pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
+        self.execute(sql)?.rows()
+    }
+
+    /// Plan text for a SELECT (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> DbResult<String> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(q) => {
+                let planner = Planner::with_config(&self.catalog, self.planner_config());
+                let pq = planner.plan_query(&q)?;
+                Ok(pq.plan.describe())
+            }
+            other => Err(DbError::analysis(format!("cannot EXPLAIN {other:?}"))),
+        }
+    }
+
+    /// Prepare a parameterized SELECT. The plan is chosen *now*, blind to
+    /// the eventual parameter values.
+    pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(q) => {
+                let planner = Planner::with_config(&self.catalog, self.planner_config());
+                let pq: PlannedQuery = planner.plan_query(&q)?;
+                let desc = pq.plan.describe();
+                Ok(Prepared {
+                    plan: Arc::new(pq.plan),
+                    schema: pq.schema,
+                    n_params: pq.n_params,
+                    plan_description: desc,
+                })
+            }
+            other => Err(DbError::analysis(format!("can only prepare SELECT, got {other:?}"))),
+        }
+    }
+
+    /// Execute a prepared query with bindings (cursor OPEN / REOPEN).
+    pub fn execute_prepared(&self, p: &Prepared, params: &[Value]) -> DbResult<QueryResult> {
+        if params.len() < p.n_params {
+            return Err(DbError::UnboundParameter(params.len()));
+        }
+        let ctx = ExecCtx::new(params, &self.meter);
+        let rows = p.plan.execute(&ctx)?;
+        Ok(QueryResult { schema: p.schema.clone(), rows })
+    }
+
+    fn execute_statement(&self, stmt: &Statement) -> DbResult<ExecOutcome> {
+        match stmt {
+            Statement::Select(q) => {
+                let planner = Planner::with_config(&self.catalog, self.planner_config());
+                let pq = planner.plan_query(q)?;
+                let ctx = ExecCtx::new(&[], &self.meter);
+                let rows = pq.plan.execute(&ctx)?;
+                Ok(ExecOutcome::Rows(QueryResult { schema: pq.schema, rows }))
+            }
+            Statement::Insert { table, columns, rows } => {
+                let t = self.catalog.table(table)?;
+                let ctx = ExecCtx::new(&[], &self.meter);
+                let mut inserted = 0u64;
+                for exprs in rows {
+                    let row = self.build_insert_row(&t, columns.as_deref(), exprs, &ctx)?;
+                    self.catalog.insert_row(&t, &row)?;
+                    inserted += 1;
+                }
+                Ok(ExecOutcome::Count(inserted))
+            }
+            Statement::Delete { table, filter } => {
+                let t = self.catalog.table(table)?;
+                let pred = self.bind_dml_filter(&t.schema, filter.as_ref())?;
+                let rids = self.matching_rids(&t, filter.as_ref(), &pred)?;
+                for rid in &rids {
+                    self.catalog.delete_row(&t, *rid)?;
+                }
+                Ok(ExecOutcome::Count(rids.len() as u64))
+            }
+            Statement::Update { table, assignments, filter } => {
+                let t = self.catalog.table(table)?;
+                let pred = self.bind_dml_filter(&t.schema, filter.as_ref())?;
+                let planner = Planner::with_config(&self.catalog, self.planner_config());
+                let mut bound_assignments = Vec::new();
+                for (col, e) in assignments {
+                    let idx = t.schema.resolve(None, col)?;
+                    let mut used = HashSet::new();
+                    let be = planner.bind_expr(e, &t.schema, &[], &mut used)?;
+                    bound_assignments.push((idx, be));
+                }
+                let ctx = ExecCtx::new(&[], &self.meter);
+                let rids = self.matching_rids(&t, filter.as_ref(), &pred)?;
+                let mut updates = Vec::new();
+                for rid in rids {
+                    let row = t
+                        .heap
+                        .get(rid, crate::storage::AccessPattern::Random)?
+                        .ok_or_else(|| DbError::storage("row vanished during UPDATE"))?;
+                    let mut new_row = row.clone();
+                    for (idx, be) in &bound_assignments {
+                        new_row[*idx] = be.eval(&row, &ctx)?;
+                    }
+                    updates.push((rid, new_row));
+                }
+                let n = updates.len() as u64;
+                for (rid, new_row) in updates {
+                    self.catalog.update_row(&t, rid, &new_row)?;
+                }
+                Ok(ExecOutcome::Count(n))
+            }
+            Statement::CreateTable { name, columns, primary_key } => {
+                let cols: Vec<Column> = columns
+                    .iter()
+                    .map(|c| {
+                        let mut col = Column::new(&c.name, c.ty);
+                        if c.not_null {
+                            col = col.not_null();
+                        }
+                        col
+                    })
+                    .collect();
+                self.catalog.create_table(name, cols, primary_key)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::CreateIndex { name, table, columns, unique } => {
+                self.catalog.create_index(name, table, columns, *unique)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::CreateView { name, query } => {
+                // Validate the view body plans correctly before registering.
+                let planner = Planner::with_config(&self.catalog, self.planner_config());
+                planner.plan_query(query)?;
+                self.catalog.create_view(name, (**query).clone())?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(name)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::DropIndex { name } => {
+                self.catalog.drop_index(name)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::DropView { name } => {
+                self.catalog.drop_view(name)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::Analyze { table } => {
+                match table {
+                    Some(t) => {
+                        let t = self.catalog.table(t)?;
+                        self.catalog.analyze_table(&t)?;
+                    }
+                    None => {
+                        for name in self.catalog.table_names() {
+                            let t = self.catalog.table(&name)?;
+                            self.catalog.analyze_table(&t)?;
+                        }
+                    }
+                }
+                Ok(ExecOutcome::Done)
+            }
+        }
+    }
+
+    /// RIDs of the rows matching a DML filter. Uses an index range when the
+    /// filter is sargable against one (deletes/updates by key avoid full
+    /// scans); otherwise falls back to a metered heap scan.
+    fn matching_rids(
+        &self,
+        t: &crate::catalog::Table,
+        filter_ast: Option<&Expr>,
+        pred: &Option<crate::exec::expr::BExpr>,
+    ) -> DbResult<Vec<crate::storage::Rid>> {
+        use crate::planner::sarg_helpers::dml_index_probe;
+        let ctx = ExecCtx::new(&[], &self.meter);
+        if let Some(f) = filter_ast {
+            if let Some(rid_candidates) = dml_index_probe(t, f)? {
+                let mut rids = Vec::new();
+                for rid in rid_candidates {
+                    let Some(row) = t.heap.get(rid, crate::storage::AccessPattern::Random)? else {
+                        continue;
+                    };
+                    self.meter.bump(crate::clock::Counter::DbTuples);
+                    let hit = match pred {
+                        Some(p) => p.eval_bool(&row, &ctx)? == Some(true),
+                        None => true,
+                    };
+                    if hit {
+                        rids.push(rid);
+                    }
+                }
+                return Ok(rids);
+            }
+        }
+        let mut rids = Vec::new();
+        for item in t.heap.scan() {
+            let (rid, row) = item?;
+            self.meter.bump(crate::clock::Counter::DbTuples);
+            let hit = match pred {
+                Some(p) => p.eval_bool(&row, &ctx)? == Some(true),
+                None => true,
+            };
+            if hit {
+                rids.push(rid);
+            }
+        }
+        Ok(rids)
+    }
+
+    fn bind_dml_filter(
+        &self,
+        schema: &Schema,
+        filter: Option<&Expr>,
+    ) -> DbResult<Option<crate::exec::expr::BExpr>> {
+        match filter {
+            None => Ok(None),
+            Some(f) => {
+                let planner = Planner::with_config(&self.catalog, self.planner_config());
+                let mut used = HashSet::new();
+                Ok(Some(planner.bind_expr(f, schema, &[], &mut used)?))
+            }
+        }
+    }
+
+    fn build_insert_row(
+        &self,
+        table: &crate::catalog::Table,
+        columns: Option<&[String]>,
+        exprs: &[Expr],
+        ctx: &ExecCtx,
+    ) -> DbResult<Row> {
+        let planner = Planner::with_config(&self.catalog, self.planner_config());
+        let empty = Schema::new(Vec::new());
+        let mut used = HashSet::new();
+        let values: Vec<Value> = exprs
+            .iter()
+            .map(|e| {
+                let be = planner.bind_expr(e, &empty, &[], &mut used)?;
+                be.eval(&[], ctx)
+            })
+            .collect::<DbResult<_>>()?;
+        match columns {
+            None => {
+                if values.len() != table.schema.len() {
+                    return Err(DbError::execution(format!(
+                        "INSERT has {} values for {} columns",
+                        values.len(),
+                        table.schema.len()
+                    )));
+                }
+                Ok(values)
+            }
+            Some(cols) => {
+                if values.len() != cols.len() {
+                    return Err(DbError::execution("INSERT column/value count mismatch"));
+                }
+                let mut row = vec![Value::Null; table.schema.len()];
+                for (c, v) in cols.iter().zip(values) {
+                    let idx = table.schema.resolve(None, c)?;
+                    row[idx] = v;
+                }
+                Ok(row)
+            }
+        }
+    }
+
+    /// Insert one pre-built row directly (bulk-load path used by the
+    /// benchmark kit; bypasses SQL parsing but not constraint checks).
+    pub fn insert_row(&self, table_name: &str, row: &[Value]) -> DbResult<()> {
+        let t = self.catalog.table(table_name)?;
+        self.catalog.insert_row(&t, row)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::with_defaults()
+    }
+
+    fn setup_items(db: &Database) {
+        db.execute(
+            "CREATE TABLE items (id INTEGER NOT NULL, name VARCHAR(30), qty INTEGER, \
+             price DECIMAL(10,2), PRIMARY KEY (id))",
+        )
+        .unwrap();
+        for i in 0..100 {
+            db.execute(&format!(
+                "INSERT INTO items VALUES ({i}, 'item{}', {}, {}.50)",
+                i % 10,
+                i % 7,
+                i
+            ))
+            .unwrap();
+        }
+        db.execute("ANALYZE items").unwrap();
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let db = db();
+        setup_items(&db);
+        let r = db.query("SELECT id, name FROM items WHERE qty = 3 ORDER BY id").unwrap();
+        assert_eq!(r.rows.len(), 100 / 7 + if 100 % 7 > 3 { 1 } else { 0 });
+        assert!(r.rows.windows(2).all(|w| w[0][0].as_int().unwrap() < w[1][0].as_int().unwrap()));
+    }
+
+    #[test]
+    fn aggregation_and_having() {
+        let db = db();
+        setup_items(&db);
+        let r = db
+            .query(
+                "SELECT qty, COUNT(*), SUM(price) FROM items GROUP BY qty \
+                 HAVING COUNT(*) > 10 ORDER BY qty",
+            )
+            .unwrap();
+        assert!(!r.rows.is_empty());
+        for row in &r.rows {
+            assert!(row[1].as_int().unwrap() > 10);
+        }
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_input() {
+        let db = db();
+        setup_items(&db);
+        let r = db.query("SELECT COUNT(*), SUM(qty) FROM items WHERE id > 1000").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert!(r.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn joins() {
+        let db = db();
+        setup_items(&db);
+        db.execute("CREATE TABLE tags (item_id INTEGER, tag VARCHAR(10))").unwrap();
+        db.execute("INSERT INTO tags VALUES (1, 'red'), (1, 'hot'), (2, 'red')").unwrap();
+        let r = db
+            .query(
+                "SELECT i.id, t.tag FROM items i, tags t \
+                 WHERE i.id = t.item_id ORDER BY i.id, t.tag",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][1], Value::str("hot"));
+        // Explicit JOIN syntax gives same answer.
+        let r2 = db
+            .query(
+                "SELECT i.id, t.tag FROM items i JOIN tags t ON i.id = t.item_id \
+                 ORDER BY i.id, t.tag",
+            )
+            .unwrap();
+        assert_eq!(r.rows, r2.rows);
+    }
+
+    #[test]
+    fn left_outer_join() {
+        let db = db();
+        db.execute("CREATE TABLE a (x INTEGER)").unwrap();
+        db.execute("CREATE TABLE b (y INTEGER)").unwrap();
+        db.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
+        db.execute("INSERT INTO b VALUES (2)").unwrap();
+        let r = db
+            .query("SELECT x, y FROM a LEFT OUTER JOIN b ON a.x = b.y ORDER BY x")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.rows[0][1].is_null());
+        assert_eq!(r.rows[1][1], Value::Int(2));
+        assert!(r.rows[2][1].is_null());
+    }
+
+    #[test]
+    fn prepared_queries_rebind() {
+        let db = db();
+        setup_items(&db);
+        let p = db.prepare("SELECT COUNT(*) FROM items WHERE qty = ?").unwrap();
+        assert_eq!(p.n_params, 1);
+        let a = db.execute_prepared(&p, &[Value::Int(0)]).unwrap();
+        let b = db.execute_prepared(&p, &[Value::Int(6)]).unwrap();
+        assert!(a.scalar().unwrap().as_int().unwrap() > 0);
+        assert!(b.scalar().unwrap().as_int().unwrap() > 0);
+        assert!(db.execute_prepared(&p, &[]).is_err(), "missing binding");
+    }
+
+    #[test]
+    fn prepared_plan_is_blind_and_uses_index() {
+        let db = db();
+        setup_items(&db);
+        db.execute("CREATE INDEX items_qty ON items (qty)").unwrap();
+        // Literal query with low selectivity: scan.
+        let lit_plan = db.explain("SELECT * FROM items WHERE qty < 9999").unwrap();
+        assert!(lit_plan.contains("SeqScan"), "literal low-selectivity: {lit_plan}");
+        // Parameterized: blindly picks the index (§4.1).
+        let p = db.prepare("SELECT * FROM items WHERE qty < ?").unwrap();
+        assert!(
+            p.plan_description.contains("IndexScan"),
+            "param plan should be blind: {}",
+            p.plan_description
+        );
+        // It still returns correct answers.
+        let all = db.execute_prepared(&p, &[Value::Int(9999)]).unwrap();
+        assert_eq!(all.rows.len(), 100);
+        let none = db.execute_prepared(&p, &[Value::Int(0)]).unwrap();
+        assert!(none.rows.is_empty());
+    }
+
+    #[test]
+    fn dml_update_delete() {
+        let db = db();
+        setup_items(&db);
+        let n = db.execute("UPDATE items SET qty = 99 WHERE id < 10").unwrap().count().unwrap();
+        assert_eq!(n, 10);
+        let r = db.query("SELECT COUNT(*) FROM items WHERE qty = 99").unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Int(10));
+        let n = db.execute("DELETE FROM items WHERE qty = 99").unwrap().count().unwrap();
+        assert_eq!(n, 10);
+        let r = db.query("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Int(90));
+    }
+
+    #[test]
+    fn views_expand() {
+        let db = db();
+        setup_items(&db);
+        db.execute("CREATE VIEW cheap AS SELECT id, price FROM items WHERE price < 10")
+            .unwrap();
+        let r = db.query("SELECT COUNT(*) FROM cheap").unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Int(10));
+        // View with alias binding.
+        let r = db.query("SELECT c.id FROM cheap c WHERE c.id = 3").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn subqueries() {
+        let db = db();
+        setup_items(&db);
+        // Uncorrelated scalar.
+        let r = db
+            .query("SELECT COUNT(*) FROM items WHERE price > (SELECT AVG(price) FROM items)")
+            .unwrap();
+        let n = r.scalar().unwrap().as_int().unwrap();
+        assert!(n > 30 && n < 70, "about half above average, got {n}");
+        // Correlated EXISTS.
+        db.execute("CREATE TABLE tags (item_id INTEGER, tag VARCHAR(10))").unwrap();
+        db.execute("INSERT INTO tags VALUES (5, 'x'), (7, 'y')").unwrap();
+        let r = db
+            .query(
+                "SELECT id FROM items i WHERE EXISTS \
+                 (SELECT 1 FROM tags t WHERE t.item_id = i.id) ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Int(5));
+        // NOT IN with correct NULL semantics.
+        db.execute("INSERT INTO tags VALUES (NULL, 'z')").unwrap();
+        let r = db
+            .query("SELECT COUNT(*) FROM items WHERE id NOT IN (SELECT item_id FROM tags)")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Int(0), "NULL in NOT IN set kills all rows");
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let db = db();
+        setup_items(&db);
+        let r = db.query("SELECT DISTINCT qty FROM items ORDER BY qty").unwrap();
+        assert_eq!(r.rows.len(), 7);
+        let r = db.query("SELECT id FROM items ORDER BY id DESC LIMIT 5").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows[0][0], Value::Int(99));
+    }
+
+    #[test]
+    fn order_by_alias_and_ordinal() {
+        let db = db();
+        setup_items(&db);
+        let r = db
+            .query("SELECT qty, COUNT(*) AS cnt FROM items GROUP BY qty ORDER BY cnt DESC, qty")
+            .unwrap();
+        let counts: Vec<i64> = r.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+        let r2 = db
+            .query("SELECT qty, COUNT(*) AS cnt FROM items GROUP BY qty ORDER BY 2 DESC, 1")
+            .unwrap();
+        assert_eq!(r.rows, r2.rows);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = db();
+        let r = db.query("SELECT 1 + 2, 'x'").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(3), Value::str("x")]]);
+    }
+
+    #[test]
+    fn insert_with_column_list_defaults_null() {
+        let db = db();
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER, c VARCHAR(5))").unwrap();
+        db.execute("INSERT INTO t (c, a) VALUES ('x', 1)").unwrap();
+        let r = db.query("SELECT a, b, c FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+        assert!(r.rows[0][1].is_null());
+        assert_eq!(r.rows[0][2], Value::str("x"));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = db();
+        assert!(matches!(db.query("SELECT * FROM nope"), Err(DbError::Catalog(_))));
+        setup_items(&db);
+        assert!(db.query("SELECT nonexistent FROM items").is_err());
+        assert!(db.query("SELECT id FROM items GROUP BY qty").is_err(), "id not grouped");
+    }
+
+    #[test]
+    fn index_scan_returns_same_as_seq_scan() {
+        let db = db();
+        db.execute("CREATE TABLE big (id INTEGER NOT NULL, grp INTEGER, PRIMARY KEY (id))")
+            .unwrap();
+        for batch in 0..200 {
+            let values: Vec<String> = (0..100)
+                .map(|i| {
+                    let id = batch * 100 + i;
+                    format!("({id}, {})", id % 2000)
+                })
+                .collect();
+            db.execute(&format!("INSERT INTO big VALUES {}", values.join(", "))).unwrap();
+        }
+        db.execute("ANALYZE big").unwrap();
+        // Tiny table earlier: scan wins. 20k rows with a selective equality
+        // on the primary key: the index must win.
+        let plan = db.explain("SELECT grp FROM big WHERE id = 12345").unwrap();
+        assert!(plan.contains("IndexScan"), "selective equality should use the index: {plan}");
+        let r = db.query("SELECT grp FROM big WHERE id = 12345").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(12345 % 2000)]]);
+        // Secondary index: same answers as a scan.
+        let seq = db.query("SELECT id FROM big WHERE grp = 77 ORDER BY id").unwrap();
+        db.execute("CREATE INDEX big_grp ON big (grp)").unwrap();
+        db.execute("ANALYZE big").unwrap();
+        let plan = db.explain("SELECT id FROM big WHERE grp = 77").unwrap();
+        assert!(plan.contains("IndexScan"), "1/2000 selectivity should use the index: {plan}");
+        let idx = db.query("SELECT id FROM big WHERE grp = 77 ORDER BY id").unwrap();
+        assert_eq!(seq.rows, idx.rows);
+        assert_eq!(idx.rows.len(), 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for the rdbms engine.
+
+use std::fmt;
+
+/// All errors produced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A name (table, column, index, view) could not be resolved, or a
+    /// duplicate definition was attempted.
+    Catalog(String),
+    /// A query or statement is well-formed but semantically invalid
+    /// (type mismatch, wrong arity, aggregate misuse, ...).
+    Analysis(String),
+    /// A runtime execution failure (division by zero, bad cast, ...).
+    Execution(String),
+    /// A storage-layer failure (page overflow, bad RID, ...).
+    Storage(String),
+    /// A constraint violation (unique key, not-null).
+    Constraint(String),
+    /// The statement referenced a parameter that was not bound.
+    UnboundParameter(usize),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Analysis(m) => write!(f, "analysis error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::UnboundParameter(i) => write!(f, "parameter ${i} is not bound"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience result alias used throughout the engine.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Helper constructors so call sites stay terse.
+impl DbError {
+    pub fn parse(m: impl Into<String>) -> Self {
+        DbError::Parse(m.into())
+    }
+    pub fn catalog(m: impl Into<String>) -> Self {
+        DbError::Catalog(m.into())
+    }
+    pub fn analysis(m: impl Into<String>) -> Self {
+        DbError::Analysis(m.into())
+    }
+    pub fn execution(m: impl Into<String>) -> Self {
+        DbError::Execution(m.into())
+    }
+    pub fn storage(m: impl Into<String>) -> Self {
+        DbError::Storage(m.into())
+    }
+    pub fn constraint(m: impl Into<String>) -> Self {
+        DbError::Constraint(m.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        assert_eq!(
+            DbError::parse("unexpected token").to_string(),
+            "parse error: unexpected token"
+        );
+        assert_eq!(
+            DbError::catalog("no such table T").to_string(),
+            "catalog error: no such table T"
+        );
+        assert_eq!(
+            DbError::UnboundParameter(2).to_string(),
+            "parameter $2 is not bound"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DbError::parse("x"), DbError::Parse("x".into()));
+        assert_ne!(DbError::parse("x"), DbError::analysis("x"));
+    }
+}

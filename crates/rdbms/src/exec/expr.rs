@@ -1,0 +1,816 @@
+//! Bound expressions and the expression evaluator.
+//!
+//! The planner resolves AST expressions ([`crate::sql::ast::Expr`]) into
+//! [`BExpr`] trees whose column references are positional, so evaluation
+//! never does name lookups. Subqueries carry their own physical plan and
+//! are executed through the evaluation context, with correlated references
+//! resolved against a stack of enclosing rows.
+
+use crate::clock::{CostMeter, Counter};
+use crate::error::{DbError, DbResult};
+use crate::schema::Row;
+use crate::sql::ast::{AggFunc, BinOp, IntervalUnit};
+use crate::types::{Decimal, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Scalar functions supported by the engine. `VendorContains` is the
+/// "special, non-standard SQL string function" of the paper's Section 3.4.4
+/// footnote — Native SQL reports may use it; Open SQL cannot emit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// SUBSTR(s, start_1based, len)
+    Substr,
+    Upper,
+    Lower,
+    /// VENDOR_CONTAINS(s, sub) -> bool; the vendor's fast substring
+    /// primitive (non-portable).
+    VendorContains,
+    /// LENGTH(s)
+    Length,
+}
+
+impl ScalarFunc {
+    pub fn from_name(name: &str) -> Option<(ScalarFunc, usize)> {
+        match name {
+            "SUBSTR" | "SUBSTRING" => Some((ScalarFunc::Substr, 3)),
+            "UPPER" => Some((ScalarFunc::Upper, 1)),
+            "LOWER" => Some((ScalarFunc::Lower, 1)),
+            "VENDOR_CONTAINS" => Some((ScalarFunc::VendorContains, 2)),
+            "LENGTH" => Some((ScalarFunc::Length, 1)),
+            _ => None,
+        }
+    }
+}
+
+/// How a subquery expression is consumed.
+#[derive(Debug, Clone)]
+pub enum SubqueryKind {
+    /// Single value (first column of the single result row); NULL on empty.
+    Scalar,
+    /// EXISTS / NOT EXISTS.
+    Exists { negated: bool },
+    /// `lhs IN (subquery)` / `NOT IN`, with full SQL NULL semantics.
+    In { lhs: Box<BExpr>, negated: bool },
+}
+
+/// A subquery bound into an expression.
+pub struct BoundSubquery {
+    pub plan: crate::exec::plan::Plan,
+    pub kind: SubqueryKind,
+    /// Whether the subquery references columns of any enclosing query.
+    /// Uncorrelated subqueries are evaluated once per statement execution
+    /// and cached; correlated ones re-execute per outer row (the naive
+    /// strategy the paper attributes to the back-end RDBMS, Section 3.4.4).
+    pub correlated: bool,
+    /// Stable id for per-execution caching.
+    pub cache_id: usize,
+}
+
+impl std::fmt::Debug for BoundSubquery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundSubquery")
+            .field("kind", &self.kind)
+            .field("correlated", &self.correlated)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bound (positional) expression.
+#[derive(Debug, Clone)]
+pub enum BExpr {
+    /// Column of the current row.
+    Column(usize),
+    /// Column of an enclosing row; depth 1 = immediate enclosing query.
+    Outer { depth: usize, index: usize },
+    Literal(Value),
+    Param(usize),
+    Neg(Box<BExpr>),
+    Not(Box<BExpr>),
+    Binary {
+        left: Box<BExpr>,
+        op: BinOp,
+        right: Box<BExpr>,
+    },
+    Between {
+        expr: Box<BExpr>,
+        low: Box<BExpr>,
+        high: Box<BExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BExpr>,
+        list: Vec<BExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<BExpr>,
+        pattern: Box<BExpr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<BExpr>,
+        negated: bool,
+    },
+    Case {
+        branches: Vec<(BExpr, BExpr)>,
+        else_expr: Option<Box<BExpr>>,
+    },
+    Extract {
+        unit: IntervalUnit,
+        expr: Box<BExpr>,
+    },
+    IntervalAdd {
+        expr: Box<BExpr>,
+        amount: i32,
+        unit: IntervalUnit,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<BExpr>,
+    },
+    Subquery(Arc<BoundSubquery>),
+}
+
+/// An aggregate computed by the Aggregate operator.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// `None` for COUNT(*).
+    pub arg: Option<BExpr>,
+    pub distinct: bool,
+}
+
+/// Cached result of an uncorrelated subquery within one execution.
+pub enum SubqueryResult {
+    Scalar(Value),
+    Exists(bool),
+    InSet { set: HashSet<Value>, has_null: bool },
+}
+
+/// Per-execution state shared by all operators of one statement execution.
+pub struct ExecCtx<'a> {
+    pub params: &'a [Value],
+    pub meter: &'a CostMeter,
+    /// Stack of enclosing rows, outermost first.
+    pub outer: Vec<Row>,
+    /// Cache for uncorrelated subquery results, keyed by `cache_id`.
+    pub subquery_cache: Arc<Mutex<HashMap<usize, Arc<SubqueryResult>>>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    pub fn new(params: &'a [Value], meter: &'a CostMeter) -> Self {
+        ExecCtx {
+            params,
+            meter,
+            outer: Vec::new(),
+            subquery_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Child context with `row` pushed as the innermost enclosing row.
+    pub fn push_outer(&self, row: &[Value]) -> ExecCtx<'a> {
+        let mut outer = self.outer.clone();
+        outer.push(row.to_vec());
+        ExecCtx {
+            params: self.params,
+            meter: self.meter,
+            outer,
+            subquery_cache: Arc::clone(&self.subquery_cache),
+        }
+    }
+
+    fn outer_value(&self, depth: usize, index: usize) -> DbResult<Value> {
+        let len = self.outer.len();
+        if depth == 0 || depth > len {
+            return Err(DbError::execution(format!(
+                "outer reference depth {depth} exceeds context ({len} frames)"
+            )));
+        }
+        Ok(self.outer[len - depth][index].clone())
+    }
+}
+
+impl BExpr {
+    pub fn boxed(self) -> Box<BExpr> {
+        Box::new(self)
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Value], ctx: &ExecCtx) -> DbResult<Value> {
+        match self {
+            BExpr::Column(i) => Ok(row[*i].clone()),
+            BExpr::Outer { depth, index } => ctx.outer_value(*depth, *index),
+            BExpr::Literal(v) => Ok(v.clone()),
+            BExpr::Param(i) => ctx
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or(DbError::UnboundParameter(*i)),
+            BExpr::Neg(e) => match e.eval(row, ctx)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Decimal(d) => Ok(Value::Decimal(d.neg())),
+                other => Err(DbError::execution(format!(
+                    "cannot negate {}",
+                    other.type_name()
+                ))),
+            },
+            BExpr::Not(e) => match e.eval(row, ctx)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(DbError::execution(format!(
+                    "NOT applied to {}",
+                    other.type_name()
+                ))),
+            },
+            BExpr::Binary { left, op, right } => eval_binary(left, *op, right, row, ctx),
+            BExpr::Between { expr, low, high, negated } => {
+                let v = expr.eval(row, ctx)?;
+                let lo = low.eval(row, ctx)?;
+                let hi = high.eval(row, ctx)?;
+                let ge = v.sql_cmp(&lo).map(|o| o.is_ge());
+                let le = v.sql_cmp(&hi).map(|o| o.is_le());
+                let r = and3(ge, le);
+                Ok(bool3_to_value(maybe_negate(r, *negated)))
+            }
+            BExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row, ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(row, ctx)?;
+                    if iv.is_null() {
+                        saw_null = true;
+                        continue;
+                    }
+                    if v.sql_cmp(&iv) == Some(std::cmp::Ordering::Equal) {
+                        return Ok(Value::Bool(!negated));
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            BExpr::Like { expr, pattern, negated } => {
+                let v = expr.eval(row, ctx)?;
+                let p = pattern.eval(row, ctx)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let matched = like_match(v.as_str()?.trim_end(), p.as_str()?);
+                Ok(Value::Bool(matched != *negated))
+            }
+            BExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row, ctx)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            BExpr::Case { branches, else_expr } => {
+                for (cond, result) in branches {
+                    if cond.eval_bool(row, ctx)? == Some(true) {
+                        return result.eval(row, ctx);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row, ctx),
+                    None => Ok(Value::Null),
+                }
+            }
+            BExpr::Extract { unit, expr } => {
+                let v = expr.eval(row, ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let d = v.as_date()?;
+                Ok(Value::Int(match unit {
+                    IntervalUnit::Year => d.year() as i64,
+                    IntervalUnit::Month => d.month() as i64,
+                    IntervalUnit::Day => d.day() as i64,
+                }))
+            }
+            BExpr::IntervalAdd { expr, amount, unit } => {
+                let v = expr.eval(row, ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let d = v.as_date()?;
+                Ok(Value::Date(match unit {
+                    IntervalUnit::Day => d.add_days(*amount),
+                    IntervalUnit::Month => d.add_months(*amount),
+                    IntervalUnit::Year => d.add_years(*amount),
+                }))
+            }
+            BExpr::Func { func, args } => eval_func(*func, args, row, ctx),
+            BExpr::Subquery(sq) => eval_subquery(sq, row, ctx),
+        }
+    }
+
+    /// Evaluate as a three-valued boolean: `None` is SQL UNKNOWN.
+    pub fn eval_bool(&self, row: &[Value], ctx: &ExecCtx) -> DbResult<Option<bool>> {
+        match self.eval(row, ctx)? {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(b)),
+            other => Err(DbError::execution(format!(
+                "predicate evaluated to {}, expected BOOLEAN",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Visit all nodes (not crossing into subquery plans).
+    pub fn visit(&self, f: &mut impl FnMut(&BExpr)) {
+        f(self);
+        match self {
+            BExpr::Column(_) | BExpr::Outer { .. } | BExpr::Literal(_) | BExpr::Param(_) => {}
+            BExpr::Neg(e) | BExpr::Not(e) => e.visit(f),
+            BExpr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            BExpr::Between { expr, low, high, .. } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            BExpr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            BExpr::Like { expr, pattern, .. } => {
+                expr.visit(f);
+                pattern.visit(f);
+            }
+            BExpr::IsNull { expr, .. } => expr.visit(f),
+            BExpr::Case { branches, else_expr } => {
+                for (c, r) in branches {
+                    c.visit(f);
+                    r.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+            BExpr::Extract { expr, .. } | BExpr::IntervalAdd { expr, .. } => expr.visit(f),
+            BExpr::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            BExpr::Subquery(sq) => {
+                if let SubqueryKind::In { lhs, .. } = &sq.kind {
+                    lhs.visit(f);
+                }
+            }
+        }
+    }
+}
+
+fn eval_binary(
+    left: &BExpr,
+    op: BinOp,
+    right: &BExpr,
+    row: &[Value],
+    ctx: &ExecCtx,
+) -> DbResult<Value> {
+    match op {
+        BinOp::And => {
+            let l = left.eval_bool(row, ctx)?;
+            if l == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = right.eval_bool(row, ctx)?;
+            Ok(bool3_to_value(and3(l, r)))
+        }
+        BinOp::Or => {
+            let l = left.eval_bool(row, ctx)?;
+            if l == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = right.eval_bool(row, ctx)?;
+            Ok(bool3_to_value(or3(l, r)))
+        }
+        _ => {
+            let l = left.eval(row, ctx)?;
+            let r = right.eval(row, ctx)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            if op.is_comparison() {
+                let ord = l.sql_cmp(&r).ok_or_else(|| {
+                    DbError::execution(format!(
+                        "cannot compare {} with {}",
+                        l.type_name(),
+                        r.type_name()
+                    ))
+                })?;
+                let b = match op {
+                    BinOp::Eq => ord.is_eq(),
+                    BinOp::NotEq => ord.is_ne(),
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::LtEq => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    BinOp::GtEq => ord.is_ge(),
+                    _ => unreachable!(),
+                };
+                return Ok(Value::Bool(b));
+            }
+            arith(l, op, r)
+        }
+    }
+}
+
+/// Numeric arithmetic with the engine's type rules: Int op Int stays Int
+/// (except division, which always produces a Decimal), everything else is
+/// exact Decimal.
+pub fn arith(l: Value, op: BinOp, r: Value) -> DbResult<Value> {
+    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+        match op {
+            BinOp::Add => return Ok(Value::Int(a + b)),
+            BinOp::Sub => return Ok(Value::Int(a - b)),
+            BinOp::Mul => return Ok(Value::Int(a * b)),
+            BinOp::Div => {
+                return Decimal::from_int(*a)
+                    .div(Decimal::from_int(*b))
+                    .map(Value::Decimal)
+            }
+            _ => {}
+        }
+    }
+    let a = l.as_decimal()?;
+    let b = r.as_decimal()?;
+    let d = match op {
+        BinOp::Add => a.add(b),
+        BinOp::Sub => a.sub(b),
+        BinOp::Mul => a.mul(b),
+        BinOp::Div => a.div(b)?,
+        other => return Err(DbError::execution(format!("{other} is not arithmetic"))),
+    };
+    Ok(Value::Decimal(d))
+}
+
+fn eval_func(func: ScalarFunc, args: &[BExpr], row: &[Value], ctx: &ExecCtx) -> DbResult<Value> {
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|a| a.eval(row, ctx))
+        .collect::<DbResult<_>>()?;
+    if vals.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    match func {
+        ScalarFunc::Substr => {
+            let s = vals[0].as_str()?;
+            let start = vals[1].as_int()?.max(1) as usize - 1;
+            let len = vals[2].as_int()?.max(0) as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let end = (start + len).min(chars.len());
+            let start = start.min(chars.len());
+            Ok(Value::Str(chars[start..end].iter().collect()))
+        }
+        ScalarFunc::Upper => Ok(Value::Str(vals[0].as_str()?.to_uppercase())),
+        ScalarFunc::Lower => Ok(Value::Str(vals[0].as_str()?.to_lowercase())),
+        ScalarFunc::VendorContains => {
+            let s = vals[0].as_str()?;
+            let sub = vals[1].as_str()?.trim_end();
+            Ok(Value::Bool(s.contains(sub)))
+        }
+        ScalarFunc::Length => Ok(Value::Int(vals[0].as_str()?.trim_end().len() as i64)),
+    }
+}
+
+fn eval_subquery(sq: &Arc<BoundSubquery>, row: &[Value], ctx: &ExecCtx) -> DbResult<Value> {
+    // Uncorrelated: compute once per execution and cache.
+    let cached: Option<Arc<SubqueryResult>> = if !sq.correlated {
+        ctx.subquery_cache.lock().get(&sq.cache_id).cloned()
+    } else {
+        None
+    };
+    let result: Arc<SubqueryResult> = match cached {
+        Some(r) => r,
+        None => {
+            let child_ctx = ctx.push_outer(row);
+            let rows = sq.plan.execute(&child_ctx)?;
+            ctx.meter.add(Counter::DbTuples, rows.len() as u64);
+            let computed = match &sq.kind {
+                SubqueryKind::Scalar => {
+                    if rows.len() > 1 {
+                        return Err(DbError::execution(
+                            "scalar subquery returned more than one row",
+                        ));
+                    }
+                    let v = rows.first().map(|r| r[0].clone()).unwrap_or(Value::Null);
+                    SubqueryResult::Scalar(v)
+                }
+                SubqueryKind::Exists { .. } => SubqueryResult::Exists(!rows.is_empty()),
+                SubqueryKind::In { .. } => {
+                    let mut set = HashSet::with_capacity(rows.len());
+                    let mut has_null = false;
+                    for r in rows {
+                        if r[0].is_null() {
+                            has_null = true;
+                        } else {
+                            set.insert(r[0].clone());
+                        }
+                    }
+                    SubqueryResult::InSet { set, has_null }
+                }
+            };
+            let computed = Arc::new(computed);
+            if !sq.correlated {
+                ctx.subquery_cache
+                    .lock()
+                    .insert(sq.cache_id, Arc::clone(&computed));
+            }
+            computed
+        }
+    };
+    match (&sq.kind, result.as_ref()) {
+        (SubqueryKind::Scalar, SubqueryResult::Scalar(v)) => Ok(v.clone()),
+        (SubqueryKind::Exists { negated }, SubqueryResult::Exists(found)) => {
+            Ok(Value::Bool(found != negated))
+        }
+        (SubqueryKind::In { lhs, negated }, SubqueryResult::InSet { set, has_null }) => {
+            let v = lhs.eval(row, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            if set.contains(&v) {
+                Ok(Value::Bool(!negated))
+            } else if *has_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        _ => Err(DbError::execution("subquery kind/result mismatch")),
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn maybe_negate(v: Option<bool>, negate: bool) -> Option<bool> {
+    if negate {
+        v.map(|b| !b)
+    } else {
+        v
+    }
+}
+
+fn bool3_to_value(v: Option<bool>) -> Value {
+    match v {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+/// SQL LIKE pattern matching: `%` matches any sequence, `_` any single char.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %.
+                let p_rest = &p[1..];
+                if p_rest.is_empty() {
+                    return true;
+                }
+                for i in 0..=s.len() {
+                    if rec(&s[i..], p_rest) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => !s.is_empty() && s[0] == *c && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.trim_end().chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::CostMeter;
+
+    fn ctx<'a>(params: &'a [Value], meter: &'a CostMeter) -> ExecCtx<'a> {
+        ExecCtx::new(params, meter)
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("green metallic paint", "%green%"));
+        assert!(!like_match("red paint", "%green%"));
+        assert!(like_match("abc", "abc"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("promo burnished", "PROMO%".to_lowercase().as_str()));
+        assert!(like_match("xyz", "x%z"));
+        assert!(like_match("xz", "x%z"));
+    }
+
+    #[test]
+    fn arithmetic_type_rules() {
+        assert_eq!(arith(Value::Int(2), BinOp::Add, Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(arith(Value::Int(2), BinOp::Mul, Value::Int(3)).unwrap(), Value::Int(6));
+        let d = arith(Value::Int(1), BinOp::Div, Value::Int(4)).unwrap();
+        assert_eq!(d.as_decimal().unwrap().to_f64(), 0.25);
+        let d = arith(
+            Value::Decimal(Decimal::parse("1.5").unwrap()),
+            BinOp::Add,
+            Value::Int(1),
+        )
+        .unwrap();
+        assert_eq!(d.to_string(), "2.5");
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let meter = CostMeter::default();
+        let c = ctx(&[], &meter);
+        // NULL AND FALSE = FALSE
+        let e = BExpr::Binary {
+            left: BExpr::Literal(Value::Null).boxed(),
+            op: BinOp::And,
+            right: BExpr::Literal(Value::Bool(false)).boxed(),
+        };
+        assert_eq!(e.eval(&[], &c).unwrap(), Value::Bool(false));
+        // NULL OR TRUE = TRUE
+        let e = BExpr::Binary {
+            left: BExpr::Literal(Value::Null).boxed(),
+            op: BinOp::Or,
+            right: BExpr::Literal(Value::Bool(true)).boxed(),
+        };
+        assert_eq!(e.eval(&[], &c).unwrap(), Value::Bool(true));
+        // NULL = 1 -> NULL
+        let e = BExpr::Binary {
+            left: BExpr::Literal(Value::Null).boxed(),
+            op: BinOp::Eq,
+            right: BExpr::Literal(Value::Int(1)).boxed(),
+        };
+        assert!(e.eval(&[], &c).unwrap().is_null());
+        assert_eq!(e.eval_bool(&[], &c).unwrap(), None);
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let meter = CostMeter::default();
+        let c = ctx(&[], &meter);
+        // 3 IN (1, 2, NULL) -> NULL (not FALSE)
+        let e = BExpr::InList {
+            expr: BExpr::Literal(Value::Int(3)).boxed(),
+            list: vec![
+                BExpr::Literal(Value::Int(1)),
+                BExpr::Literal(Value::Int(2)),
+                BExpr::Literal(Value::Null),
+            ],
+            negated: false,
+        };
+        assert!(e.eval(&[], &c).unwrap().is_null());
+        // 2 IN (1, 2, NULL) -> TRUE
+        let e = BExpr::InList {
+            expr: BExpr::Literal(Value::Int(2)).boxed(),
+            list: vec![
+                BExpr::Literal(Value::Int(1)),
+                BExpr::Literal(Value::Int(2)),
+                BExpr::Literal(Value::Null),
+            ],
+            negated: false,
+        };
+        assert_eq!(e.eval(&[], &c).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn params_bind_and_missing_param_errors() {
+        let meter = CostMeter::default();
+        let params = [Value::Int(42)];
+        let c = ctx(&params, &meter);
+        assert_eq!(BExpr::Param(0).eval(&[], &c).unwrap(), Value::Int(42));
+        assert!(matches!(
+            BExpr::Param(1).eval(&[], &c),
+            Err(DbError::UnboundParameter(1))
+        ));
+    }
+
+    #[test]
+    fn case_expression() {
+        let meter = CostMeter::default();
+        let c = ctx(&[], &meter);
+        let e = BExpr::Case {
+            branches: vec![(
+                BExpr::Binary {
+                    left: BExpr::Column(0).boxed(),
+                    op: BinOp::Eq,
+                    right: BExpr::Literal(Value::str("BRAZIL")).boxed(),
+                },
+                BExpr::Column(1),
+            )],
+            else_expr: Some(BExpr::Literal(Value::Int(0)).boxed()),
+        };
+        let row1 = vec![Value::str("BRAZIL"), Value::Int(7)];
+        let row2 = vec![Value::str("PERU"), Value::Int(7)];
+        assert_eq!(e.eval(&row1, &c).unwrap(), Value::Int(7));
+        assert_eq!(e.eval(&row2, &c).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn scalar_funcs() {
+        let meter = CostMeter::default();
+        let c = ctx(&[], &meter);
+        let sub = BExpr::Func {
+            func: ScalarFunc::Substr,
+            args: vec![
+                BExpr::Literal(Value::str("PROMO ANODIZED")),
+                BExpr::Literal(Value::Int(1)),
+                BExpr::Literal(Value::Int(5)),
+            ],
+        };
+        assert_eq!(sub.eval(&[], &c).unwrap(), Value::str("PROMO"));
+        let vc = BExpr::Func {
+            func: ScalarFunc::VendorContains,
+            args: vec![
+                BExpr::Literal(Value::str("forest green metallic")),
+                BExpr::Literal(Value::str("green")),
+            ],
+        };
+        assert_eq!(vc.eval(&[], &c).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn extract_and_interval() {
+        let meter = CostMeter::default();
+        let c = ctx(&[], &meter);
+        let e = BExpr::Extract {
+            unit: IntervalUnit::Year,
+            expr: BExpr::Literal(Value::date(1995, 3, 15)).boxed(),
+        };
+        assert_eq!(e.eval(&[], &c).unwrap(), Value::Int(1995));
+        let e = BExpr::IntervalAdd {
+            expr: BExpr::Literal(Value::date(1998, 12, 1)).boxed(),
+            amount: -90,
+            unit: IntervalUnit::Day,
+        };
+        assert_eq!(e.eval(&[], &c).unwrap(), Value::date(1998, 9, 2));
+    }
+
+    #[test]
+    fn outer_references() {
+        let meter = CostMeter::default();
+        let base = ctx(&[], &meter);
+        let outer_row = vec![Value::Int(99)];
+        let child = base.push_outer(&outer_row);
+        let e = BExpr::Outer { depth: 1, index: 0 };
+        assert_eq!(e.eval(&[], &child).unwrap(), Value::Int(99));
+        assert!(e.eval(&[], &base).is_err(), "no frame at depth 1");
+        // Two levels deep.
+        let inner_row = vec![Value::Int(5)];
+        let grand = child.push_outer(&inner_row);
+        assert_eq!(
+            BExpr::Outer { depth: 2, index: 0 }.eval(&[], &grand).unwrap(),
+            Value::Int(99)
+        );
+        assert_eq!(
+            BExpr::Outer { depth: 1, index: 0 }.eval(&[], &grand).unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn between_negated() {
+        let meter = CostMeter::default();
+        let c = ctx(&[], &meter);
+        let e = BExpr::Between {
+            expr: BExpr::Literal(Value::Int(5)).boxed(),
+            low: BExpr::Literal(Value::Int(1)).boxed(),
+            high: BExpr::Literal(Value::Int(10)).boxed(),
+            negated: true,
+        };
+        assert_eq!(e.eval(&[], &c).unwrap(), Value::Bool(false));
+    }
+}

@@ -1,0 +1,7 @@
+//! Execution layer: bound expressions and physical operators.
+
+pub mod expr;
+pub mod plan;
+
+pub use expr::{AggSpec, BExpr, BoundSubquery, ExecCtx, ScalarFunc, SubqueryKind};
+pub use plan::{IndexKeyBound, Plan};

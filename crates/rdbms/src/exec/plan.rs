@@ -1,0 +1,593 @@
+//! Physical query plans and their (materializing) executor.
+//!
+//! Operators execute bottom-up and materialize intermediate results. All
+//! physical work — page I/O through the pager, per-tuple CPU — is metered
+//! into the engine's [`crate::clock::CostMeter`], which is what the paper-reproduction
+//! experiments read out.
+
+use crate::catalog::{Index, Table};
+use crate::clock::Counter;
+use crate::error::{DbError, DbResult};
+use crate::exec::expr::{AggSpec, BExpr, ExecCtx};
+use crate::schema::Row;
+use crate::sql::ast::{AggFunc, BinOp, JoinKind};
+use crate::storage::codec::encode_key;
+use crate::storage::AccessPattern;
+use crate::types::{Decimal, Value};
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// A bound for one side of an index range, as expressions evaluated at
+/// execution time (they may contain parameters or outer references, which
+/// is how parameterized cursors and index nested-loop joins work).
+#[derive(Debug, Clone)]
+pub struct IndexKeyBound {
+    pub values: Vec<BExpr>,
+    pub inclusive: bool,
+}
+
+/// A physical plan node.
+pub enum Plan {
+    /// Full table scan with optional pushed-down filter.
+    SeqScan {
+        table: Arc<Table>,
+        filter: Option<BExpr>,
+    },
+    /// B+-tree range scan + heap fetch, with optional residual filter.
+    IndexScan {
+        table: Arc<Table>,
+        index: Arc<Index>,
+        lower: Option<IndexKeyBound>,
+        upper: Option<IndexKeyBound>,
+        residual: Option<BExpr>,
+    },
+    /// Literal rows (SELECT without FROM, INSERT source).
+    Values { rows: Vec<Vec<BExpr>> },
+    Filter {
+        input: Box<Plan>,
+        pred: BExpr,
+    },
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<BExpr>,
+    },
+    /// Nested-loop join; the right side may be *correlated* (contain
+    /// `Outer{depth:1}` references to the current left row) — that is how
+    /// index nested-loop joins are expressed.
+    NLJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        kind: JoinKind,
+        on: Option<BExpr>,
+        right_correlated: bool,
+        right_width: usize,
+    },
+    /// Hash join: builds on `left`, probes with `right`. Output columns are
+    /// left ++ right. For LeftOuter the left side is preserved.
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<BExpr>,
+        right_keys: Vec<BExpr>,
+        residual: Option<BExpr>,
+        kind: JoinKind,
+        right_width: usize,
+    },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<(BExpr, bool)>,
+    },
+    /// Sort-based grouped aggregation (pipelined sort+group, as the paper
+    /// describes the back-end RDBMS doing in Section 4.2). Output row is
+    /// group keys followed by aggregate results.
+    Aggregate {
+        input: Box<Plan>,
+        groups: Vec<BExpr>,
+        aggs: Vec<AggSpec>,
+    },
+    Distinct {
+        input: Box<Plan>,
+    },
+    Limit {
+        input: Box<Plan>,
+        n: u64,
+    },
+}
+
+impl Plan {
+    /// One-line-per-node plan description (EXPLAIN output), used by tests
+    /// to assert optimizer choices and by the experiment harness.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        self.describe_into(&mut out, 0);
+        out
+    }
+
+    fn describe_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::SeqScan { table, filter } => {
+                out.push_str(&format!(
+                    "{pad}SeqScan {} {}\n",
+                    table.name,
+                    if filter.is_some() { "(filtered)" } else { "" }
+                ));
+            }
+            Plan::IndexScan { table, index, .. } => {
+                out.push_str(&format!("{pad}IndexScan {} via {}\n", table.name, index.name));
+            }
+            Plan::Values { rows } => {
+                out.push_str(&format!("{pad}Values ({} rows)\n", rows.len()));
+            }
+            Plan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Project { input, exprs } => {
+                out.push_str(&format!("{pad}Project ({} cols)\n", exprs.len()));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::NLJoin { left, right, kind, .. } => {
+                out.push_str(&format!("{pad}NLJoin {kind:?}\n"));
+                left.describe_into(out, depth + 1);
+                right.describe_into(out, depth + 1);
+            }
+            Plan::HashJoin { left, right, kind, left_keys, .. } => {
+                out.push_str(&format!("{pad}HashJoin {kind:?} ({} keys)\n", left_keys.len()));
+                left.describe_into(out, depth + 1);
+                right.describe_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Aggregate { input, groups, aggs } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate ({} groups, {} aggs)\n",
+                    groups.len(),
+                    aggs.len()
+                ));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.describe_into(out, depth + 1);
+            }
+        }
+    }
+
+    /// Execute to completion.
+    pub fn execute(&self, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
+        match self {
+            Plan::SeqScan { table, filter } => {
+                let mut out = Vec::new();
+                for item in table.heap.scan() {
+                    let (_, row) = item?;
+                    ctx.meter.bump(Counter::DbTuples);
+                    if let Some(f) = filter {
+                        if f.eval_bool(&row, ctx)? != Some(true) {
+                            continue;
+                        }
+                    }
+                    out.push(row);
+                }
+                Ok(out)
+            }
+            Plan::IndexScan { table, index, lower, upper, residual } => {
+                let lo = eval_bound(lower, ctx)?;
+                let hi = eval_bound(upper, ctx)?;
+                let (lo, hi) = match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    // A NULL in a bound means the predicate is UNKNOWN for
+                    // every row: empty result.
+                    _ => return Ok(Vec::new()),
+                };
+                let entries = {
+                    let tree = index.tree.lock();
+                    tree.range_scan(as_bound(&lo), as_bound(&hi))?
+                };
+                let mut out = Vec::with_capacity(entries.len());
+                for (_, rid) in entries {
+                    // Unclustered index: each qualifying tuple is a random
+                    // heap fetch — the crux of the paper's Table 6.
+                    let row = table
+                        .heap
+                        .get(rid, AccessPattern::Random)?
+                        .ok_or_else(|| DbError::storage("dangling index entry"))?;
+                    ctx.meter.bump(Counter::DbTuples);
+                    if let Some(f) = residual {
+                        if f.eval_bool(&row, ctx)? != Some(true) {
+                            continue;
+                        }
+                    }
+                    out.push(row);
+                }
+                Ok(out)
+            }
+            Plan::Values { rows } => {
+                let mut out = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let row: Row = exprs
+                        .iter()
+                        .map(|e| e.eval(&[], ctx))
+                        .collect::<DbResult<_>>()?;
+                    out.push(row);
+                }
+                Ok(out)
+            }
+            Plan::Filter { input, pred } => {
+                let rows = input.execute(ctx)?;
+                let mut out = Vec::new();
+                for row in rows {
+                    if pred.eval_bool(&row, ctx)? == Some(true) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Project { input, exprs } => {
+                let rows = input.execute(ctx)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let projected: Row = exprs
+                        .iter()
+                        .map(|e| e.eval(&row, ctx))
+                        .collect::<DbResult<_>>()?;
+                    out.push(projected);
+                }
+                Ok(out)
+            }
+            Plan::NLJoin { left, right, kind, on, right_correlated, right_width } => {
+                let left_rows = left.execute(ctx)?;
+                // Uncorrelated inner: materialize once.
+                let materialized_right: Option<Vec<Row>> = if *right_correlated {
+                    None
+                } else {
+                    Some(right.execute(ctx)?)
+                };
+                let mut out = Vec::new();
+                for lrow in &left_rows {
+                    let right_rows: Vec<Row> = match &materialized_right {
+                        Some(r) => r.clone(),
+                        None => {
+                            let child_ctx = ctx.push_outer(lrow);
+                            right.execute(&child_ctx)?
+                        }
+                    };
+                    let mut matched = false;
+                    for rrow in &right_rows {
+                        ctx.meter.bump(Counter::DbTuples);
+                        let mut combined = lrow.clone();
+                        combined.extend(rrow.iter().cloned());
+                        let ok = match on {
+                            Some(p) => p.eval_bool(&combined, ctx)? == Some(true),
+                            None => true,
+                        };
+                        if ok {
+                            matched = true;
+                            out.push(combined);
+                        }
+                    }
+                    if *kind == JoinKind::LeftOuter && !matched {
+                        let mut combined = lrow.clone();
+                        combined.extend(std::iter::repeat(Value::Null).take(*right_width));
+                        out.push(combined);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, residual, kind, right_width } => {
+                let build_rows = left.execute(ctx)?;
+                let probe_rows = right.execute(ctx)?;
+                let mut table: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(build_rows.len());
+                for (i, row) in build_rows.iter().enumerate() {
+                    ctx.meter.bump(Counter::DbTuples);
+                    let key: Row = left_keys
+                        .iter()
+                        .map(|e| e.eval(row, ctx))
+                        .collect::<DbResult<_>>()?;
+                    if key.iter().any(Value::is_null) {
+                        continue; // null keys never join
+                    }
+                    table.entry(key).or_default().push(i);
+                }
+                let mut matched_build = vec![false; build_rows.len()];
+                let mut out = Vec::new();
+                for prow in &probe_rows {
+                    ctx.meter.bump(Counter::DbTuples);
+                    let key: Row = right_keys
+                        .iter()
+                        .map(|e| e.eval(prow, ctx))
+                        .collect::<DbResult<_>>()?;
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(idxs) = table.get(&key) {
+                        for &i in idxs {
+                            let mut combined = build_rows[i].clone();
+                            combined.extend(prow.iter().cloned());
+                            let ok = match residual {
+                                Some(p) => p.eval_bool(&combined, ctx)? == Some(true),
+                                None => true,
+                            };
+                            if ok {
+                                matched_build[i] = true;
+                                out.push(combined);
+                            }
+                        }
+                    }
+                }
+                if *kind == JoinKind::LeftOuter {
+                    for (i, row) in build_rows.iter().enumerate() {
+                        if !matched_build[i] {
+                            let mut combined = row.clone();
+                            combined.extend(std::iter::repeat(Value::Null).take(*right_width));
+                            out.push(combined);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Sort { input, keys } => {
+                let rows = input.execute(ctx)?;
+                ctx.meter.add(Counter::DbTuples, rows.len() as u64);
+                sort_rows(rows, keys, ctx)
+            }
+            Plan::Aggregate { input, groups, aggs } => {
+                let rows = input.execute(ctx)?;
+                ctx.meter.add(Counter::DbTuples, rows.len() as u64);
+                aggregate(rows, groups, aggs, ctx)
+            }
+            Plan::Distinct { input } => {
+                let rows = input.execute(ctx)?;
+                let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+                let mut out = Vec::new();
+                for row in rows {
+                    ctx.meter.bump(Counter::DbTuples);
+                    if seen.insert(row.clone()) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Limit { input, n } => {
+                let mut rows = input.execute(ctx)?;
+                rows.truncate(*n as usize);
+                Ok(rows)
+            }
+        }
+    }
+}
+
+fn eval_bound(bound: &Option<IndexKeyBound>, ctx: &ExecCtx) -> DbResult<Option<EvaluatedBound>> {
+    match bound {
+        None => Ok(Some(EvaluatedBound::Unbounded)),
+        Some(b) => {
+            let mut vals = Vec::with_capacity(b.values.len());
+            for e in &b.values {
+                let v = e.eval(&[], ctx)?;
+                if v.is_null() {
+                    return Ok(None);
+                }
+                vals.push(v);
+            }
+            Ok(Some(EvaluatedBound::Key {
+                bytes: encode_key(&vals),
+                inclusive: b.inclusive,
+            }))
+        }
+    }
+}
+
+enum EvaluatedBound {
+    Unbounded,
+    Key { bytes: Vec<u8>, inclusive: bool },
+}
+
+fn as_bound(b: &EvaluatedBound) -> Bound<&[u8]> {
+    match b {
+        EvaluatedBound::Unbounded => Bound::Unbounded,
+        EvaluatedBound::Key { bytes, inclusive: true } => Bound::Included(bytes.as_slice()),
+        EvaluatedBound::Key { bytes, inclusive: false } => Bound::Excluded(bytes.as_slice()),
+    }
+}
+
+/// Stable multi-key sort.
+pub fn sort_rows(rows: Vec<Row>, keys: &[(BExpr, bool)], ctx: &ExecCtx) -> DbResult<Vec<Row>> {
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let key: Vec<Value> = keys
+            .iter()
+            .map(|(e, _)| e.eval(&row, ctx))
+            .collect::<DbResult<_>>()?;
+        decorated.push((key, row));
+    }
+    decorated.sort_by(|(a, _), (b, _)| {
+        for (i, (_, desc)) in keys.iter().enumerate() {
+            let ord = a[i].total_cmp(&b[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(decorated.into_iter().map(|(_, r)| r).collect())
+}
+
+/// One aggregate's accumulator.
+struct Acc {
+    count: u64,
+    sum: Option<Value>,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: Option<HashSet<Value>>,
+}
+
+impl Acc {
+    fn new(distinct: bool) -> Self {
+        Acc {
+            count: 0,
+            sum: None,
+            min: None,
+            max: None,
+            distinct: if distinct { Some(HashSet::new()) } else { None },
+        }
+    }
+
+    fn update(&mut self, v: Value, func: AggFunc) -> DbResult<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        if let Some(set) = &mut self.distinct {
+            if !set.insert(v.clone()) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum = Some(match self.sum.take() {
+                    None => v,
+                    Some(s) => crate::exec::expr::arith(s, BinOp::Add, v)?,
+                });
+            }
+            AggFunc::Min => {
+                let better = match &self.min {
+                    None => true,
+                    Some(m) => v.total_cmp(m).is_lt(),
+                };
+                if better {
+                    self.min = Some(v);
+                }
+            }
+            AggFunc::Max => {
+                let better = match &self.max {
+                    None => true,
+                    Some(m) => v.total_cmp(m).is_gt(),
+                };
+                if better {
+                    self.max = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self, func: AggFunc) -> DbResult<Value> {
+        Ok(match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => self.sum.clone().unwrap_or(Value::Null),
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => match &self.sum {
+                None => Value::Null,
+                Some(s) => {
+                    let sum = s.as_decimal()?;
+                    Value::Decimal(sum.div(Decimal::from_int(self.count as i64))?)
+                }
+            },
+        })
+    }
+}
+
+/// Sort-based grouping: sort input rows by group keys, then stream groups.
+fn aggregate(
+    rows: Vec<Row>,
+    groups: &[BExpr],
+    aggs: &[AggSpec],
+    ctx: &ExecCtx,
+) -> DbResult<Vec<Row>> {
+    // Scalar aggregate (no GROUP BY): one group, present even for empty input.
+    if groups.is_empty() {
+        let mut accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.distinct)).collect();
+        for row in &rows {
+            accumulate(&mut accs, aggs, row, ctx)?;
+        }
+        let out: Row = accs
+            .iter()
+            .zip(aggs)
+            .map(|(acc, spec)| acc.finish(spec.func))
+            .collect::<DbResult<_>>()?;
+        return Ok(vec![out]);
+    }
+    // Decorate with group keys and sort (pipelined sort+group).
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let key: Vec<Value> = groups
+            .iter()
+            .map(|e| e.eval(&row, ctx))
+            .collect::<DbResult<_>>()?;
+        decorated.push((key, row));
+    }
+    decorated.sort_by(|(a, _), (b, _)| {
+        for i in 0..a.len() {
+            let ord = a[i].total_cmp(&b[i]);
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut out = Vec::new();
+    let mut current_key: Option<Vec<Value>> = None;
+    let mut accs: Vec<Acc> = Vec::new();
+    for (key, row) in decorated {
+        let same = match &current_key {
+            Some(k) => {
+                k.len() == key.len()
+                    && k.iter().zip(&key).all(|(a, b)| a.total_cmp(b).is_eq())
+            }
+            None => false,
+        };
+        if !same {
+            if let Some(k) = current_key.take() {
+                out.push(finish_group(k, &accs, aggs)?);
+            }
+            current_key = Some(key);
+            accs = aggs.iter().map(|a| Acc::new(a.distinct)).collect();
+        }
+        accumulate(&mut accs, aggs, &row, ctx)?;
+    }
+    if let Some(k) = current_key.take() {
+        out.push(finish_group(k, &accs, aggs)?);
+    }
+    Ok(out)
+}
+
+fn accumulate(accs: &mut [Acc], aggs: &[AggSpec], row: &Row, ctx: &ExecCtx) -> DbResult<()> {
+    for (acc, spec) in accs.iter_mut().zip(aggs) {
+        match &spec.arg {
+            None => {
+                // COUNT(*): counts every row.
+                acc.count += 1;
+            }
+            Some(e) => {
+                let v = e.eval(row, ctx)?;
+                acc.update(v, spec.func)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn finish_group(key: Vec<Value>, accs: &[Acc], aggs: &[AggSpec]) -> DbResult<Row> {
+    let mut row = key;
+    for (acc, spec) in accs.iter().zip(aggs) {
+        row.push(acc.finish(spec.func)?);
+    }
+    Ok(row)
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.describe().trim_end())
+    }
+}

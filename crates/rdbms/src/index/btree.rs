@@ -1,0 +1,591 @@
+//! A disk-resident B+-tree over order-preserving byte keys.
+//!
+//! Nodes live in pager pages, so index traversals are metered like any
+//! other page access (random reads on a cold buffer pool) — this is what
+//! makes the paper's Table 6 experiment (index vs. scan plan choice)
+//! reproducible from first principles.
+//!
+//! Design notes:
+//! * Keys are opaque byte strings produced by [`crate::storage::codec::encode_key`];
+//!   byte order == value order.
+//! * Non-unique indexes get a RID suffix appended to every stored key, so
+//!   stored keys are always distinct and duplicate handling is uniform.
+//! * Deletion is lazy: entries are removed but nodes are never merged.
+//!   (Matching mid-90s engines; the workloads here are read-mostly.)
+//! * Nodes are (de)serialized to an in-memory form for manipulation; the
+//!   page is the unit of I/O accounting.
+
+use crate::clock::Counter;
+use crate::error::{DbError, DbResult};
+use crate::storage::page::{PageId, Rid, PAGE_SIZE};
+use crate::storage::pager::{AccessPattern, Pager};
+use bytes::{Buf, BufMut};
+use std::ops::Bound;
+use std::sync::Arc;
+
+const NO_PAGE: PageId = PageId::MAX;
+/// Serialized node size budget; split when exceeded.
+const NODE_BUDGET: usize = PAGE_SIZE - 64;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        next: PageId,
+        /// Sorted (stored_key, rid) entries.
+        entries: Vec<(Vec<u8>, Rid)>,
+    },
+    Internal {
+        /// children.len() == separators.len() + 1; child[i] holds keys
+        /// < separators[i]; child.last() holds keys >= last separator.
+        separators: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                1 + 2 + 4 + entries.iter().map(|(k, _)| 2 + k.len() + 6).sum::<usize>()
+            }
+            Node::Internal { separators, children } => {
+                1 + 2 + 4 * children.len() + separators.iter().map(|s| 2 + s.len()).sum::<usize>()
+            }
+        }
+    }
+
+    fn encode(&self, out: &mut [u8; PAGE_SIZE]) {
+        let mut buf: Vec<u8> = Vec::with_capacity(self.serialized_size());
+        match self {
+            Node::Leaf { next, entries } => {
+                buf.put_u8(1);
+                buf.put_u16_le(entries.len() as u16);
+                buf.put_u32_le(*next);
+                for (k, rid) in entries {
+                    buf.put_u16_le(k.len() as u16);
+                    buf.put_slice(k);
+                    buf.put_u32_le(rid.page);
+                    buf.put_u16_le(rid.slot);
+                }
+            }
+            Node::Internal { separators, children } => {
+                buf.put_u8(0);
+                buf.put_u16_le(separators.len() as u16);
+                buf.put_u32_le(children[0]);
+                for (s, child) in separators.iter().zip(&children[1..]) {
+                    buf.put_u16_le(s.len() as u16);
+                    buf.put_slice(s);
+                    buf.put_u32_le(*child);
+                }
+            }
+        }
+        assert!(buf.len() <= PAGE_SIZE, "node exceeds page: {} bytes", buf.len());
+        out[..buf.len()].copy_from_slice(&buf);
+    }
+
+    fn decode(data: &[u8; PAGE_SIZE]) -> DbResult<Node> {
+        let mut buf = &data[..];
+        let kind = buf.get_u8();
+        let n = buf.get_u16_le() as usize;
+        match kind {
+            1 => {
+                let next = buf.get_u32_le();
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen = buf.get_u16_le() as usize;
+                    let k = buf[..klen].to_vec();
+                    buf.advance(klen);
+                    let page = buf.get_u32_le();
+                    let slot = buf.get_u16_le();
+                    entries.push((k, Rid::new(page, slot)));
+                }
+                Ok(Node::Leaf { next, entries })
+            }
+            0 => {
+                let first = buf.get_u32_le();
+                let mut separators = Vec::with_capacity(n);
+                let mut children = Vec::with_capacity(n + 1);
+                children.push(first);
+                for _ in 0..n {
+                    let klen = buf.get_u16_le() as usize;
+                    separators.push(buf[..klen].to_vec());
+                    buf.advance(klen);
+                    children.push(buf.get_u32_le());
+                }
+                Ok(Node::Internal { separators, children })
+            }
+            other => Err(DbError::storage(format!("bad btree node kind {other}"))),
+        }
+    }
+}
+
+/// A B+-tree index.
+pub struct BTree {
+    pager: Arc<Pager>,
+    root: PageId,
+    unique: bool,
+    entry_count: u64,
+    entry_bytes: u64,
+    node_pages: u64,
+    height: u32,
+}
+
+/// Result of inserting into a subtree: possibly a split.
+enum InsertResult {
+    Ok,
+    Split { sep: Vec<u8>, right: PageId },
+}
+
+impl BTree {
+    /// Create an empty tree.
+    pub fn new(pager: Arc<Pager>, unique: bool) -> DbResult<Self> {
+        let root = pager.allocate();
+        let node = Node::Leaf { next: NO_PAGE, entries: Vec::new() };
+        Self::store(&pager, root, &node)?;
+        Ok(BTree {
+            pager,
+            root,
+            unique,
+            entry_count: 0,
+            entry_bytes: 0,
+            node_pages: 1,
+            height: 1,
+        })
+    }
+
+    fn store(pager: &Pager, pid: PageId, node: &Node) -> DbResult<()> {
+        pager.write(pid, AccessPattern::Random, |page| node.encode(page.raw_mut()))
+    }
+
+    fn load(&self, pid: PageId) -> DbResult<Node> {
+        self.pager.meter().bump(Counter::IndexNodeReads);
+        self.pager.read(pid, AccessPattern::Random, |page| Node::decode(page.raw()))?
+    }
+
+    /// Stored key: user key, plus RID suffix when non-unique.
+    fn stored_key(&self, key: &[u8], rid: Rid) -> Vec<u8> {
+        if self.unique {
+            key.to_vec()
+        } else {
+            let mut k = Vec::with_capacity(key.len() + 6);
+            k.extend_from_slice(key);
+            k.put_u32(rid.page);
+            k.put_u16(rid.slot);
+            k
+        }
+    }
+
+    /// Insert an entry. For a unique index, an existing identical key is a
+    /// constraint violation.
+    pub fn insert(&mut self, key: &[u8], rid: Rid) -> DbResult<()> {
+        let skey = self.stored_key(key, rid);
+        if self.unique && !self.search_exact(key)?.is_empty() {
+            return Err(DbError::constraint(format!(
+                "duplicate key in unique index ({} bytes)",
+                key.len()
+            )));
+        }
+        let result = self.insert_rec(self.root, &skey, rid)?;
+        if let InsertResult::Split { sep, right } = result {
+            let new_root = self.pager.allocate();
+            let node = Node::Internal { separators: vec![sep], children: vec![self.root, right] };
+            Self::store(&self.pager, new_root, &node)?;
+            self.root = new_root;
+            self.node_pages += 1;
+            self.height += 1;
+        }
+        self.entry_count += 1;
+        self.entry_bytes += (skey.len() + 6) as u64;
+        Ok(())
+    }
+
+    fn insert_rec(&mut self, pid: PageId, skey: &[u8], rid: Rid) -> DbResult<InsertResult> {
+        match self.load(pid)? {
+            Node::Leaf { next, mut entries } => {
+                let pos = entries.partition_point(|(k, _)| k.as_slice() < skey);
+                entries.insert(pos, (skey.to_vec(), rid));
+                let node = Node::Leaf { next, entries };
+                if node.serialized_size() <= NODE_BUDGET {
+                    Self::store(&self.pager, pid, &node)?;
+                    return Ok(InsertResult::Ok);
+                }
+                // Split leaf at the midpoint.
+                let Node::Leaf { next, entries } = node else { unreachable!() };
+                let mid = entries.len() / 2;
+                let right_entries = entries[mid..].to_vec();
+                let left_entries = entries[..mid].to_vec();
+                let sep = right_entries[0].0.clone();
+                let right_pid = self.pager.allocate();
+                self.node_pages += 1;
+                Self::store(&self.pager, right_pid, &Node::Leaf { next, entries: right_entries })?;
+                Self::store(&self.pager, pid, &Node::Leaf { next: right_pid, entries: left_entries })?;
+                Ok(InsertResult::Split { sep, right: right_pid })
+            }
+            Node::Internal { mut separators, mut children } => {
+                let idx = separators.partition_point(|s| s.as_slice() <= skey);
+                let child = children[idx];
+                match self.insert_rec(child, skey, rid)? {
+                    InsertResult::Ok => Ok(InsertResult::Ok),
+                    InsertResult::Split { sep, right } => {
+                        separators.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        let node = Node::Internal { separators, children };
+                        if node.serialized_size() <= NODE_BUDGET {
+                            Self::store(&self.pager, pid, &node)?;
+                            return Ok(InsertResult::Ok);
+                        }
+                        let Node::Internal { separators, children } = node else { unreachable!() };
+                        let mid = separators.len() / 2;
+                        let up_sep = separators[mid].clone();
+                        let right_seps = separators[mid + 1..].to_vec();
+                        let right_children = children[mid + 1..].to_vec();
+                        let left_seps = separators[..mid].to_vec();
+                        let left_children = children[..mid + 1].to_vec();
+                        let right_pid = self.pager.allocate();
+                        self.node_pages += 1;
+                        Self::store(
+                            &self.pager,
+                            right_pid,
+                            &Node::Internal { separators: right_seps, children: right_children },
+                        )?;
+                        Self::store(
+                            &self.pager,
+                            pid,
+                            &Node::Internal { separators: left_seps, children: left_children },
+                        )?;
+                        Ok(InsertResult::Split { sep: up_sep, right: right_pid })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove an entry. Returns true if found.
+    pub fn delete(&mut self, key: &[u8], rid: Rid) -> DbResult<bool> {
+        let skey = self.stored_key(key, rid);
+        let mut pid = self.root;
+        loop {
+            let node = self.load(pid)?;
+            match node {
+                Node::Internal { separators, children } => {
+                    let idx = separators.partition_point(|s| s.as_slice() <= skey.as_slice());
+                    pid = children[idx];
+                }
+                Node::Leaf { next, mut entries } => {
+                    // For unique trees the same user key may map to any rid.
+                    let pos = if self.unique {
+                        entries.iter().position(|(k, r)| k == &skey && *r == rid)
+                    } else {
+                        entries.iter().position(|(k, _)| k == &skey)
+                    };
+                    match pos {
+                        Some(i) => {
+                            let (k, _) = entries.remove(i);
+                            self.entry_count -= 1;
+                            self.entry_bytes -= (k.len() + 6) as u64;
+                            Self::store(&self.pager, pid, &Node::Leaf { next, entries })?;
+                            return Ok(true);
+                        }
+                        None => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact-match lookup on the user key; returns all matching RIDs.
+    pub fn search_exact(&self, key: &[u8]) -> DbResult<Vec<Rid>> {
+        let upper = increment_bytes(key);
+        let upper_bound = match &upper {
+            Some(u) => Bound::Excluded(u.as_slice()),
+            None => Bound::Unbounded,
+        };
+        // For a unique tree, the stored key == user key, so an exact range
+        // [key, key] suffices; for non-unique the RID suffix makes matches
+        // fall in [key, increment(key)).
+        if self.unique {
+            self.range_scan(Bound::Included(key), Bound::Included(key))
+        } else {
+            self.range_scan(Bound::Included(key), upper_bound)
+        }
+        .map(|v| v.into_iter().map(|(_, rid)| rid).collect())
+    }
+
+    /// Range scan over *user* keys. Bounds are byte-encoded keys; for
+    /// non-unique trees inclusive upper bounds are widened past the RID
+    /// suffix automatically. Returns (stored_key, rid) pairs in key order.
+    pub fn range_scan(
+        &self,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+    ) -> DbResult<Vec<(Vec<u8>, Rid)>> {
+        // Normalize the upper bound to an exclusive byte bound.
+        let upper_owned: Option<Vec<u8>>;
+        let upper_excl: Option<&[u8]> = match upper {
+            Bound::Unbounded => None,
+            Bound::Excluded(u) => {
+                upper_owned = Some(u.to_vec());
+                upper_owned.as_deref()
+            }
+            Bound::Included(u) => {
+                // Include all stored keys whose user part == u: widen by
+                // byte-increment (works for both unique and suffixed keys).
+                match increment_bytes(u) {
+                    Some(inc) => {
+                        upper_owned = Some(inc);
+                        upper_owned.as_deref()
+                    }
+                    None => None,
+                }
+            }
+        };
+        let lower_key: &[u8] = match lower {
+            Bound::Unbounded => &[],
+            Bound::Included(l) | Bound::Excluded(l) => l,
+        };
+        // Descend to the leaf that may contain lower_key.
+        let mut pid = self.root;
+        loop {
+            match self.load(pid)? {
+                Node::Internal { separators, children } => {
+                    let idx = separators.partition_point(|s| s.as_slice() <= lower_key);
+                    pid = children[idx];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut out = Vec::new();
+        loop {
+            let Node::Leaf { next, entries } = self.load(pid)? else {
+                return Err(DbError::storage("expected leaf"));
+            };
+            for (k, rid) in entries {
+                let below_lower = match lower {
+                    Bound::Unbounded => false,
+                    Bound::Included(l) => k.as_slice() < l,
+                    // Excluded lower on user keys: skip everything with
+                    // that exact user-key prefix.
+                    Bound::Excluded(l) => {
+                        k.as_slice() < l || (!self.unique && k.starts_with(l)) || k.as_slice() == l
+                    }
+                };
+                if below_lower {
+                    continue;
+                }
+                if let Some(u) = upper_excl {
+                    if k.as_slice() >= u {
+                        return Ok(out);
+                    }
+                }
+                out.push((k, rid));
+            }
+            if next == NO_PAGE {
+                return Ok(out);
+            }
+            pid = next;
+        }
+    }
+
+    /// Full scan in key order.
+    pub fn scan_all(&self) -> DbResult<Vec<(Vec<u8>, Rid)>> {
+        self.range_scan(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Live entry bytes (Table 2 index-size accounting).
+    pub fn entry_bytes(&self) -> u64 {
+        self.entry_bytes
+    }
+
+    pub fn node_pages(&self) -> u64 {
+        self.node_pages
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+}
+
+/// Smallest byte string strictly greater than every string having `key` as
+/// prefix; `None` when no such string exists (all 0xFF).
+pub fn increment_bytes(key: &[u8]) -> Option<Vec<u8>> {
+    let mut out = key.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::CostMeter;
+    use crate::storage::codec::encode_key;
+    use crate::storage::pager::PagerConfig;
+    use crate::types::Value;
+
+    fn tree(unique: bool) -> BTree {
+        let pager = Pager::new(PagerConfig { pool_pages: 256 }, CostMeter::new());
+        BTree::new(pager, unique).unwrap()
+    }
+
+    fn key(i: i64) -> Vec<u8> {
+        encode_key(&[Value::Int(i)])
+    }
+
+    #[test]
+    fn insert_and_exact_search() {
+        let mut t = tree(false);
+        for i in 0..100 {
+            t.insert(&key(i), Rid::new(i as u32, 0)).unwrap();
+        }
+        assert_eq!(t.search_exact(&key(42)).unwrap(), vec![Rid::new(42, 0)]);
+        assert_eq!(t.search_exact(&key(1000)).unwrap(), vec![]);
+        assert_eq!(t.entry_count(), 100);
+    }
+
+    #[test]
+    fn duplicates_in_non_unique_index() {
+        let mut t = tree(false);
+        for s in 0..5u16 {
+            t.insert(&key(7), Rid::new(1, s)).unwrap();
+        }
+        let mut rids = t.search_exact(&key(7)).unwrap();
+        rids.sort();
+        assert_eq!(rids, (0..5).map(|s| Rid::new(1, s)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut t = tree(true);
+        t.insert(&key(1), Rid::new(0, 0)).unwrap();
+        assert!(matches!(t.insert(&key(1), Rid::new(0, 1)), Err(DbError::Constraint(_))));
+    }
+
+    #[test]
+    fn large_tree_splits_and_stays_sorted() {
+        let mut t = tree(false);
+        // Insert shuffled-ish order (odd then even) to exercise splits.
+        let n: i64 = 20_000;
+        for i in (1..n).step_by(2).chain((0..n).step_by(2)) {
+            t.insert(&key(i), Rid::new(i as u32, 0)).unwrap();
+        }
+        assert!(t.height() >= 2, "20k entries must split, height={}", t.height());
+        assert!(t.node_pages() > 10);
+        let all = t.scan_all().unwrap();
+        assert_eq!(all.len(), n as usize);
+        for w in all.windows(2) {
+            assert!(w[0].0 <= w[1].0, "keys out of order");
+        }
+        // Every key findable.
+        for i in (0..n).step_by(997) {
+            assert_eq!(t.search_exact(&key(i)).unwrap(), vec![Rid::new(i as u32, 0)]);
+        }
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = tree(false);
+        for i in 0..1000 {
+            t.insert(&key(i), Rid::new(i as u32, 0)).unwrap();
+        }
+        let lo = key(100);
+        let hi = key(200);
+        let got = t
+            .range_scan(Bound::Included(&lo), Bound::Excluded(&hi))
+            .unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0].1, Rid::new(100, 0));
+        assert_eq!(got.last().unwrap().1, Rid::new(199, 0));
+
+        let got = t.range_scan(Bound::Included(&lo), Bound::Included(&hi)).unwrap();
+        assert_eq!(got.len(), 101);
+
+        let got = t.range_scan(Bound::Excluded(&lo), Bound::Included(&hi)).unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0].1, Rid::new(101, 0));
+
+        let got = t.range_scan(Bound::Unbounded, Bound::Excluded(&lo)).unwrap();
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn delete_entries() {
+        let mut t = tree(false);
+        for i in 0..100 {
+            t.insert(&key(i), Rid::new(i as u32, 0)).unwrap();
+        }
+        assert!(t.delete(&key(50), Rid::new(50, 0)).unwrap());
+        assert!(!t.delete(&key(50), Rid::new(50, 0)).unwrap(), "double delete");
+        assert_eq!(t.search_exact(&key(50)).unwrap(), vec![]);
+        assert_eq!(t.entry_count(), 99);
+        assert_eq!(t.scan_all().unwrap().len(), 99);
+    }
+
+    #[test]
+    fn composite_key_prefix_scan() {
+        // Index on (a, b); scan all entries with a == 5.
+        let mut t = tree(false);
+        for a in 0..10i64 {
+            for b in 0..10i64 {
+                let k = encode_key(&[Value::Int(a), Value::Int(b)]);
+                t.insert(&k, Rid::new(a as u32, b as u16)).unwrap();
+            }
+        }
+        let prefix = encode_key(&[Value::Int(5)]);
+        let upper = increment_bytes(&prefix).unwrap();
+        let got = t
+            .range_scan(Bound::Included(&prefix), Bound::Excluded(&upper))
+            .unwrap();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|(_, r)| r.page == 5));
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t = tree(false);
+        let words = ["apple", "banana", "cherry", "date", "elderberry"];
+        for (i, w) in words.iter().enumerate() {
+            t.insert(&encode_key(&[Value::str(*w)]), Rid::new(i as u32, 0)).unwrap();
+        }
+        let k = encode_key(&[Value::str("cherry")]);
+        assert_eq!(t.search_exact(&k).unwrap(), vec![Rid::new(2, 0)]);
+        // Range [banana, date] inclusive
+        let lo = encode_key(&[Value::str("banana")]);
+        let hi = encode_key(&[Value::str("date")]);
+        let got = t.range_scan(Bound::Included(&lo), Bound::Included(&hi)).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn increment_bytes_cases() {
+        assert_eq!(increment_bytes(&[1, 2, 3]), Some(vec![1, 2, 4]));
+        assert_eq!(increment_bytes(&[1, 0xFF]), Some(vec![2]));
+        assert_eq!(increment_bytes(&[0xFF, 0xFF]), None);
+        assert_eq!(increment_bytes(&[]), None);
+    }
+
+    #[test]
+    fn index_io_is_metered() {
+        let meter = CostMeter::new();
+        let pager = Pager::new(PagerConfig { pool_pages: 16 }, Arc::clone(&meter));
+        let mut t = BTree::new(pager, false).unwrap();
+        for i in 0..50_000 {
+            t.insert(&key(i), Rid::new(i as u32, 0)).unwrap();
+        }
+        meter.reset();
+        t.search_exact(&key(777)).unwrap();
+        assert!(meter.get(Counter::IndexNodeReads) >= 2, "root + leaf at least");
+    }
+}

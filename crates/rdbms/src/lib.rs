@@ -1,0 +1,33 @@
+//! # rdbms — a from-scratch relational database engine
+//!
+//! The "commercial RDBMS back-end" substrate for the reproduction of
+//! *Database Performance in the Real World — TPC-D and SAP R/3* (SIGMOD
+//! 1997). Provides:
+//!
+//! * slotted-page storage with a metered buffer pool and simulated disk,
+//! * B+-tree indexes over order-preserving key encodings,
+//! * a SQL front-end (parser for SELECT/DML/DDL with subqueries, CASE,
+//!   date/interval arithmetic, parameters),
+//! * a System-R-style planner with the two period-faithful behaviours the
+//!   paper measures (parameter-blind plans, naive nested queries),
+//! * a materializing executor,
+//! * the deterministic cost clock used by every experiment in this
+//!   workspace (see DESIGN.md §5).
+
+pub mod catalog;
+pub mod clock;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod index;
+pub mod planner;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod types;
+
+pub use clock::{Calibration, CostMeter, Counter, MeterSnapshot};
+pub use db::{Database, DbConfig, ExecOutcome, Prepared, QueryResult};
+pub use error::{DbError, DbResult};
+pub use schema::{Column, Row, Schema};
+pub use types::{DataType, Date, Decimal, Value};

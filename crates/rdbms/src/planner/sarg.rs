@@ -1,0 +1,258 @@
+//! Search-argument (sarg) analysis: which conjuncts can drive an index.
+
+use crate::sql::ast::{BinOp, Expr};
+
+/// A normalized sargable comparison: `column <op> rhs`, where `rhs`
+/// contains no references to the local table.
+#[derive(Debug, Clone)]
+pub struct Sarg {
+    /// Ordinal of the conjunct this sarg came from (for residual tracking).
+    pub conjunct_idx: usize,
+    /// Column ordinal in the table.
+    pub column: usize,
+    pub op: BinOp,
+    pub rhs: Expr,
+    /// True when the rhs contains a `?` parameter (or an outer reference),
+    /// i.e. the optimizer cannot see the constant (§4.1 of the paper).
+    pub rhs_unknown: bool,
+}
+
+/// Extract sargs from single-table conjuncts.
+///
+/// * `resolve_local` maps (qualifier, name) to a local column ordinal.
+/// * `is_local_free` must report whether an expression is free of local
+///   column references (it may contain params, literals, outer refs).
+pub fn extract_sargs(
+    conjuncts: &[Expr],
+    resolve_local: &dyn Fn(Option<&str>, &str) -> Option<usize>,
+    rhs_is_constantish: &dyn Fn(&Expr) -> Option<bool>, // Some(unknown?) or None if not usable
+) -> Vec<Sarg> {
+    let mut out = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        match c {
+            Expr::Binary { left, op, right } if op.is_comparison() && *op != BinOp::NotEq => {
+                if let Expr::Column { qualifier, name } = left.as_ref() {
+                    if let Some(col) = resolve_local(qualifier.as_deref(), name) {
+                        if let Some(unknown) = rhs_is_constantish(right) {
+                            out.push(Sarg {
+                                conjunct_idx: i,
+                                column: col,
+                                op: *op,
+                                rhs: (**right).clone(),
+                                rhs_unknown: unknown,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                if let Expr::Column { qualifier, name } = right.as_ref() {
+                    if let Some(col) = resolve_local(qualifier.as_deref(), name) {
+                        if let Some(unknown) = rhs_is_constantish(left) {
+                            out.push(Sarg {
+                                conjunct_idx: i,
+                                column: col,
+                                op: flip(*op),
+                                rhs: (**left).clone(),
+                                rhs_unknown: unknown,
+                            });
+                        }
+                    }
+                }
+            }
+            Expr::Between { expr, low, high, negated: false } => {
+                if let Expr::Column { qualifier, name } = expr.as_ref() {
+                    if let Some(col) = resolve_local(qualifier.as_deref(), name) {
+                        if let (Some(u1), Some(u2)) =
+                            (rhs_is_constantish(low), rhs_is_constantish(high))
+                        {
+                            out.push(Sarg {
+                                conjunct_idx: i,
+                                column: col,
+                                op: BinOp::GtEq,
+                                rhs: (**low).clone(),
+                                rhs_unknown: u1,
+                            });
+                            out.push(Sarg {
+                                conjunct_idx: i,
+                                column: col,
+                                op: BinOp::LtEq,
+                                rhs: (**high).clone(),
+                                rhs_unknown: u2,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// A concrete index access chosen for a table: equality prefix plus an
+/// optional range on the next key column.
+#[derive(Debug, Clone)]
+pub struct IndexAccess {
+    /// Equality sargs, one per leading index column.
+    pub eq_sargs: Vec<Sarg>,
+    /// Range sargs on the column after the equality prefix.
+    pub lower: Option<Sarg>,
+    pub upper: Option<Sarg>,
+}
+
+impl IndexAccess {
+    /// Which conjuncts are fully consumed by the access path.
+    pub fn consumed_conjuncts(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.eq_sargs.iter().map(|s| s.conjunct_idx).collect();
+        if let Some(s) = &self.lower {
+            v.push(s.conjunct_idx);
+        }
+        if let Some(s) = &self.upper {
+            v.push(s.conjunct_idx);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    pub fn involves_unknown(&self) -> bool {
+        self.eq_sargs.iter().any(|s| s.rhs_unknown)
+            || self.lower.as_ref().is_some_and(|s| s.rhs_unknown)
+            || self.upper.as_ref().is_some_and(|s| s.rhs_unknown)
+    }
+}
+
+/// Match sargs against an index's key columns. Returns `None` when not even
+/// the first key column has a usable sarg.
+pub fn match_index(index_columns: &[usize], sargs: &[Sarg]) -> Option<IndexAccess> {
+    let mut eq_sargs = Vec::new();
+    let mut lower = None;
+    let mut upper = None;
+    for &col in index_columns {
+        // Prefer an equality sarg on this column.
+        if let Some(s) = sargs.iter().find(|s| s.column == col && s.op == BinOp::Eq) {
+            eq_sargs.push(s.clone());
+            continue;
+        }
+        // Otherwise take range sargs on this column and stop.
+        for s in sargs.iter().filter(|s| s.column == col) {
+            match s.op {
+                BinOp::Gt | BinOp::GtEq => {
+                    if lower.is_none() {
+                        lower = Some(s.clone());
+                    }
+                }
+                BinOp::Lt | BinOp::LtEq => {
+                    if upper.is_none() {
+                        upper = Some(s.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        break;
+    }
+    if eq_sargs.is_empty() && lower.is_none() && upper.is_none() {
+        None
+    } else {
+        Some(IndexAccess { eq_sargs, lower, upper })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn col(name: &str) -> Expr {
+        Expr::col(name)
+    }
+
+    fn lit(i: i64) -> Expr {
+        Expr::Literal(Value::Int(i))
+    }
+
+    fn resolve(q: Option<&str>, n: &str) -> Option<usize> {
+        match n {
+            "A" => Some(0),
+            "B" => Some(1),
+            "C" => Some(2),
+            _ => None,
+        }
+        .filter(|_| q.is_none() || q == Some("T"))
+    }
+
+    fn constantish(e: &Expr) -> Option<bool> {
+        match e {
+            Expr::Literal(_) => Some(false),
+            Expr::Param(_) => Some(true),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn extracts_and_normalizes() {
+        let conjuncts = vec![
+            Expr::binary(col("A"), BinOp::Eq, lit(5)),
+            Expr::binary(lit(10), BinOp::Gt, col("B")), // => B < 10
+            Expr::binary(col("C"), BinOp::Lt, Expr::Param(0)),
+        ];
+        let sargs = extract_sargs(&conjuncts, &resolve, &constantish);
+        assert_eq!(sargs.len(), 3);
+        assert_eq!(sargs[0].op, BinOp::Eq);
+        assert_eq!(sargs[1].column, 1);
+        assert_eq!(sargs[1].op, BinOp::Lt);
+        assert!(sargs[2].rhs_unknown);
+    }
+
+    #[test]
+    fn between_gives_two_sargs() {
+        let conjuncts = vec![Expr::Between {
+            expr: Box::new(col("A")),
+            low: Box::new(lit(1)),
+            high: Box::new(lit(10)),
+            negated: false,
+        }];
+        let sargs = extract_sargs(&conjuncts, &resolve, &constantish);
+        assert_eq!(sargs.len(), 2);
+        assert_eq!(sargs[0].op, BinOp::GtEq);
+        assert_eq!(sargs[1].op, BinOp::LtEq);
+    }
+
+    #[test]
+    fn match_composite_index() {
+        let conjuncts = vec![
+            Expr::binary(col("A"), BinOp::Eq, lit(5)),
+            Expr::binary(col("B"), BinOp::Lt, lit(10)),
+            Expr::binary(col("B"), BinOp::GtEq, lit(2)),
+        ];
+        let sargs = extract_sargs(&conjuncts, &resolve, &constantish);
+        // Index on (A, B): eq prefix on A, range on B.
+        let access = match_index(&[0, 1], &sargs).unwrap();
+        assert_eq!(access.eq_sargs.len(), 1);
+        assert!(access.lower.is_some());
+        assert!(access.upper.is_some());
+        assert_eq!(access.consumed_conjuncts(), vec![0, 1, 2]);
+        // Index on (B): range only.
+        let access = match_index(&[1], &sargs).unwrap();
+        assert!(access.eq_sargs.is_empty());
+        // Index on (C): nothing.
+        assert!(match_index(&[2], &sargs).is_none());
+    }
+
+    #[test]
+    fn noteq_is_not_sargable() {
+        let conjuncts = vec![Expr::binary(col("A"), BinOp::NotEq, lit(5))];
+        assert!(extract_sargs(&conjuncts, &resolve, &constantish).is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! SQL abstract syntax tree.
+//!
+//! The grammar covers what the TPC-D suite and the SAP R/3 simulator's
+//! generated SQL need: select/insert/delete/update, DDL, joins (explicit
+//! and comma-style), nested subqueries (scalar, IN, EXISTS), aggregates
+//! with DISTINCT, CASE, LIKE, BETWEEN, date/interval arithmetic, and
+//! positional `?` parameters.
+
+use crate::types::{DataType, Value};
+use std::fmt;
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Box<SelectStmt>),
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Delete {
+        table: String,
+        filter: Option<Expr>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<String>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        unique: bool,
+    },
+    CreateView {
+        name: String,
+        query: Box<SelectStmt>,
+    },
+    DropTable {
+        name: String,
+    },
+    DropIndex {
+        name: String,
+    },
+    DropView {
+        name: String,
+    },
+    /// Recompute optimizer statistics for one table or all tables.
+    Analyze {
+        table: Option<String>,
+    },
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+    pub not_null: bool,
+}
+
+/// A SELECT statement (also used as subquery body and view definition).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// expression with optional output alias
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table or view, optionally aliased.
+    Named { name: String, alias: Option<String> },
+    /// Explicit `a JOIN b ON cond`.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Expr,
+    },
+    /// Derived table `(SELECT ...) AS alias`.
+    Subquery { query: Box<SelectStmt>, alias: String },
+}
+
+impl TableRef {
+    /// The binding name this reference introduces (alias or table name)
+    /// when it is a leaf.
+    pub fn binding(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => Some(alias),
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalUnit {
+    Day,
+    Month,
+    Year,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    /// Positional parameter `?` (0-based index in bind order).
+    Param(usize),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    Exists {
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    ScalarSubquery(Box<SelectStmt>),
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Agg {
+        func: AggFunc,
+        /// `None` for COUNT(*).
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
+    /// `EXTRACT(unit FROM expr)`.
+    Extract {
+        unit: IntervalUnit,
+        expr: Box<Expr>,
+    },
+    /// `expr + INTERVAL 'n' unit` / `expr - INTERVAL 'n' unit`.
+    IntervalAdd {
+        expr: Box<Expr>,
+        amount: i32,
+        unit: IntervalUnit,
+    },
+    /// Named scalar function (SUBSTR, VENDOR_CONTAINS, ...).
+    Func {
+        name: String,
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        match name.split_once('.') {
+            Some((q, n)) => Expr::Column {
+                qualifier: Some(q.to_string()),
+                name: n.to_string(),
+            },
+            None => Expr::Column { qualifier: None, name: name.to_string() },
+        }
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::And, right)
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::Eq, right)
+    }
+
+    /// Combine a list of predicates with AND; `None` for an empty list.
+    pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
+        let first = if preds.is_empty() { return None } else { preds.remove(0) };
+        Some(preds.into_iter().fold(first, Expr::and))
+    }
+
+    /// Split an expression into its top-level AND conjuncts.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary { left, op: BinOp::And, right } => {
+                let mut v = left.split_conjuncts();
+                v.extend(right.split_conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Does this expression (transitively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Does this expression contain a parameter marker?
+    pub fn contains_param(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Param(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Pre-order visit of this expression's nodes (not descending into
+    /// subquery bodies).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => {}
+            Expr::Unary { expr, .. } => expr.visit(f),
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.visit(f),
+            Expr::Exists { .. } => {}
+            Expr::ScalarSubquery(_) => {}
+            Expr::Like { expr, pattern, .. } => {
+                expr.visit(f);
+                pattern.visit(f);
+            }
+            Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::Case { branches, else_expr } => {
+                for (c, r) in branches {
+                    c.visit(f);
+                    r.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit(f);
+                }
+            }
+            Expr::Extract { expr, .. } => expr.visit(f),
+            Expr::IntervalAdd { expr, .. } => expr.visit(f),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Column references in this expression (not descending into subqueries).
+    pub fn column_refs(&self) -> Vec<(Option<String>, String)> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column { qualifier, name } = e {
+                out.push((qualifier.clone(), name.clone()));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunction_helpers() {
+        assert_eq!(Expr::conjunction(vec![]), None);
+        let a = Expr::col("a");
+        let b = Expr::col("b");
+        let c = Expr::col("c");
+        let e = Expr::conjunction(vec![a.clone(), b.clone(), c.clone()]).unwrap();
+        let parts = e.split_conjuncts();
+        assert_eq!(parts, vec![a, b, c]);
+    }
+
+    #[test]
+    fn contains_aggregate_detects_nested() {
+        let e = Expr::binary(
+            Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false },
+            BinOp::Div,
+            Expr::lit(Value::Int(2)),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn column_refs_collects_qualified() {
+        let e = Expr::and(
+            Expr::eq(Expr::col("t.a"), Expr::lit(Value::Int(1))),
+            Expr::eq(Expr::col("b"), Expr::col("t.a")),
+        );
+        let refs = e.column_refs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0], (Some("t".into()), "a".into()));
+        assert_eq!(refs[1], (None, "b".into()));
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Named { name: "ORDERS".into(), alias: Some("O".into()) };
+        assert_eq!(t.binding(), Some("O"));
+        let t = TableRef::Named { name: "ORDERS".into(), alias: None };
+        assert_eq!(t.binding(), Some("ORDERS"));
+    }
+}

@@ -1,0 +1,269 @@
+//! SQL lexer.
+
+use crate::error::{DbError, DbResult};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier, uppercased. (SQL identifiers here are
+    /// case-insensitive; there are no quoted identifiers.)
+    Word(String),
+    /// String literal with '' unescaped.
+    StringLit(String),
+    /// Integer or decimal literal, kept as text for exact decimal parsing.
+    Number(String),
+    /// `?`
+    Param,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Param => write!(f, "?"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Tokenize SQL text. Supports `--` line comments.
+pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DbError::parse("unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Keep multi-byte UTF-8 intact.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                            DbError::parse("invalid UTF-8 in string literal")
+                        })?);
+                        i += ch_len;
+                    }
+                }
+                out.push(Token::StringLit(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                out.push(Token::Number(sql[start..i].to_string()));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(sql[start..i].to_ascii_uppercase()));
+            }
+            '?' => {
+                out.push(Token::Param);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(DbError::parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("SELECT a, b FROM t WHERE x <= 10.5 AND y <> 'it''s'").unwrap();
+        assert_eq!(t[0], Token::Word("SELECT".into()));
+        assert!(t.contains(&Token::LtEq));
+        assert!(t.contains(&Token::Number("10.5".into())));
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::StringLit("it's".into())));
+    }
+
+    #[test]
+    fn words_uppercased_strings_preserved() {
+        let t = tokenize("select Name from T where s = 'MixedCase'").unwrap();
+        assert_eq!(t[1], Token::Word("NAME".into()));
+        assert_eq!(t.last().unwrap(), &Token::StringLit("MixedCase".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Number("1".into()),
+                Token::Comma,
+                Token::Number("2".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_operators() {
+        let t = tokenize("x = ? AND y >= ? + 1").unwrap();
+        assert_eq!(t.iter().filter(|t| **t == Token::Param).count(), 2);
+        assert!(t.contains(&Token::GtEq));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        // `a - b` is subtraction; `a -- b` is a comment.
+        let t = tokenize("a - b").unwrap();
+        assert_eq!(t, vec![Token::Word("A".into()), Token::Minus, Token::Word("B".into())]);
+        let t = tokenize("a -- b").unwrap();
+        assert_eq!(t, vec![Token::Word("A".into())]);
+    }
+}

@@ -1,0 +1,1130 @@
+//! Recursive-descent SQL parser.
+
+use crate::error::{DbError, DbResult};
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Token};
+use crate::types::{DataType, Date, Decimal, Value};
+
+/// Parse one SQL statement (optional trailing `;`).
+pub fn parse_statement(sql: &str) -> DbResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let stmt = p.statement()?;
+    p.eat(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(DbError::parse(format!(
+            "unexpected trailing input at '{}'",
+            p.peek_desc()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Parse a SELECT query text into a [`SelectStmt`].
+pub fn parse_query(sql: &str) -> DbResult<SelectStmt> {
+    match parse_statement(sql)? {
+        Statement::Select(q) => Ok(*q),
+        other => Err(DbError::parse(format!("expected SELECT, found {other:?}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Number of `?` parameters seen so far (positional numbering).
+    params: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        match self.peek() {
+            Some(t) => t.to_string(),
+            None => "<end of input>".to_string(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> DbResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(DbError::parse(format!("expected '{t}', found '{}'", self.peek_desc())))
+        }
+    }
+
+    /// Is the current token this keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::parse(format!("expected {kw}, found '{}'", self.peek_desc())))
+        }
+    }
+
+    fn identifier(&mut self) -> DbResult<String> {
+        match self.next() {
+            Some(Token::Word(w)) => {
+                if is_reserved(&w) {
+                    Err(DbError::parse(format!("reserved word '{w}' used as identifier")))
+                } else {
+                    Ok(w)
+                }
+            }
+            other => Err(DbError::parse(format!(
+                "expected identifier, found '{}'",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+            ))),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn statement(&mut self) -> DbResult<Statement> {
+        if self.at_kw("SELECT") {
+            let q = self.select_stmt()?;
+            return Ok(Statement::Select(Box::new(q)));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert_stmt();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete_stmt();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update_stmt();
+        }
+        if self.eat_kw("CREATE") {
+            return self.create_stmt();
+        }
+        if self.eat_kw("DROP") {
+            return self.drop_stmt();
+        }
+        if self.eat_kw("ANALYZE") {
+            let table = if self.at_end() || self.peek() == Some(&Token::Semicolon) {
+                None
+            } else {
+                Some(self.identifier()?)
+            };
+            return Ok(Statement::Analyze { table });
+        }
+        Err(DbError::parse(format!("unknown statement start '{}'", self.peek_desc())))
+    }
+
+    fn insert_stmt(&mut self) -> DbResult<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.identifier()?;
+        let columns = if self.eat(&Token::LParen) {
+            let mut cols = vec![self.identifier()?];
+            while self.eat(&Token::Comma) {
+                cols.push(self.identifier()?);
+            }
+            self.expect(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows })
+    }
+
+    fn delete_stmt(&mut self) -> DbResult<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.identifier()?;
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn update_stmt(&mut self) -> DbResult<Statement> {
+        let table = self.identifier()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect(&Token::Eq)?;
+            let val = self.expr()?;
+            assignments.push((col, val));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, assignments, filter })
+    }
+
+    fn create_stmt(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("TABLE") {
+            let name = self.identifier()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            let mut primary_key = Vec::new();
+            loop {
+                if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    self.expect(&Token::LParen)?;
+                    primary_key.push(self.identifier()?);
+                    while self.eat(&Token::Comma) {
+                        primary_key.push(self.identifier()?);
+                    }
+                    self.expect(&Token::RParen)?;
+                } else {
+                    let col_name = self.identifier()?;
+                    let ty = self.data_type()?;
+                    let mut not_null = false;
+                    if self.eat_kw("NOT") {
+                        self.expect_kw("NULL")?;
+                        not_null = true;
+                    }
+                    columns.push(ColumnDef { name: col_name, ty, not_null });
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::CreateTable { name, columns, primary_key });
+        }
+        let unique = self.eat_kw("UNIQUE");
+        if self.eat_kw("INDEX") {
+            let name = self.identifier()?;
+            self.expect_kw("ON")?;
+            let table = self.identifier()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = vec![self.identifier()?];
+            while self.eat(&Token::Comma) {
+                columns.push(self.identifier()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::CreateIndex { name, table, columns, unique });
+        }
+        if unique {
+            return Err(DbError::parse("expected INDEX after UNIQUE"));
+        }
+        if self.eat_kw("VIEW") {
+            let name = self.identifier()?;
+            self.expect_kw("AS")?;
+            let q = self.select_stmt()?;
+            return Ok(Statement::CreateView { name, query: Box::new(q) });
+        }
+        Err(DbError::parse(format!("unknown CREATE target '{}'", self.peek_desc())))
+    }
+
+    fn drop_stmt(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("TABLE") {
+            Ok(Statement::DropTable { name: self.identifier()? })
+        } else if self.eat_kw("INDEX") {
+            Ok(Statement::DropIndex { name: self.identifier()? })
+        } else if self.eat_kw("VIEW") {
+            Ok(Statement::DropView { name: self.identifier()? })
+        } else {
+            Err(DbError::parse(format!("unknown DROP target '{}'", self.peek_desc())))
+        }
+    }
+
+    fn data_type(&mut self) -> DbResult<DataType> {
+        let word = match self.next() {
+            Some(Token::Word(w)) => w,
+            other => {
+                return Err(DbError::parse(format!(
+                    "expected type name, found {other:?}"
+                )))
+            }
+        };
+        match word.as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Ok(DataType::Int),
+            "DECIMAL" | "NUMERIC" => {
+                let mut precision = 18u8;
+                let mut scale = 2u8;
+                if self.eat(&Token::LParen) {
+                    precision = self.unsigned_int()? as u8;
+                    if self.eat(&Token::Comma) {
+                        scale = self.unsigned_int()? as u8;
+                    } else {
+                        scale = 0;
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                Ok(DataType::Decimal { precision, scale })
+            }
+            "CHAR" | "CHARACTER" => {
+                let mut n = 1u16;
+                if self.eat(&Token::LParen) {
+                    n = self.unsigned_int()? as u16;
+                    self.expect(&Token::RParen)?;
+                }
+                Ok(DataType::Char(n))
+            }
+            "VARCHAR" => {
+                self.expect(&Token::LParen)?;
+                let n = self.unsigned_int()? as u16;
+                self.expect(&Token::RParen)?;
+                Ok(DataType::VarChar(n))
+            }
+            "DATE" => Ok(DataType::Date),
+            "BOOLEAN" | "BOOL" => Ok(DataType::Bool),
+            other => Err(DbError::parse(format!("unknown type '{other}'"))),
+        }
+    }
+
+    fn unsigned_int(&mut self) -> DbResult<u64> {
+        match self.next() {
+            Some(Token::Number(n)) if !n.contains('.') => n
+                .parse()
+                .map_err(|_| DbError::parse(format!("invalid integer '{n}'"))),
+            other => Err(DbError::parse(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    // -- SELECT --------------------------------------------------------------
+
+    fn select_stmt(&mut self) -> DbResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut projections = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            projections.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            from.push(self.table_ref()?);
+            while self.eat(&Token::Comma) {
+                from.push(self.table_ref()?);
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") { Some(self.unsigned_int()?) } else { None };
+        Ok(SelectStmt {
+            distinct,
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> DbResult<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.*
+        if let (Some(Token::Word(w)), Some(Token::Dot), Some(Token::Star)) = (
+            self.tokens.get(self.pos),
+            self.tokens.get(self.pos + 1),
+            self.tokens.get(self.pos + 2),
+        ) {
+            if !is_reserved(w) {
+                let q = w.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.identifier()?)
+        } else if let Some(Token::Word(w)) = self.peek() {
+            if !is_reserved(w) {
+                Some(self.identifier()?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> DbResult<TableRef> {
+        let mut left = self.table_factor()?;
+        loop {
+            let kind = if self.eat_kw("JOIN") || {
+                if self.eat_kw("INNER") {
+                    self.expect_kw("JOIN")?;
+                    true
+                } else {
+                    false
+                }
+            } {
+                JoinKind::Inner
+            } else if self.at_kw("LEFT") {
+                self.eat_kw("LEFT");
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::LeftOuter
+            } else {
+                break;
+            };
+            let right = self.table_factor()?;
+            self.expect_kw("ON")?;
+            let on = self.expr()?;
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn table_factor(&mut self) -> DbResult<TableRef> {
+        if self.eat(&Token::LParen) {
+            let q = self.select_stmt()?;
+            self.expect(&Token::RParen)?;
+            self.eat_kw("AS");
+            let alias = self.identifier()?;
+            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+        }
+        let name = self.identifier()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.identifier()?)
+        } else if let Some(Token::Word(w)) = self.peek() {
+            if !is_reserved(w) {
+                Some(self.identifier()?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> DbResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> DbResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> DbResult<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(negate(inner));
+        }
+        self.predicate()
+    }
+
+    /// Comparison-level constructs: =, <>, BETWEEN, IN, LIKE, IS NULL,
+    /// EXISTS.
+    fn predicate(&mut self) -> DbResult<Expr> {
+        if self.eat_kw("EXISTS") {
+            self.expect(&Token::LParen)?;
+            let q = self.select_stmt()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Exists { query: Box::new(q), negated: false });
+        }
+        let left = self.additive()?;
+        // NOT BETWEEN / NOT IN / NOT LIKE
+        let negated = if self.at_kw("NOT") {
+            // Only treat as negated predicate if followed by BETWEEN/IN/LIKE.
+            match self.tokens.get(self.pos + 1) {
+                Some(Token::Word(w)) if w == "BETWEEN" || w == "IN" || w == "LIKE" => {
+                    self.pos += 1;
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            if self.at_kw("SELECT") {
+                let q = self.select_stmt()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(DbError::parse("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> DbResult<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat(&Token::Plus) {
+                BinOp::Add
+            } else if self.eat(&Token::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            // Interval arithmetic: expr +/- INTERVAL 'n' unit
+            if self.eat_kw("INTERVAL") {
+                let amount_str = match self.next() {
+                    Some(Token::StringLit(s)) => s,
+                    other => {
+                        return Err(DbError::parse(format!(
+                            "expected interval amount string, found {other:?}"
+                        )))
+                    }
+                };
+                let amount: i32 = amount_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| DbError::parse(format!("invalid interval '{amount_str}'")))?;
+                let unit = self.interval_unit()?;
+                let signed = if op == BinOp::Sub { -amount } else { amount };
+                left = Expr::IntervalAdd { expr: Box::new(left), amount: signed, unit };
+                continue;
+            }
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn interval_unit(&mut self) -> DbResult<IntervalUnit> {
+        match self.next() {
+            Some(Token::Word(w)) => match w.as_str() {
+                "DAY" | "DAYS" => Ok(IntervalUnit::Day),
+                "MONTH" | "MONTHS" => Ok(IntervalUnit::Month),
+                "YEAR" | "YEARS" => Ok(IntervalUnit::Year),
+                other => Err(DbError::parse(format!("unknown interval unit '{other}'"))),
+            },
+            other => Err(DbError::parse(format!("expected interval unit, found {other:?}"))),
+        }
+    }
+
+    fn multiplicative(&mut self) -> DbResult<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat(&Token::Star) {
+                BinOp::Mul
+            } else if self.eat(&Token::Slash) {
+                BinOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> DbResult<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Literal(Value::Int(v)) => Expr::Literal(Value::Int(-v)),
+                Expr::Literal(Value::Decimal(d)) => Expr::Literal(Value::Decimal(d.neg())),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> DbResult<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                if n.contains('.') {
+                    Ok(Expr::Literal(Value::Decimal(Decimal::parse(&n)?)))
+                } else {
+                    let v: i64 = n
+                        .parse()
+                        .map_err(|_| DbError::parse(format!("integer '{n}' out of range")))?;
+                    Ok(Expr::Literal(Value::Int(v)))
+                }
+            }
+            Some(Token::StringLit(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::Param) => {
+                self.pos += 1;
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.at_kw("SELECT") {
+                    let q = self.select_stmt()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) => self.word_expr(w),
+            other => Err(DbError::parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn word_expr(&mut self, w: String) -> DbResult<Expr> {
+        match w.as_str() {
+            "NULL" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            "TRUE" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            "FALSE" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            "DATE" => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::StringLit(s)) => Ok(Expr::Literal(Value::Date(Date::parse(&s)?))),
+                    other => Err(DbError::parse(format!(
+                        "expected date string after DATE, found {other:?}"
+                    ))),
+                }
+            }
+            "CASE" => {
+                self.pos += 1;
+                let mut branches = Vec::new();
+                while self.eat_kw("WHEN") {
+                    let cond = self.expr()?;
+                    self.expect_kw("THEN")?;
+                    let result = self.expr()?;
+                    branches.push((cond, result));
+                }
+                if branches.is_empty() {
+                    return Err(DbError::parse("CASE requires at least one WHEN"));
+                }
+                let else_expr = if self.eat_kw("ELSE") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw("END")?;
+                Ok(Expr::Case { branches, else_expr })
+            }
+            "EXTRACT" => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let unit = self.interval_unit()?;
+                self.expect_kw("FROM")?;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Extract { unit, expr: Box::new(e) })
+            }
+            "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
+                // Aggregate only if followed by '('; else treat as column.
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    let func = match w.as_str() {
+                        "COUNT" => AggFunc::Count,
+                        "SUM" => AggFunc::Sum,
+                        "AVG" => AggFunc::Avg,
+                        "MIN" => AggFunc::Min,
+                        _ => AggFunc::Max,
+                    };
+                    self.pos += 2; // word + lparen
+                    if func == AggFunc::Count && self.eat(&Token::Star) {
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Agg { func, arg: None, distinct: false });
+                    }
+                    let distinct = self.eat_kw("DISTINCT");
+                    let arg = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct });
+                }
+                self.column_or_func(w)
+            }
+            _ => {
+                if is_reserved(&w) {
+                    return Err(DbError::parse(format!(
+                        "reserved word '{w}' in expression"
+                    )));
+                }
+                self.column_or_func(w)
+            }
+        }
+    }
+
+    /// `name(args)` function call, `qual.name` column, or bare column.
+    fn column_or_func(&mut self, w: String) -> DbResult<Expr> {
+        self.pos += 1;
+        if self.eat(&Token::Dot) {
+            let name = self.identifier()?;
+            return Ok(Expr::Column { qualifier: Some(w), name });
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let mut args = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                args.push(self.expr()?);
+                while self.eat(&Token::Comma) {
+                    args.push(self.expr()?);
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Func { name: w, args });
+        }
+        Ok(Expr::Column { qualifier: None, name: w })
+    }
+}
+
+/// Apply NOT to an expression, folding into negatable predicates.
+fn negate(e: Expr) -> Expr {
+    match e {
+        Expr::Exists { query, negated } => Expr::Exists { query, negated: !negated },
+        Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery { expr, query, negated: !negated }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList { expr, list, negated: !negated },
+        Expr::Between { expr, low, high, negated } => {
+            Expr::Between { expr, low, high, negated: !negated }
+        }
+        Expr::Like { expr, pattern, negated } => Expr::Like { expr, pattern, negated: !negated },
+        Expr::IsNull { expr, negated } => Expr::IsNull { expr, negated: !negated },
+        other => Expr::Unary { op: UnaryOp::Not, expr: Box::new(other) },
+    }
+}
+
+/// Reserved words that cannot be identifiers or implicit aliases.
+fn is_reserved(w: &str) -> bool {
+    matches!(
+        w,
+        "SELECT"
+            | "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "BY"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "AS"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "IN"
+            | "IS"
+            | "NULL"
+            | "BETWEEN"
+            | "LIKE"
+            | "EXISTS"
+            | "JOIN"
+            | "INNER"
+            | "LEFT"
+            | "OUTER"
+            | "ON"
+            | "CASE"
+            | "WHEN"
+            | "THEN"
+            | "ELSE"
+            | "END"
+            | "DISTINCT"
+            | "INSERT"
+            | "INTO"
+            | "VALUES"
+            | "DELETE"
+            | "UPDATE"
+            | "SET"
+            | "CREATE"
+            | "DROP"
+            | "TABLE"
+            | "INDEX"
+            | "VIEW"
+            | "UNIQUE"
+            | "PRIMARY"
+            | "KEY"
+            | "INTERVAL"
+            | "EXTRACT"
+            | "DATE"
+            | "ASC"
+            | "DESC"
+            | "UNION"
+            | "TRUE"
+            | "FALSE"
+            | "ANALYZE"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT a, b AS total FROM t WHERE a > 10 ORDER BY b DESC LIMIT 5")
+            .unwrap();
+        assert_eq!(q.projections.len(), 2);
+        assert!(matches!(
+            &q.projections[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "TOTAL"
+        ));
+        assert_eq!(q.from.len(), 1);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn comma_join_and_explicit_join() {
+        let q = parse_query("SELECT * FROM a, b WHERE a.x = b.x").unwrap();
+        assert_eq!(q.from.len(), 2);
+        let q = parse_query("SELECT * FROM a JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = c.y")
+            .unwrap();
+        assert_eq!(q.from.len(), 1);
+        match &q.from[0] {
+            TableRef::Join { kind, .. } => assert_eq!(*kind, JoinKind::LeftOuter),
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        let q = parse_query("SELECT l.a FROM lineitem l").unwrap();
+        match &q.from[0] {
+            TableRef::Named { name, alias } => {
+                assert_eq!(name, "LINEITEM");
+                assert_eq!(alias.as_deref(), Some("L"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse_query(
+            "SELECT l_returnflag, SUM(l_quantity), COUNT(*), AVG(l_discount), COUNT(DISTINCT x) \
+             FROM lineitem GROUP BY l_returnflag HAVING COUNT(*) > 10",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        match &q.projections[2] {
+            SelectItem::Expr { expr: Expr::Agg { func: AggFunc::Count, arg: None, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match &q.projections[4] {
+            SelectItem::Expr { expr: Expr::Agg { distinct: true, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn date_and_interval() {
+        let q = parse_query(
+            "SELECT * FROM l WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        match w {
+            Expr::Binary { right, .. } => match *right {
+                Expr::IntervalAdd { amount, unit, .. } => {
+                    assert_eq!(amount, -90);
+                    assert_eq!(unit, IntervalUnit::Day);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_year() {
+        let q = parse_query("SELECT EXTRACT(YEAR FROM o_orderdate) FROM o").unwrap();
+        match &q.projections[0] {
+            SelectItem::Expr { expr: Expr::Extract { unit: IntervalUnit::Year, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_subqueries() {
+        let q = parse_query(
+            "SELECT * FROM p WHERE ps = (SELECT MIN(c) FROM s WHERE s.k = p.k) \
+             AND x IN (SELECT y FROM z) AND NOT EXISTS (SELECT 1 FROM w)",
+        )
+        .unwrap();
+        let conjuncts = q.where_clause.unwrap().split_conjuncts();
+        assert_eq!(conjuncts.len(), 3);
+        assert!(matches!(&conjuncts[0], Expr::Binary { right, .. } if matches!(**right, Expr::ScalarSubquery(_))));
+        assert!(matches!(&conjuncts[1], Expr::InSubquery { negated: false, .. }));
+        assert!(matches!(&conjuncts[2], Expr::Exists { negated: true, .. }));
+    }
+
+    #[test]
+    fn case_when() {
+        let q = parse_query(
+            "SELECT SUM(CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END) FROM t",
+        )
+        .unwrap();
+        match &q.projections[0] {
+            SelectItem::Expr { expr: Expr::Agg { arg: Some(a), .. }, .. } => {
+                assert!(matches!(**a, Expr::Case { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_variants() {
+        let q = parse_query(
+            "SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT BETWEEN 1 AND 2 \
+             AND c NOT LIKE 'x%' AND d IS NOT NULL",
+        )
+        .unwrap();
+        let cs = q.where_clause.unwrap().split_conjuncts();
+        assert!(matches!(&cs[0], Expr::InList { negated: true, .. }));
+        assert!(matches!(&cs[1], Expr::Between { negated: true, .. }));
+        assert!(matches!(&cs[2], Expr::Like { negated: true, .. }));
+        assert!(matches!(&cs[3], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn params_numbered_in_order() {
+        let q = parse_query("SELECT * FROM t WHERE a = ? AND b < ?").unwrap();
+        let cs = q.where_clause.unwrap().split_conjuncts();
+        assert!(matches!(&cs[0], Expr::Binary { right, .. } if matches!(**right, Expr::Param(0))));
+        assert!(matches!(&cs[1], Expr::Binary { right, .. } if matches!(**right, Expr::Param(1))));
+    }
+
+    #[test]
+    fn ddl_statements() {
+        let s = parse_statement(
+            "CREATE TABLE t (a INTEGER NOT NULL, b DECIMAL(12,2), c CHAR(16), d VARCHAR(44), \
+             e DATE, PRIMARY KEY (a))",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns, primary_key } => {
+                assert_eq!(name, "T");
+                assert_eq!(columns.len(), 5);
+                assert!(columns[0].not_null);
+                assert_eq!(columns[1].ty, DataType::Decimal { precision: 12, scale: 2 });
+                assert_eq!(columns[2].ty, DataType::Char(16));
+                assert_eq!(primary_key, vec!["A"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("CREATE UNIQUE INDEX i ON t (a, b)").unwrap(),
+            Statement::CreateIndex { unique: true, .. }
+        ));
+        assert!(matches!(
+            parse_statement("CREATE VIEW v AS SELECT a FROM t").unwrap(),
+            Statement::CreateView { .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP INDEX i").unwrap(),
+            Statement::DropIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn dml_statements() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Statement::Insert { rows, columns, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(columns.unwrap(), vec!["A", "B"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE a = 1").unwrap(),
+            Statement::Delete { filter: Some(_), .. }
+        ));
+        assert!(matches!(
+            parse_statement("UPDATE t SET a = 2 WHERE b = 'x'").unwrap(),
+            Statement::Update { .. }
+        ));
+    }
+
+    #[test]
+    fn derived_table() {
+        let q = parse_query("SELECT s FROM (SELECT SUM(x) AS s FROM t) AS sub").unwrap();
+        assert!(matches!(&q.from[0], TableRef::Subquery { alias, .. } if alias == "SUB"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("SELEC 1").is_err());
+        assert!(parse_statement("SELECT 1 extra garbage ,,,").is_err());
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c parses as a + (b * c)
+        let q = parse_query("SELECT a + b * c FROM t").unwrap();
+        match &q.projections[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // OR binds weaker than AND
+        let q = parse_query("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3").unwrap();
+        assert!(matches!(
+            q.where_clause.unwrap(),
+            Expr::Binary { op: BinOp::Or, .. }
+        ));
+    }
+
+    #[test]
+    fn unary_minus_folds_literals() {
+        let q = parse_query("SELECT -5, -1.5 FROM t").unwrap();
+        assert!(matches!(
+            &q.projections[0],
+            SelectItem::Expr { expr: Expr::Literal(Value::Int(-5)), .. }
+        ));
+    }
+
+    #[test]
+    fn wildcard_variants() {
+        let q = parse_query("SELECT *, t.* FROM t").unwrap();
+        assert!(matches!(q.projections[0], SelectItem::Wildcard));
+        assert!(matches!(&q.projections[1], SelectItem::QualifiedWildcard(w) if w == "T"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Storage layer: slotted pages, row codec, pager (simulated disk + buffer
+//! pool), heap files.
+
+pub mod codec;
+pub mod heap;
+pub mod page;
+pub mod pager;
+
+pub use heap::{HeapFile, HeapScan};
+pub use page::{Page, PageId, Rid, SlotId, PAGE_SIZE};
+pub use pager::{AccessPattern, Pager, PagerConfig};

@@ -1,0 +1,280 @@
+//! Fixed-size slotted pages.
+//!
+//! Layout (all little-endian u16 offsets within the page):
+//!
+//! ```text
+//! +--------+--------+---------------------------+------------------+
+//! | nslots | freeend| slot dir (4 bytes/slot) ->| ... <- tuple data|
+//! +--------+--------+---------------------------+------------------+
+//! ```
+//!
+//! * `nslots` — number of slot-directory entries (including dead slots).
+//! * `freeend` — offset of the byte *after* the lowest tuple byte; tuple
+//!   data grows downward from the page end.
+//! * each slot is `(offset: u16, len: u16)`; a dead (deleted) slot has
+//!   `offset == 0`.
+
+use crate::error::{DbError, DbResult};
+
+pub const PAGE_SIZE: usize = 8192;
+const HEADER: usize = 4;
+const SLOT_SIZE: usize = 4;
+
+/// Page number within the database file space.
+pub type PageId = u32;
+
+/// Slot number within a page.
+pub type SlotId = u16;
+
+/// A record identifier: physical address of a tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    pub page: PageId,
+    pub slot: SlotId,
+}
+
+impl Rid {
+    pub fn new(page: PageId, slot: SlotId) -> Self {
+        Rid { page, slot }
+    }
+}
+
+/// One fixed-size page.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page { data: self.data.clone() }
+    }
+}
+
+impl Page {
+    /// A fresh, formatted, empty page.
+    pub fn new() -> Self {
+        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        p.set_nslots(0);
+        p.set_freeend(PAGE_SIZE as u16);
+        p
+    }
+
+    fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.data[off], self.data[off + 1]])
+    }
+
+    fn set_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn nslots(&self) -> u16 {
+        self.u16_at(0)
+    }
+
+    fn set_nslots(&mut self, v: u16) {
+        self.set_u16(0, v);
+    }
+
+    fn freeend(&self) -> u16 {
+        self.u16_at(2)
+    }
+
+    fn set_freeend(&mut self, v: u16) {
+        self.set_u16(2, v);
+    }
+
+    fn slot(&self, i: SlotId) -> (u16, u16) {
+        let off = HEADER + i as usize * SLOT_SIZE;
+        (self.u16_at(off), self.u16_at(off + 2))
+    }
+
+    fn set_slot(&mut self, i: SlotId, offset: u16, len: u16) {
+        let off = HEADER + i as usize * SLOT_SIZE;
+        self.set_u16(off, offset);
+        self.set_u16(off + 2, len);
+    }
+
+    /// Free bytes available for one more insert (slot + data).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.nslots() as usize * SLOT_SIZE;
+        (self.freeend() as usize).saturating_sub(dir_end)
+    }
+
+    /// Can a tuple of `len` bytes be inserted?
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT_SIZE
+    }
+
+    /// Insert a tuple; returns its slot.
+    pub fn insert(&mut self, tuple: &[u8]) -> DbResult<SlotId> {
+        if tuple.len() > PAGE_SIZE - HEADER - SLOT_SIZE {
+            return Err(DbError::storage(format!(
+                "tuple of {} bytes exceeds page capacity",
+                tuple.len()
+            )));
+        }
+        if !self.fits(tuple.len()) {
+            return Err(DbError::storage("page full"));
+        }
+        let slot = self.nslots();
+        let start = self.freeend() as usize - tuple.len();
+        self.data[start..start + tuple.len()].copy_from_slice(tuple);
+        self.set_slot(slot, start as u16, tuple.len() as u16);
+        self.set_freeend(start as u16);
+        self.set_nslots(slot + 1);
+        Ok(slot)
+    }
+
+    /// Read a live tuple; `None` if the slot is dead or out of range.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.nslots() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return None; // dead
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Mark a slot dead. Space is not compacted (lazy delete).
+    pub fn delete(&mut self, slot: SlotId) -> DbResult<()> {
+        if slot >= self.nslots() {
+            return Err(DbError::storage(format!("no slot {slot}")));
+        }
+        let (off, _) = self.slot(slot);
+        if off == 0 {
+            return Err(DbError::storage(format!("slot {slot} already dead")));
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Overwrite a tuple in place if the new value fits in the old slot's
+    /// bytes; otherwise the caller must delete + re-insert.
+    pub fn update_in_place(&mut self, slot: SlotId, tuple: &[u8]) -> DbResult<bool> {
+        if slot >= self.nslots() {
+            return Err(DbError::storage(format!("no slot {slot}")));
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return Err(DbError::storage(format!("slot {slot} is dead")));
+        }
+        if tuple.len() > len as usize {
+            return Ok(false);
+        }
+        let off = off as usize;
+        self.data[off..off + tuple.len()].copy_from_slice(tuple);
+        self.set_slot(slot as SlotId, off as u16, tuple.len() as u16);
+        Ok(true)
+    }
+
+    /// Iterate live slot ids.
+    pub fn live_slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        (0..self.nslots()).filter(|&s| {
+            let (off, _) = self.slot(s);
+            off != 0
+        })
+    }
+
+    /// Count of live tuples.
+    pub fn live_count(&self) -> usize {
+        self.live_slots().count()
+    }
+
+    /// Bytes of live tuple data (for size accounting).
+    pub fn live_bytes(&self) -> usize {
+        (0..self.nslots())
+            .filter_map(|s| {
+                let (off, len) = self.slot(s);
+                (off != 0).then_some(len as usize)
+            })
+            .sum()
+    }
+
+    /// Raw page bytes (used by B+-tree node codecs).
+    pub fn raw(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    pub fn raw_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0), Some(&b"hello"[..]));
+        assert_eq!(p.get(s1), Some(&b"world!"[..]));
+        assert_eq!(p.live_count(), 2);
+        assert_eq!(p.live_bytes(), 11);
+    }
+
+    #[test]
+    fn delete_marks_dead() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"abc").unwrap();
+        let s1 = p.insert(b"def").unwrap();
+        p.delete(s0).unwrap();
+        assert_eq!(p.get(s0), None);
+        assert_eq!(p.get(s1), Some(&b"def"[..]));
+        assert!(p.delete(s0).is_err());
+        assert_eq!(p.live_slots().collect::<Vec<_>>(), vec![s1]);
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut p = Page::new();
+        let tuple = [0xABu8; 100];
+        let mut n = 0;
+        while p.fits(tuple.len()) {
+            p.insert(&tuple).unwrap();
+            n += 1;
+        }
+        assert!(n >= 70, "should fit many 100-byte tuples, got {n}");
+        assert!(p.insert(&tuple).is_err());
+        // everything still readable
+        for s in 0..p.nslots() {
+            assert_eq!(p.get(s).unwrap(), &tuple[..]);
+        }
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let mut p = Page::new();
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_err());
+    }
+
+    #[test]
+    fn update_in_place_when_fits() {
+        let mut p = Page::new();
+        let s = p.insert(b"longvalue").unwrap();
+        assert!(p.update_in_place(s, b"short").unwrap());
+        assert_eq!(p.get(s), Some(&b"short"[..]));
+        assert!(!p.update_in_place(s, b"muchlongervaluethanbefore").unwrap());
+    }
+
+    #[test]
+    fn zero_length_tuples_not_confused_with_dead() {
+        // A zero-length tuple would get offset == freeend != 0, so it stays live.
+        let mut p = Page::new();
+        let s = p.insert(b"x").unwrap();
+        let z = p.insert(b"").unwrap();
+        assert_eq!(p.get(z), Some(&b""[..]));
+        p.delete(s).unwrap();
+        assert_eq!(p.get(z), Some(&b""[..]));
+    }
+}

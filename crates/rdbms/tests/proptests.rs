@@ -1,0 +1,325 @@
+//! Property-based tests for the engine's core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+use rdbms::storage::codec::{decode_row, encode_key, encode_row};
+use rdbms::types::{Date, Decimal, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+// ---------------------------------------------------------------------------
+// Value generators
+// ---------------------------------------------------------------------------
+
+fn arb_decimal() -> impl Strategy<Value = Decimal> {
+    (-1_000_000_000_000i128..1_000_000_000_000i128, 0u8..7u8)
+        .prop_map(|(m, s)| Decimal::new(m, s))
+}
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    (-100_000i32..100_000i32).prop_map(Date::from_days)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        arb_decimal().prop_map(Value::Decimal),
+        "[ -~]{0,40}".prop_map(Value::Str),
+        arb_date().prop_map(Value::Date),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Key-safe values (the documented key domain: numerics within the
+/// scale-6 i128 envelope, strings, dates, bools).
+fn arb_key_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1_000_000_000i64..1_000_000_000i64).prop_map(Value::Int),
+        (-10_000_000_000i128..10_000_000_000i128, 0u8..5u8)
+            .prop_map(|(m, s)| Value::Decimal(Decimal::new(m, s))),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Str),
+        arb_date().prop_map(Value::Date),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Null),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // -- row codec ---------------------------------------------------------
+
+    #[test]
+    fn row_codec_round_trips(row in prop::collection::vec(arb_value(), 0..24)) {
+        let bytes = encode_row(&row);
+        let back = decode_row(&bytes).unwrap();
+        prop_assert_eq!(row.len(), back.len());
+        for (a, b) in row.iter().zip(&back) {
+            match (a, b) {
+                (Value::Null, Value::Null) => {}
+                _ => prop_assert!(a == b, "mismatch: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_rows_never_panic(row in prop::collection::vec(arb_value(), 1..8),
+                                  cut in 0usize..64) {
+        let bytes = encode_row(&row);
+        let cut = cut.min(bytes.len());
+        // Must either decode or error — never panic.
+        let _ = decode_row(&bytes[..cut]);
+    }
+
+    // -- order-preserving key encoding --------------------------------------
+
+    #[test]
+    fn key_encoding_preserves_total_order(a in arb_key_value(), b in arb_key_value()) {
+        let ka = encode_key(std::slice::from_ref(&a));
+        let kb = encode_key(std::slice::from_ref(&b));
+        prop_assert_eq!(ka.cmp(&kb), a.total_cmp(&b),
+            "key order mismatch for {:?} vs {:?}", a, b);
+    }
+
+    #[test]
+    fn composite_key_order_is_lexicographic(
+        a in prop::collection::vec(arb_key_value(), 1..4),
+        b in prop::collection::vec(arb_key_value(), 1..4),
+    ) {
+        // Compare element-wise like the executor's sort would.
+        let expected = {
+            let mut ord = std::cmp::Ordering::Equal;
+            for (x, y) in a.iter().zip(b.iter()) {
+                ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    break;
+                }
+            }
+            if ord == std::cmp::Ordering::Equal {
+                a.len().cmp(&b.len())
+            } else {
+                ord
+            }
+        };
+        let ka = encode_key(&a);
+        let kb = encode_key(&b);
+        prop_assert_eq!(ka.cmp(&kb), expected);
+    }
+
+    // -- decimal arithmetic --------------------------------------------------
+
+    #[test]
+    fn decimal_add_commutes(a in arb_decimal(), b in arb_decimal()) {
+        prop_assert_eq!(a.add(b), b.add(a));
+    }
+
+    #[test]
+    fn decimal_add_sub_inverse(a in arb_decimal(), b in arb_decimal()) {
+        prop_assert_eq!(a.add(b).sub(b), a);
+    }
+
+    #[test]
+    fn decimal_mul_one_is_identity(a in arb_decimal()) {
+        prop_assert_eq!(a.mul(Decimal::from_int(1)), a);
+    }
+
+    #[test]
+    fn decimal_order_matches_f64(a in arb_decimal(), b in arb_decimal()) {
+        // f64 is only approximate; check when comfortably apart.
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if (fa - fb).abs() > 1e-3 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn decimal_display_parse_round_trip(a in arb_decimal()) {
+        let s = a.to_string();
+        let back = Decimal::parse(&s).unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    // -- dates ----------------------------------------------------------------
+
+    #[test]
+    fn date_ymd_round_trip(d in arb_date()) {
+        let (y, m, day) = d.ymd();
+        let back = Date::from_ymd(y, m, day).unwrap();
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn date_add_days_inverse(d in arb_date(), n in -5000i32..5000) {
+        prop_assert_eq!(d.add_days(n).add_days(-n), d);
+    }
+
+    #[test]
+    fn date_add_days_is_monotone(d in arb_date(), n in 1i32..5000) {
+        prop_assert!(d.add_days(n) > d);
+    }
+
+    // -- LIKE matching ---------------------------------------------------------
+
+    #[test]
+    fn like_without_wildcards_is_equality(s in "[a-z]{0,12}", t in "[a-z]{0,12}") {
+        prop_assert_eq!(rdbms::exec::expr::like_match(&s, &t), s == t);
+    }
+
+    #[test]
+    fn like_contains(s in "[a-z]{0,16}", needle in "[a-z]{1,4}") {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(
+            rdbms::exec::expr::like_match(&s, &pattern),
+            s.contains(&needle)
+        );
+    }
+
+    #[test]
+    fn like_prefix_suffix(s in "[a-z]{0,16}", affix in "[a-z]{1,4}") {
+        prop_assert_eq!(
+            rdbms::exec::expr::like_match(&s, &format!("{affix}%")),
+            s.starts_with(&affix)
+        );
+        prop_assert_eq!(
+            rdbms::exec::expr::like_match(&s, &format!("%{affix}")),
+            s.ends_with(&affix)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B+-tree vs model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(i64),
+    Delete(i64),
+    Range(i64, i64),
+}
+
+fn arb_tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-500i64..500).prop_map(TreeOp::Insert),
+            (-500i64..500).prop_map(TreeOp::Delete),
+            ((-500i64..500), (-500i64..500)).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_model(ops in arb_tree_ops()) {
+        use rdbms::clock::CostMeter;
+        use rdbms::index::BTree;
+        use rdbms::storage::{Pager, PagerConfig, Rid};
+
+        let pager = Pager::new(PagerConfig { pool_pages: 64 }, CostMeter::new());
+        let mut tree = BTree::new(pager, false).unwrap();
+        let mut model: BTreeMap<i64, Rid> = BTreeMap::new();
+        let key_of = |k: i64| encode_key(&[Value::Int(k)]);
+
+        for op in &ops {
+            match op {
+                TreeOp::Insert(k) => {
+                    let rid = Rid::new((*k + 1000) as u32, 0);
+                    if !model.contains_key(k) {
+                        tree.insert(&key_of(*k), rid).unwrap();
+                        model.insert(*k, rid);
+                    }
+                }
+                TreeOp::Delete(k) => {
+                    if let Some(rid) = model.remove(k) {
+                        let found = tree.delete(&key_of(*k), rid).unwrap();
+                        prop_assert!(found, "model had {} but tree delete missed", k);
+                    }
+                }
+                TreeOp::Range(lo, hi) => {
+                    let klo = key_of(*lo);
+                    let khi = key_of(*hi);
+                    let got: Vec<Rid> = tree
+                        .range_scan(Bound::Included(&klo), Bound::Included(&khi))
+                        .unwrap()
+                        .into_iter()
+                        .map(|(_, r)| r)
+                        .collect();
+                    let expected: Vec<Rid> =
+                        model.range(*lo..=*hi).map(|(_, r)| *r).collect();
+                    prop_assert_eq!(&got, &expected, "range [{}, {}]", lo, hi);
+                }
+            }
+        }
+        // Final full scan agrees.
+        let all: Vec<Rid> = tree.scan_all().unwrap().into_iter().map(|(_, r)| r).collect();
+        let expected: Vec<Rid> = model.values().copied().collect();
+        prop_assert_eq!(all, expected);
+        prop_assert_eq!(tree.entry_count(), model.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQL-level properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ORDER BY returns exactly the sorted multiset; GROUP BY sums equal a
+    /// manual recomputation; index scans agree with sequential scans.
+    #[test]
+    fn sql_sort_group_and_index_agree(
+        rows in prop::collection::vec((0i64..50, -100i64..100), 1..120)
+    ) {
+        let db = rdbms::Database::with_defaults();
+        db.execute("CREATE TABLE t (g INTEGER, v INTEGER)").unwrap();
+        let values: Vec<String> =
+            rows.iter().map(|(g, v)| format!("({g}, {v})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+
+        // ORDER BY.
+        let sorted = db.query("SELECT g, v FROM t ORDER BY g, v").unwrap();
+        let mut expected = rows.clone();
+        expected.sort();
+        let got: Vec<(i64, i64)> = sorted
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(&got, &expected);
+
+        // GROUP BY sums.
+        let grouped = db
+            .query("SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        let mut sums: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+        for (g, v) in &rows {
+            let e = sums.entry(*g).or_insert((0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        prop_assert_eq!(grouped.rows.len(), sums.len());
+        for row in &grouped.rows {
+            let g = row[0].as_int().unwrap();
+            let (sum, count) = sums[&g];
+            prop_assert_eq!(row[1].as_int().unwrap(), sum);
+            prop_assert_eq!(row[2].as_int().unwrap(), count);
+        }
+
+        // Index scan equals sequential scan.
+        let probe = rows[0].0;
+        let seq = db
+            .query(&format!("SELECT v FROM t WHERE g = {probe} ORDER BY v"))
+            .unwrap();
+        db.execute("CREATE INDEX t_g ON t (g)").unwrap();
+        db.execute("ANALYZE t").unwrap();
+        let via_index = db
+            .query(&format!("SELECT v FROM t WHERE g = {probe} ORDER BY v"))
+            .unwrap();
+        prop_assert_eq!(seq.rows, via_index.rows);
+    }
+}

@@ -1,0 +1,470 @@
+//! Deterministic TPC-D data generator (DBGEN equivalent).
+//!
+//! Seeded per table, so any table can be regenerated independently and the
+//! whole database is reproducible bit-for-bit for a given (scale factor,
+//! seed) pair — which is what lets the validation suite cross-check answers
+//! between the isolated-RDBMS and SAP configurations.
+
+use crate::records::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdbms::types::{Date, Decimal};
+
+/// Cardinalities at scale factor 1.0 (spec 4.2.5).
+const SUPPLIERS_SF1: f64 = 10_000.0;
+const PARTS_SF1: f64 = 200_000.0;
+const CUSTOMERS_SF1: f64 = 150_000.0;
+const ORDERS_SF1: f64 = 1_500_000.0;
+const PARTSUPP_PER_PART: i64 = 4;
+
+/// The generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DbGen {
+    pub sf: f64,
+    pub seed: u64,
+}
+
+impl DbGen {
+    pub fn new(sf: f64) -> Self {
+        DbGen { sf, seed: 19_970_525 } // SIGMOD'97 vintage
+    }
+
+    pub fn with_seed(sf: f64, seed: u64) -> Self {
+        DbGen { sf, seed }
+    }
+
+    fn rng(&self, table: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ table)
+    }
+
+    pub fn n_suppliers(&self) -> i64 {
+        ((SUPPLIERS_SF1 * self.sf).round() as i64).max(PARTSUPP_PER_PART)
+    }
+
+    pub fn n_parts(&self) -> i64 {
+        ((PARTS_SF1 * self.sf).round() as i64).max(10)
+    }
+
+    pub fn n_customers(&self) -> i64 {
+        ((CUSTOMERS_SF1 * self.sf).round() as i64).max(5)
+    }
+
+    pub fn n_orders(&self) -> i64 {
+        ((ORDERS_SF1 * self.sf).round() as i64).max(10)
+    }
+
+    // -- small tables -------------------------------------------------------
+
+    pub fn regions(&self) -> Vec<Region> {
+        let mut rng = self.rng(1);
+        REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Region {
+                regionkey: i as i64,
+                name: (*name).to_string(),
+                comment: text(&mut rng, 30, 80),
+            })
+            .collect()
+    }
+
+    pub fn nations(&self) -> Vec<Nation> {
+        let mut rng = self.rng(2);
+        NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, region))| Nation {
+                nationkey: i as i64,
+                name: (*name).to_string(),
+                regionkey: *region as i64,
+                comment: text(&mut rng, 30, 100),
+            })
+            .collect()
+    }
+
+    // -- large tables -------------------------------------------------------
+
+    pub fn suppliers(&self) -> Vec<Supplier> {
+        let mut rng = self.rng(3);
+        (1..=self.n_suppliers())
+            .map(|k| {
+                let nationkey = rng.gen_range(0..25i64);
+                Supplier {
+                    suppkey: k,
+                    name: format!("Supplier#{k:09}"),
+                    address: v_string(&mut rng, 10, 40),
+                    nationkey,
+                    phone: phone(&mut rng, nationkey),
+                    acctbal: money_in(&mut rng, -99_999, 999_999),
+                    comment: supplier_comment(&mut rng, k),
+                }
+            })
+            .collect()
+    }
+
+    pub fn parts(&self) -> Vec<Part> {
+        let mut rng = self.rng(4);
+        (1..=self.n_parts())
+            .map(|k| {
+                let mfgr_n = rng.gen_range(1..=5);
+                let brand_n = mfgr_n * 10 + rng.gen_range(1..=5);
+                let name: Vec<&str> = (0..5)
+                    .map(|_| COLORS[rng.gen_range(0..COLORS.len())])
+                    .collect();
+                let type_ = format!(
+                    "{} {} {}",
+                    TYPE_SYLL_1[rng.gen_range(0..TYPE_SYLL_1.len())],
+                    TYPE_SYLL_2[rng.gen_range(0..TYPE_SYLL_2.len())],
+                    TYPE_SYLL_3[rng.gen_range(0..TYPE_SYLL_3.len())],
+                );
+                let container = format!(
+                    "{} {}",
+                    CONTAINER_SYLL_1[rng.gen_range(0..CONTAINER_SYLL_1.len())],
+                    CONTAINER_SYLL_2[rng.gen_range(0..CONTAINER_SYLL_2.len())],
+                );
+                Part {
+                    partkey: k,
+                    name: name.join(" "),
+                    mfgr: format!("Manufacturer#{mfgr_n}"),
+                    brand: format!("Brand#{brand_n}"),
+                    type_,
+                    size: rng.gen_range(1..=50),
+                    container,
+                    retailprice: retail_price(k),
+                    comment: text(&mut rng, 5, 22),
+                }
+            })
+            .collect()
+    }
+
+    pub fn partsupps(&self) -> Vec<PartSupp> {
+        let mut rng = self.rng(5);
+        let n_supp = self.n_suppliers();
+        let mut out = Vec::with_capacity((self.n_parts() * PARTSUPP_PER_PART) as usize);
+        for partkey in 1..=self.n_parts() {
+            for suppkey in suppliers_for_part(partkey, n_supp) {
+                out.push(PartSupp {
+                    partkey,
+                    suppkey,
+                    availqty: rng.gen_range(1..=9999),
+                    supplycost: money_in(&mut rng, 100, 100_000),
+                    comment: text(&mut rng, 10, 50),
+                });
+            }
+        }
+        out
+    }
+
+    pub fn customers(&self) -> Vec<Customer> {
+        let mut rng = self.rng(6);
+        (1..=self.n_customers())
+            .map(|k| {
+                let nationkey = rng.gen_range(0..25i64);
+                Customer {
+                    custkey: k,
+                    name: format!("Customer#{k:09}"),
+                    address: v_string(&mut rng, 10, 40),
+                    nationkey,
+                    phone: phone(&mut rng, nationkey),
+                    acctbal: money_in(&mut rng, -99_999, 999_999),
+                    mktsegment: SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string(),
+                    comment: text(&mut rng, 29, 116),
+                }
+            })
+            .collect()
+    }
+
+    /// Orders and their lineitems (generated jointly, as DBGEN does).
+    pub fn orders_and_lineitems(&self) -> (Vec<Order>, Vec<LineItem>) {
+        let mut rng = self.rng(7);
+        self.gen_orders(&mut rng, 1, self.n_orders(), Date::from_days(0))
+    }
+
+    /// The update-function stream `uf_seq` (1, 2, ...): fresh orders with
+    /// keys above the base population (UF1 inserts them, UF2 deletes them).
+    pub fn update_stream(&self, uf_seq: u64) -> (Vec<Order>, Vec<LineItem>) {
+        let mut rng = self.rng(1000 + uf_seq);
+        let n_new = (self.n_orders() as f64 * 0.001).ceil() as i64; // SF x 1500 per spec
+        let first = self.n_orders() + 1 + (uf_seq as i64 - 1) * n_new;
+        self.gen_orders(&mut rng, first, n_new, Date::from_days(0))
+    }
+
+    fn gen_orders(
+        &self,
+        rng: &mut StdRng,
+        first_key: i64,
+        count: i64,
+        _epoch: Date,
+    ) -> (Vec<Order>, Vec<LineItem>) {
+        let n_cust = self.n_customers();
+        let n_parts = self.n_parts();
+        let n_supp = self.n_suppliers();
+        let start = start_date();
+        let order_days = end_order_date().days() - start.days();
+        let current = Date::from_ymd(1995, 6, 17).expect("valid"); // spec CURRENTDATE
+        let mut orders = Vec::with_capacity(count as usize);
+        let mut lineitems = Vec::new();
+        for i in 0..count {
+            let orderkey = first_key + i;
+            // Spec: only 2/3 of customers have orders (custkey % 3 != 0 in
+            // dbgen); we keep all customers eligible for simplicity but
+            // preserve the clustered distribution.
+            let custkey = rng.gen_range(1..=n_cust);
+            let orderdate = start.add_days(rng.gen_range(0..=order_days));
+            let n_lines = rng.gen_range(1..=7i64);
+            let mut totalprice = Decimal::zero();
+            let mut all_f = true;
+            let mut any_f = false;
+            for ln in 1..=n_lines {
+                let partkey = rng.gen_range(1..=n_parts);
+                // One of the part's four suppliers.
+                let j = rng.gen_range(0..PARTSUPP_PER_PART) as usize;
+                let suppkey = suppliers_for_part(partkey, n_supp)[j];
+                let quantity = rng.gen_range(1..=50i64);
+                let extendedprice =
+                    retail_price(partkey).mul(Decimal::from_int(quantity)).rescale(2);
+                let discount = Decimal::new(rng.gen_range(0..=10) as i128, 2); // 0.00..0.10
+                let tax = Decimal::new(rng.gen_range(0..=8) as i128, 2); // 0.00..0.08
+                let shipdate = orderdate.add_days(rng.gen_range(1..=121));
+                let commitdate = orderdate.add_days(rng.gen_range(30..=90));
+                let receiptdate = shipdate.add_days(rng.gen_range(1..=30));
+                let (returnflag, linestatus) = if receiptdate <= current {
+                    // Returned or accepted.
+                    let rf = if rng.gen_bool(0.5) { "R" } else { "A" };
+                    (rf.to_string(), "F".to_string())
+                } else {
+                    ("N".to_string(), "O".to_string())
+                };
+                if linestatus == "F" {
+                    any_f = true;
+                } else {
+                    all_f = false;
+                }
+                let one = Decimal::from_int(1);
+                totalprice = totalprice.add(
+                    extendedprice.mul(one.sub(discount)).mul(one.add(tax)).rescale(2),
+                );
+                lineitems.push(LineItem {
+                    orderkey,
+                    partkey,
+                    suppkey,
+                    linenumber: ln,
+                    quantity,
+                    extendedprice,
+                    discount,
+                    tax,
+                    returnflag,
+                    linestatus,
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    shipinstruct: SHIP_INSTRUCTS[rng.gen_range(0..SHIP_INSTRUCTS.len())]
+                        .to_string(),
+                    shipmode: SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string(),
+                    comment: text(rng, 10, 43),
+                });
+            }
+            let orderstatus = if all_f {
+                "F"
+            } else if any_f {
+                "P"
+            } else {
+                "O"
+            };
+            orders.push(Order {
+                orderkey,
+                custkey,
+                orderstatus: orderstatus.to_string(),
+                totalprice,
+                orderdate,
+                orderpriority: PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string(),
+                clerk: format!("Clerk#{:09}", rng.gen_range(1..=1000)),
+                shippriority: 0,
+                comment: text(rng, 19, 78),
+            });
+        }
+        (orders, lineitems)
+    }
+}
+
+/// The four suppliers of a part (spec 4.2.3 supplier-spread formula, with
+/// collision resolution so the (partkey, suppkey) pairs stay unique even at
+/// tiny scale factors where the raw formula degenerates).
+pub fn suppliers_for_part(partkey: i64, n_supp: i64) -> [i64; 4] {
+    debug_assert!(n_supp >= 4, "need at least 4 suppliers");
+    let step = (n_supp / PARTSUPP_PER_PART).max(1) + (partkey - 1) / n_supp;
+    let mut out = [0i64; 4];
+    for (j, slot) in out.iter_mut().enumerate() {
+        *slot = (partkey - 1 + j as i64 * step).rem_euclid(n_supp) + 1;
+    }
+    // Resolve any collisions by probing to the next free supplier.
+    for j in 1..4 {
+        while out[..j].contains(&out[j]) {
+            out[j] = out[j] % n_supp + 1;
+        }
+    }
+    out
+}
+
+/// Spec 4.2.3: P_RETAILPRICE = (90000 + ((P_PARTKEY/10) mod 20001) +
+/// 100 * (P_PARTKEY mod 1000)) / 100.
+pub fn retail_price(partkey: i64) -> Decimal {
+    let cents = 90_000 + ((partkey / 10) % 20_001) + 100 * (partkey % 1000);
+    Decimal::new(cents as i128, 2)
+}
+
+fn money_in(rng: &mut StdRng, lo_cents: i64, hi_cents: i64) -> Decimal {
+    Decimal::new(rng.gen_range(lo_cents..=hi_cents) as i128, 2)
+}
+
+fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        nationkey + 10,
+        rng.gen_range(100..=999),
+        rng.gen_range(100..=999),
+        rng.gen_range(1000..=9999)
+    )
+}
+
+fn v_string(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    let mut s = String::with_capacity(len);
+    for i in 0..len {
+        let c = if i % 6 == 5 {
+            ' '
+        } else {
+            (b'a' + rng.gen_range(0..26u8)) as char
+        };
+        s.push(c);
+    }
+    s.trim_end().to_string()
+}
+
+/// Pseudo-text from the word vocabulary, `min..=max` bytes long.
+fn text(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let target = rng.gen_range(min..=max);
+    let mut s = String::with_capacity(target + 12);
+    while s.len() < target {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s.truncate(target);
+    s.trim_end().to_string()
+}
+
+/// A fraction of suppliers get the Q16 "Customer Complaints" marker.
+fn supplier_comment(rng: &mut StdRng, suppkey: i64) -> String {
+    let base = text(rng, 25, 100);
+    if suppkey % 100 == 7 {
+        format!("{base} Customer stuff Complaints")
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> DbGen {
+        DbGen::new(0.002)
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = small();
+        let a = g.parts();
+        let b = g.parts();
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.name == y.name && x.retailprice == y.retailprice));
+        let (o1, l1) = g.orders_and_lineitems();
+        let (o2, l2) = g.orders_and_lineitems();
+        assert_eq!(o1.len(), o2.len());
+        assert_eq!(l1.len(), l2.len());
+        assert_eq!(l1[0].extendedprice, l2[0].extendedprice);
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let g = DbGen::new(0.01);
+        assert_eq!(g.n_suppliers(), 100);
+        assert_eq!(g.n_parts(), 2000);
+        assert_eq!(g.n_customers(), 1500);
+        assert_eq!(g.n_orders(), 15000);
+        let (orders, lineitems) = small().orders_and_lineitems();
+        let ratio = lineitems.len() as f64 / orders.len() as f64;
+        assert!((3.0..5.0).contains(&ratio), "about 4 lineitems per order, got {ratio}");
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let g = small();
+        let n_parts = g.n_parts();
+        let n_supp = g.n_suppliers();
+        let n_cust = g.n_customers();
+        let ps = g.partsupps();
+        assert!(ps.iter().all(|p| (1..=n_parts).contains(&p.partkey)));
+        assert!(ps.iter().all(|p| (1..=n_supp).contains(&p.suppkey)));
+        // (partkey, suppkey) unique
+        let keys: HashSet<(i64, i64)> = ps.iter().map(|p| (p.partkey, p.suppkey)).collect();
+        assert_eq!(keys.len(), ps.len());
+        let (orders, lineitems) = g.orders_and_lineitems();
+        assert!(orders.iter().all(|o| (1..=n_cust).contains(&o.custkey)));
+        let okeys: HashSet<i64> = orders.iter().map(|o| o.orderkey).collect();
+        assert!(lineitems.iter().all(|l| okeys.contains(&l.orderkey)));
+        // Every lineitem (partkey, suppkey) appears in partsupp.
+        assert!(lineitems.iter().all(|l| keys.contains(&(l.partkey, l.suppkey))));
+    }
+
+    #[test]
+    fn lineitem_dates_are_ordered() {
+        let (_, lineitems) = small().orders_and_lineitems();
+        assert!(lineitems.iter().all(|l| l.shipdate < l.receiptdate));
+        // Return flags consistent with spec: N => O status.
+        assert!(lineitems
+            .iter()
+            .all(|l| (l.returnflag == "N") == (l.linestatus == "O")));
+    }
+
+    #[test]
+    fn update_stream_keys_disjoint_from_base() {
+        let g = small();
+        let (base, _) = g.orders_and_lineitems();
+        let (u1, ul1) = g.update_stream(1);
+        let (u2, _) = g.update_stream(2);
+        assert!(!u1.is_empty());
+        assert!(!ul1.is_empty());
+        let max_base = base.iter().map(|o| o.orderkey).max().unwrap();
+        assert!(u1.iter().all(|o| o.orderkey > max_base));
+        let k1: HashSet<i64> = u1.iter().map(|o| o.orderkey).collect();
+        assert!(u2.iter().all(|o| !k1.contains(&o.orderkey)));
+    }
+
+    #[test]
+    fn totalprice_matches_lineitems() {
+        let g = small();
+        let (orders, lineitems) = g.orders_and_lineitems();
+        let o = &orders[0];
+        let one = Decimal::from_int(1);
+        let expected = lineitems
+            .iter()
+            .filter(|l| l.orderkey == o.orderkey)
+            .fold(Decimal::zero(), |acc, l| {
+                acc.add(l.extendedprice.mul(one.sub(l.discount)).mul(one.add(l.tax)).rescale(2))
+            });
+        assert_eq!(o.totalprice, expected);
+    }
+
+    #[test]
+    fn retail_price_formula() {
+        assert_eq!(retail_price(1).to_string(), "901.00");
+        assert_eq!(retail_price(10).to_string(), "910.01");
+    }
+}

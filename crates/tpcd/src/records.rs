@@ -1,0 +1,217 @@
+//! TPC-D record types and the benchmark's value distributions.
+//!
+//! The distributions follow TPC-D Standard Specification 1.0 (May 1995):
+//! the 25 nations and 5 regions, part naming from the color vocabulary,
+//! brands/types/containers, order priorities, ship modes, market segments,
+//! and the date ranges of the order/lineitem population.
+
+use rdbms::types::{Date, Decimal};
+
+/// The five TPC-D regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-D nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Part name vocabulary (a subset of the spec's 92 colors — P_NAME is a
+/// concatenation of five of these; Q9 greps for '%green%').
+pub const COLORS: [&str; 40] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+    "indian", "ivory", "khaki", "lace",
+];
+
+pub const TYPE_SYLL_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLL_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_SYLL_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+pub const CONTAINER_SYLL_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+pub const CONTAINER_SYLL_2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+pub const SHIP_INSTRUCTS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Nonsense-text vocabulary for comments (spec's TEXT grammar, abridged).
+pub const WORDS: [&str; 32] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
+    "beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes", "courts",
+    "dolphins", "multipliers", "sauternes", "warthogs", "frets", "dinos", "attainments",
+    "somas", "braids", "hockey", "players", "frays", "warhorses", "dugouts", "notornis",
+    "epitaphs", "pearls",
+];
+
+/// Population start/end dates (spec 4.2.3): orders span 1992-01-01 through
+/// 1998-08-02 (ENDDATE - 151 days).
+pub fn start_date() -> Date {
+    Date::from_ymd(1992, 1, 1).expect("valid")
+}
+
+pub fn end_order_date() -> Date {
+    Date::from_ymd(1998, 8, 2).expect("valid")
+}
+
+pub fn money(cents: i64) -> Decimal {
+    Decimal::new(cents as i128, 2)
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct Region {
+    pub regionkey: i64,
+    pub name: String,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Nation {
+    pub nationkey: i64,
+    pub name: String,
+    pub regionkey: i64,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Supplier {
+    pub suppkey: i64,
+    pub name: String,
+    pub address: String,
+    pub nationkey: i64,
+    pub phone: String,
+    pub acctbal: Decimal,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Part {
+    pub partkey: i64,
+    pub name: String,
+    pub mfgr: String,
+    pub brand: String,
+    pub type_: String,
+    pub size: i64,
+    pub container: String,
+    pub retailprice: Decimal,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct PartSupp {
+    pub partkey: i64,
+    pub suppkey: i64,
+    pub availqty: i64,
+    pub supplycost: Decimal,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Customer {
+    pub custkey: i64,
+    pub name: String,
+    pub address: String,
+    pub nationkey: i64,
+    pub phone: String,
+    pub acctbal: Decimal,
+    pub mktsegment: String,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Order {
+    pub orderkey: i64,
+    pub custkey: i64,
+    pub orderstatus: String,
+    pub totalprice: Decimal,
+    pub orderdate: Date,
+    pub orderpriority: String,
+    pub clerk: String,
+    pub shippriority: i64,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct LineItem {
+    pub orderkey: i64,
+    pub partkey: i64,
+    pub suppkey: i64,
+    pub linenumber: i64,
+    pub quantity: i64,
+    pub extendedprice: Decimal,
+    pub discount: Decimal,
+    pub tax: Decimal,
+    pub returnflag: String,
+    pub linestatus: String,
+    pub shipdate: Date,
+    pub commitdate: Date,
+    pub receiptdate: Date,
+    pub shipinstruct: String,
+    pub shipmode: String,
+    pub comment: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        assert_eq!(NATIONS.len(), 25);
+        assert!(NATIONS.iter().all(|(_, r)| *r < REGIONS.len()));
+        // Names needed by the query suite exist.
+        for needed in ["BRAZIL", "FRANCE", "GERMANY"] {
+            assert!(NATIONS.iter().any(|(n, _)| *n == needed));
+        }
+        assert!(REGIONS.contains(&"ASIA") && REGIONS.contains(&"EUROPE"));
+    }
+
+    #[test]
+    fn vocabularies_nonempty_and_green_exists() {
+        assert!(COLORS.contains(&"green"), "Q9 needs the green color");
+        assert!(TYPE_SYLL_1.contains(&"PROMO"), "Q14 needs PROMO types");
+        assert!(TYPE_SYLL_3.contains(&"BRASS"), "Q2 needs BRASS types");
+        assert!(SHIP_MODES.contains(&"MAIL") && SHIP_MODES.contains(&"SHIP"));
+    }
+
+    #[test]
+    fn date_range() {
+        assert!(start_date() < end_order_date());
+        assert_eq!(start_date().to_string(), "1992-01-01");
+    }
+}

@@ -1,0 +1,156 @@
+//! Answer validation: independent recomputation of selected query answers
+//! straight from the generator's records (no SQL engine involved), so an
+//! engine bug cannot validate itself. The paper validated its three
+//! implementations against a scale-0.1 test database the same way (§3.3).
+
+use crate::dbgen::DbGen;
+use crate::records::LineItem;
+use rdbms::types::{Date, Decimal};
+use rdbms::{Database, DbResult, Value};
+use std::collections::BTreeMap;
+
+/// Q1 reference answer computed directly over generated lineitems:
+/// (returnflag, linestatus) -> (sum_qty, sum_base, sum_disc, sum_charge, count).
+pub fn q1_reference(
+    lineitems: &[LineItem],
+    delta_days: i32,
+) -> BTreeMap<(String, String), (Decimal, Decimal, Decimal, Decimal, u64)> {
+    let cutoff = Date::from_ymd(1998, 12, 1).expect("valid").add_days(-delta_days);
+    let one = Decimal::from_int(1);
+    let mut out: BTreeMap<(String, String), (Decimal, Decimal, Decimal, Decimal, u64)> =
+        BTreeMap::new();
+    for l in lineitems {
+        if l.shipdate > cutoff {
+            continue;
+        }
+        let e = out
+            .entry((l.returnflag.clone(), l.linestatus.clone()))
+            .or_insert((Decimal::zero(), Decimal::zero(), Decimal::zero(), Decimal::zero(), 0));
+        e.0 = e.0.add(Decimal::from_int(l.quantity));
+        e.1 = e.1.add(l.extendedprice);
+        let disc = l.extendedprice.mul(one.sub(l.discount));
+        e.2 = e.2.add(disc);
+        e.3 = e.3.add(disc.mul(one.add(l.tax)));
+        e.4 += 1;
+    }
+    out
+}
+
+/// Q6 reference answer.
+pub fn q6_reference(lineitems: &[LineItem]) -> Decimal {
+    let lo = Date::from_ymd(1994, 1, 1).expect("valid");
+    let hi = lo.add_years(1);
+    let dlo = Decimal::parse("0.05").expect("valid");
+    let dhi = Decimal::parse("0.07").expect("valid");
+    let mut sum = Decimal::zero();
+    for l in lineitems {
+        if l.shipdate >= lo
+            && l.shipdate < hi
+            && l.discount >= dlo
+            && l.discount <= dhi
+            && l.quantity < 24
+        {
+            sum = sum.add(l.extendedprice.mul(l.discount));
+        }
+    }
+    sum
+}
+
+/// Validate a loaded database against the generator. Returns descriptions
+/// of any mismatches (empty = valid).
+pub fn validate(db: &Database, gen: &DbGen) -> DbResult<Vec<String>> {
+    let mut problems = Vec::new();
+    let (_, lineitems) = gen.orders_and_lineitems();
+
+    // Row counts.
+    for (table, expected) in [
+        ("region", 5i64),
+        ("nation", 25),
+        ("supplier", gen.n_suppliers()),
+        ("part", gen.n_parts()),
+        ("customer", gen.n_customers()),
+        ("orders", gen.n_orders()),
+        ("lineitem", lineitems.len() as i64),
+    ] {
+        let got = db
+            .query(&format!("SELECT COUNT(*) FROM {table}"))?
+            .scalar()?
+            .as_int()?;
+        if got != expected {
+            problems.push(format!("{table}: {got} rows, expected {expected}"));
+        }
+    }
+
+    // Q1 against the reference.
+    let reference = q1_reference(&lineitems, 90);
+    let params = crate::queries::QueryParams::for_scale(gen.sf);
+    let q1 = crate::power::run_query(db, 1, &params)?;
+    if q1.rows.len() != reference.len() {
+        problems.push(format!(
+            "Q1: {} groups, reference has {}",
+            q1.rows.len(),
+            reference.len()
+        ));
+    }
+    for row in &q1.rows {
+        let key = (
+            row[0].to_string(),
+            row[1].to_string(),
+        );
+        match reference.get(&key) {
+            None => problems.push(format!("Q1: unexpected group {key:?}")),
+            Some(r) => {
+                let sum_qty = row[2].as_decimal()?;
+                let count = row[9].as_int()? as u64;
+                if sum_qty != r.0 {
+                    problems.push(format!("Q1 {key:?}: sum_qty {sum_qty} != {}", r.0));
+                }
+                if count != r.4 {
+                    problems.push(format!("Q1 {key:?}: count {count} != {}", r.4));
+                }
+                let sum_charge = row[5].as_decimal()?;
+                if sum_charge != r.3 {
+                    problems.push(format!("Q1 {key:?}: sum_charge {sum_charge} != {}", r.3));
+                }
+            }
+        }
+    }
+
+    // Q6 against the reference.
+    let q6 = crate::power::run_query(db, 6, &params)?;
+    let got = match &q6.rows[0][0] {
+        Value::Null => Decimal::zero(),
+        v => v.as_decimal()?,
+    };
+    let expected = q6_reference(&lineitems);
+    if got != expected {
+        problems.push(format!("Q6: {got} != reference {expected}"));
+    }
+
+    Ok(problems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::load;
+
+    #[test]
+    fn loaded_database_validates() {
+        let db = Database::with_defaults();
+        let gen = DbGen::new(0.001);
+        load(&db, &gen).unwrap();
+        let problems = validate(&db, &gen).unwrap();
+        assert!(problems.is_empty(), "validation problems: {problems:?}");
+    }
+
+    #[test]
+    fn reference_detects_tampering() {
+        let db = Database::with_defaults();
+        let gen = DbGen::new(0.001);
+        load(&db, &gen).unwrap();
+        db.execute("DELETE FROM lineitem WHERE l_orderkey = 1").unwrap();
+        let problems = validate(&db, &gen).unwrap();
+        assert!(!problems.is_empty(), "tampered database must fail validation");
+    }
+}

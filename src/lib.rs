@@ -1,0 +1,18 @@
+//! # sapsim — umbrella crate for the TPC-D / SAP R/3 reproduction
+//!
+//! Re-exports the three subsystem crates:
+//!
+//! * [`rdbms`] — the from-scratch relational engine (the "commercial
+//!   back-end RDBMS"),
+//! * [`tpcd`] — the TPC-D benchmark kit (dbgen, queries, power test),
+//! * [`r3`] — the SAP R/3 three-tier application-system simulator.
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results. The
+//! runnable entry points are the examples (`cargo run --release --example
+//! quickstart`) and the experiment harness (`cargo run --release -p bench
+//! --bin experiments`).
+
+pub use r3;
+pub use rdbms;
+pub use tpcd;

@@ -1,0 +1,195 @@
+//! Workspace-level integration tests: the whole reproduction pipeline,
+//! spanning rdbms + tpcd + r3.
+
+use r3::reports::{run_report, SapInterface};
+use r3::{R3System, Release};
+use rdbms::Database;
+use tpcd::{DbGen, QueryParams};
+
+const SF: f64 = 0.001;
+
+#[test]
+fn full_pipeline_generate_load_validate_query() {
+    let gen = DbGen::new(SF);
+    // Isolated RDBMS.
+    let db = Database::with_defaults();
+    tpcd::schema::load(&db, &gen).unwrap();
+    let problems = tpcd::validate::validate(&db, &gen).unwrap();
+    assert!(problems.is_empty(), "validation: {problems:?}");
+
+    // SAP stack.
+    let sys = R3System::install_default(Release::R30).unwrap();
+    sys.load_tpcd(&gen).unwrap();
+
+    // Q6 must give the identical answer in both worlds.
+    let params = QueryParams::for_scale(SF);
+    let isolated = tpcd::run_query(&db, 6, &params).unwrap();
+    let sap = r3::reports::run_query_rows(&sys, SapInterface::Native, 6, &params).unwrap();
+    assert_eq!(
+        isolated.rows[0][0].as_decimal().unwrap(),
+        sap[0][0].as_decimal().unwrap(),
+        "Q6 answers must match across stacks"
+    );
+}
+
+#[test]
+fn power_test_shapes_hold() {
+    // The paper's headline orderings at a small SF: the isolated RDBMS is
+    // fastest; Native beats Open within each release; the 3.0 upgrade
+    // helps both SAP variants (on the KONV-heavy queries).
+    let gen = DbGen::new(SF);
+    let params = QueryParams::for_scale(SF);
+
+    let db = Database::with_defaults();
+    tpcd::schema::load(&db, &gen).unwrap();
+    db.meter().reset();
+    let rdbms_result = tpcd::run_power_test(&db, &gen, &params).unwrap();
+    let rdbms_total = rdbms_result.total_queries();
+
+    let mut totals = std::collections::HashMap::new();
+    for release in [Release::R22, Release::R30] {
+        let sys = R3System::install_default(release).unwrap();
+        sys.load_tpcd(&gen).unwrap();
+        for iface in [SapInterface::Native, SapInterface::Open] {
+            let mut total = 0.0;
+            for n in 1..=17 {
+                total += run_report(&sys, iface, n, &params).unwrap().seconds;
+            }
+            totals.insert((release, iface), total);
+        }
+    }
+    let n22 = totals[&(Release::R22, SapInterface::Native)];
+    let o22 = totals[&(Release::R22, SapInterface::Open)];
+    let n30 = totals[&(Release::R30, SapInterface::Native)];
+    let o30 = totals[&(Release::R30, SapInterface::Open)];
+
+    assert!(rdbms_total < n30, "isolated RDBMS beats SAP Native 3.0: {rdbms_total} vs {n30}");
+    assert!(n30 < o30, "Native 3.0 beats Open 3.0: {n30} vs {o30}");
+    assert!(n22 < o22, "Native 2.2 beats Open 2.2: {n22} vs {o22}");
+    assert!(n30 < n22, "the 3.0 upgrade helps Native: {n30} vs {n22}");
+    assert!(o30 < o22, "the 3.0 upgrade helps Open massively: {o30} vs {o22}");
+}
+
+#[test]
+fn q1_much_cheaper_after_30_upgrade() {
+    // The paper's single most prominent result: Q1 dropped from ~2h15m to
+    // ~1h after the upgrade (both interfaces), because the KONV joins
+    // finally push down.
+    let gen = DbGen::new(SF);
+    let params = QueryParams::for_scale(SF);
+    let mut t = std::collections::HashMap::new();
+    for release in [Release::R22, Release::R30] {
+        let sys = R3System::install_default(release).unwrap();
+        sys.load_tpcd(&gen).unwrap();
+        for iface in [SapInterface::Native, SapInterface::Open] {
+            let r = run_report(&sys, iface, 1, &params).unwrap();
+            t.insert((release, iface), r.seconds);
+        }
+    }
+    for iface in [SapInterface::Native, SapInterface::Open] {
+        let r22 = t[&(Release::R22, iface)];
+        let r30 = t[&(Release::R30, iface)];
+        assert!(
+            r30 < r22 * 0.8,
+            "{iface}: Q1 should drop substantially after the upgrade ({r22} -> {r30})"
+        );
+    }
+}
+
+#[test]
+fn update_functions_round_trip_through_both_stacks() {
+    let gen = DbGen::new(SF);
+    let params = QueryParams::for_scale(SF);
+    // RDBMS side.
+    let db = Database::with_defaults();
+    tpcd::schema::load(&db, &gen).unwrap();
+    let q6_before = tpcd::run_query(&db, 6, &params).unwrap();
+    tpcd::updates::uf1(&db, &gen, 1).unwrap();
+    tpcd::updates::uf2(&db, &gen, 1).unwrap();
+    let q6_after = tpcd::run_query(&db, 6, &params).unwrap();
+    assert_eq!(q6_before.rows, q6_after.rows, "UF1+UF2 leave answers unchanged");
+
+    // SAP side through batch input.
+    let sys = R3System::install_default(Release::R22).unwrap();
+    sys.load_tpcd(&gen).unwrap();
+    let before = r3::reports::run_query_rows(&sys, SapInterface::Open, 6, &params).unwrap();
+    r3::batch_input::batch_uf1(&sys, &gen, 1).unwrap();
+    r3::batch_input::batch_uf2(&sys, &gen, 1).unwrap();
+    let after = r3::reports::run_query_rows(&sys, SapInterface::Open, 6, &params).unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn warehouse_extraction_total_comparable_to_open_power_test() {
+    // Section 5's conclusion: extracting the warehouse costs about as much
+    // as one full Open SQL power test.
+    let gen = DbGen::new(SF);
+    let params = QueryParams::for_scale(SF);
+    let sys = R3System::install_default(Release::R30).unwrap();
+    sys.load_tpcd(&gen).unwrap();
+
+    let mut power_total = 0.0;
+    for n in 1..=17 {
+        power_total += run_report(&sys, SapInterface::Open, n, &params).unwrap().seconds;
+    }
+    sys.meter().reset();
+    let extraction: f64 = r3::extract::extract_warehouse(&sys)
+        .unwrap()
+        .iter()
+        .map(|r| r.seconds)
+        .sum();
+    let ratio = extraction / power_total;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "extraction ({extraction:.0}s) should be comparable to the Open power test \
+         ({power_total:.0}s), ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn old_22_reports_still_run_on_30_with_22_performance() {
+    // §3.4.4: "the old 2.2G Native and Open SQL reports were operational in
+    // 3.0E, but they had virtually the same performance". Our 2.2 report
+    // programs run against a 3.0 system by forcing the programs path.
+    let gen = DbGen::new(SF);
+    let params = QueryParams::for_scale(SF);
+    let s30 = R3System::install_default(Release::R30).unwrap();
+    s30.load_tpcd(&gen).unwrap();
+
+    // The new (3.0) Open report for Q3 vs the same query executed with the
+    // 2.2-style nested program (which still works on the 3.0 system —
+    // single-table Open SQL statements are release-compatible).
+    let new_style = run_report(&s30, SapInterface::Open, 3, &params).unwrap();
+
+    let s22_style_sys = R3System::install_default(Release::R22).unwrap();
+    s22_style_sys.load_tpcd(&gen).unwrap();
+    let old_style = run_report(&s22_style_sys, SapInterface::Open, 3, &params).unwrap();
+
+    assert_eq!(new_style.rows, old_style.rows, "same answer either way");
+    assert!(
+        old_style.seconds > new_style.seconds,
+        "2.2-style nested report ({:.1}s) must be slower than the rewritten \
+         3.0 report ({:.1}s)",
+        old_style.seconds,
+        new_style.seconds
+    );
+}
+
+#[test]
+fn meter_is_the_single_source_of_simulated_time() {
+    // Simulated seconds must be reproducible: running the same query twice
+    // on identical fresh systems gives identical metered work.
+    let gen = DbGen::new(SF);
+    let params = QueryParams::for_scale(SF);
+    let work = |_: u32| {
+        let sys = R3System::install_default(Release::R30).unwrap();
+        sys.load_tpcd(&gen).unwrap();
+        sys.meter().reset();
+        let r = run_report(&sys, SapInterface::Open, 6, &params).unwrap();
+        (r.work, r.seconds)
+    };
+    let (w1, s1) = work(1);
+    let (w2, s2) = work(2);
+    assert_eq!(w1, w2, "metered work must be deterministic");
+    assert_eq!(s1, s2);
+}
