@@ -28,8 +28,7 @@ fn blind_plans(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation/blind_param_plans");
     for (label, blind) in [("vendor_blind", true), ("modern_replan", false)] {
-        let mut config = PlannerConfig::default();
-        config.blind_param_plans = blind;
+        let config = PlannerConfig { blind_param_plans: blind, ..PlannerConfig::default() };
         db.set_planner_config(config);
         let prepared = db.prepare(sql).unwrap();
         group.bench_function(label, |b| {
@@ -46,8 +45,7 @@ fn hash_join_ablation(c: &mut Criterion) {
                WHERE o_custkey = c_custkey AND c_mktsegment = 'BUILDING'";
     let mut group = c.benchmark_group("ablation/join_method");
     for (label, hash) in [("hash_join", true), ("nested_loop_only", false)] {
-        let mut config = PlannerConfig::default();
-        config.enable_hash_join = hash;
+        let config = PlannerConfig { enable_hash_join: hash, ..PlannerConfig::default() };
         db.set_planner_config(config);
         group.bench_function(label, |b| b.iter(|| db.query(sql).unwrap()));
     }

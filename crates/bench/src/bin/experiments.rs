@@ -62,6 +62,10 @@ fn main() {
             "table7" => run("table7", bench::table7(sf)),
             "table8" => run("table8", bench::table8(sf)),
             "table9" => run("table9", bench::table9(sf)),
+            "throughput" => run(
+                "throughput",
+                bench::throughput_table(sf, &[1, 2, 4], &bench::ThroughputSystem::ALL),
+            ),
             "figures" => println!("{}", bench::figures()),
             other => eprintln!("unknown experiment '{other}'"),
         }

@@ -1,0 +1,118 @@
+//! Record a TPC-D throughput baseline as JSON.
+//!
+//! ```text
+//! throughput [--sf <scale>] [--streams 1,2,4,8] \
+//!            [--configs isolated,native,open] [--out BENCH_throughput.json]
+//! ```
+//!
+//! Runs the multi-stream throughput test at each requested stream count on
+//! each requested configuration and writes every per-stream breakdown, so
+//! future changes can be diffed against the recorded trajectory. Simulated
+//! seconds come from the deterministic cost clock: the same binary, SF,
+//! seed, and stream count always produce the same numbers.
+
+use bench::ThroughputSystem;
+use serde_json::Json;
+use std::fs;
+use tpcd::throughput::{StreamResult, UnitResult};
+use tpcd::ThroughputResult;
+
+fn unit_json(u: &UnitResult) -> Json {
+    Json::object()
+        .field("unit", u.unit.clone())
+        .field("start", u.start)
+        .field("lock_wait", u.lock_wait)
+        .field("seconds", u.seconds)
+        .field("rows", u.rows)
+}
+
+fn stream_json(s: &StreamResult) -> Json {
+    Json::object()
+        .field("stream", s.stream.clone())
+        .field("busy_seconds", s.busy_seconds)
+        .field("lock_wait_seconds", s.lock_wait_seconds)
+        .field("finished_at", s.finished_at)
+        .field("units", Json::Array(s.units.iter().map(unit_json).collect()))
+}
+
+fn result_json(r: &ThroughputResult) -> Json {
+    Json::object()
+        .field("configuration", r.configuration.clone())
+        .field("sf", r.sf)
+        .field("query_streams", r.query_streams)
+        .field("elapsed_seconds", r.elapsed_seconds)
+        .field("qthd", r.qthd)
+        .field("total_lock_wait", r.total_lock_wait())
+        .field(
+            "streams",
+            Json::Array(r.streams.iter().map(stream_json).collect()),
+        )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sf = 0.2f64;
+    let mut streams: Vec<usize> = vec![1, 2, 4, 8];
+    let mut systems: Vec<ThroughputSystem> = ThroughputSystem::ALL.to_vec();
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args[i].parse().expect("--sf needs a number");
+            }
+            "--streams" => {
+                i += 1;
+                streams = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--streams needs a,b,c"))
+                    .collect();
+            }
+            "--configs" => {
+                i += 1;
+                systems = args[i]
+                    .split(',')
+                    .map(|s| {
+                        ThroughputSystem::parse(s)
+                            .unwrap_or_else(|| panic!("unknown config '{s}'"))
+                    })
+                    .collect();
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+
+    let seed = 42u64;
+    let mut runs = Vec::new();
+    for &system in &systems {
+        eprintln!("loading {system:?} at sf={sf} ...");
+        let t = std::time::Instant::now();
+        let series = bench::run_throughput_series(system, sf, &streams, seed, |r| {
+            eprintln!(
+                "  {} streams={}: elapsed {:.2} sim s, QthD {:.2}",
+                r.configuration, r.query_streams, r.elapsed_seconds, r.qthd
+            );
+        })
+        .expect("throughput series");
+        eprintln!("  ({:.0}s wall for the series)", t.elapsed().as_secs_f64());
+        runs.extend(series.iter().map(result_json));
+    }
+
+    let doc = Json::object()
+        .field("benchmark", "tpcd_throughput")
+        .field("sf", sf)
+        .field("seed", seed)
+        .field(
+            "stream_counts",
+            Json::Array(streams.iter().map(|&s| Json::from(s)).collect()),
+        )
+        .field("runs", Json::Array(runs));
+    fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write baseline");
+    eprintln!("wrote {out}");
+}

@@ -31,6 +31,21 @@ pub struct ExpTable {
     pub notes: Vec<String>,
 }
 
+impl serde_json::ToJson for ExpTable {
+    fn to_json(&self) -> serde_json::Json {
+        use serde_json::Json;
+        Json::object()
+            .field("id", self.id.clone())
+            .field("title", self.title.clone())
+            .field("headers", self.headers.clone())
+            .field(
+                "rows",
+                Json::Array(self.rows.iter().map(|r| Json::from(r.clone())).collect()),
+            )
+            .field("notes", self.notes.clone())
+    }
+}
+
 impl ExpTable {
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -280,8 +295,10 @@ fn power_table(
     // with SF so database-to-buffer proportions (and hence I/O behaviour)
     // match the original environment.
     let pool_bytes = ((10.0 * 1024.0 * 1024.0) * (sf / 0.2)).max(32.0 * 8192.0) as usize;
-    let mut config = rdbms::DbConfig::default();
-    config.pager = rdbms::storage::PagerConfig::with_pool_bytes(pool_bytes);
+    let config = rdbms::DbConfig {
+        pager: rdbms::storage::PagerConfig::with_pool_bytes(pool_bytes),
+        ..rdbms::DbConfig::default()
+    };
 
     // Isolated RDBMS baseline.
     let db = Database::new(config);
@@ -671,6 +688,132 @@ pub fn table9(sf: f64) -> DbResult<ExpTable> {
         rows,
         notes: vec![
             "LINEITEM dominates; total is comparable to one Open SQL power test (paper's point)".into(),
+        ],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Throughput — the multi-stream TPC-D test (our extension; the paper
+// measures only the single-stream power test)
+// ---------------------------------------------------------------------------
+
+/// Which systems a throughput experiment should cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThroughputSystem {
+    Isolated,
+    Native,
+    Open,
+}
+
+impl ThroughputSystem {
+    pub const ALL: [ThroughputSystem; 3] = [
+        ThroughputSystem::Isolated,
+        ThroughputSystem::Native,
+        ThroughputSystem::Open,
+    ];
+
+    pub fn parse(s: &str) -> Option<ThroughputSystem> {
+        match s {
+            "isolated" => Some(ThroughputSystem::Isolated),
+            "native" => Some(ThroughputSystem::Native),
+            "open" => Some(ThroughputSystem::Open),
+            _ => None,
+        }
+    }
+}
+
+/// Run the TPC-D throughput test on one configuration at each stream
+/// count, loading the database once and reusing it across the series
+/// (the update stream's UF1/UF2 pairs leave the data unchanged). The
+/// whole series is deterministic: rerunning it reproduces every number.
+pub fn run_throughput_series(
+    system: ThroughputSystem,
+    sf: f64,
+    stream_counts: &[usize],
+    seed: u64,
+    mut progress: impl FnMut(&tpcd::ThroughputResult),
+) -> DbResult<Vec<tpcd::ThroughputResult>> {
+    let gen = DbGen::new(sf);
+    let params = QueryParams::for_scale(sf);
+    let run_all = |workload: &dyn tpcd::StreamWorkload,
+                   progress: &mut dyn FnMut(&tpcd::ThroughputResult)|
+     -> DbResult<Vec<tpcd::ThroughputResult>> {
+        let mut results = Vec::new();
+        for &streams in stream_counts {
+            let config = tpcd::ThroughputConfig { query_streams: streams, seed };
+            let r = tpcd::run_throughput_test(workload, &params, sf, &config)?;
+            progress(&r);
+            results.push(r);
+        }
+        Ok(results)
+    };
+    match system {
+        ThroughputSystem::Isolated => {
+            let db = Database::with_defaults();
+            tpcd::schema::load(&db, &gen)?;
+            run_all(&tpcd::IsolatedWorkload { db: &db, gen: &gen }, &mut progress)
+        }
+        ThroughputSystem::Native | ThroughputSystem::Open => {
+            let iface = match system {
+                ThroughputSystem::Native => SapInterface::Native,
+                _ => SapInterface::Open,
+            };
+            let sys = R3System::install_default(Release::R30)?;
+            sys.load_tpcd(&gen)?;
+            run_all(
+                &r3::throughput::SapWorkload { sys: &sys, iface, gen: &gen },
+                &mut progress,
+            )
+        }
+    }
+}
+
+/// Run the TPC-D throughput test on one configuration at one stream count.
+pub fn run_throughput(
+    system: ThroughputSystem,
+    sf: f64,
+    streams: usize,
+    seed: u64,
+) -> DbResult<tpcd::ThroughputResult> {
+    let mut results = run_throughput_series(system, sf, &[streams], seed, |_| {})?;
+    Ok(results.pop().expect("one run"))
+}
+
+/// The throughput experiment: each configuration at each stream count,
+/// reporting elapsed simulated time, lock-wait totals, and QthD.
+pub fn throughput_table(
+    sf: f64,
+    stream_counts: &[usize],
+    systems: &[ThroughputSystem],
+) -> DbResult<ExpTable> {
+    let mut rows = Vec::new();
+    for &system in systems {
+        for r in run_throughput_series(system, sf, stream_counts, 42, |_| {})? {
+            rows.push(vec![
+                r.configuration.clone(),
+                format!("{}", r.query_streams),
+                dur(r.elapsed_seconds),
+                dur(r.streams.iter().map(|s| s.busy_seconds).sum()),
+                dur(r.total_lock_wait()),
+                format!("{:.2}", r.qthd),
+            ]);
+        }
+    }
+    Ok(ExpTable {
+        id: "Throughput".into(),
+        title: format!("TPC-D throughput test: query streams + update stream (SF={sf})"),
+        headers: vec![
+            "configuration".into(),
+            "streams".into(),
+            "elapsed".into(),
+            "busy".into(),
+            "lock wait".into(),
+            "QthD".into(),
+        ],
+        rows,
+        notes: vec![
+            "not in the paper: extends the three-way comparison to the multi-user regime".into(),
+            "update stream runs UF1/UF2 pairs in transactions (batch input on SAP)".into(),
         ],
     })
 }

@@ -376,9 +376,9 @@ fn run_parallel<T: Sync>(
     }
     let next = AtomicUsize::new(0);
     let errors: parking_lot::Mutex<Vec<DbError>> = parking_lot::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() || !errors.lock().is_empty() {
                     break;
@@ -389,8 +389,7 @@ fn run_parallel<T: Sync>(
                 }
             });
         }
-    })
-    .map_err(|_| DbError::execution("batch input worker panicked"))?;
+    });
     match errors.into_inner().pop() {
         Some(e) => Err(e),
         None => Ok(()),

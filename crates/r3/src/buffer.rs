@@ -160,10 +160,7 @@ impl TableBuffer {
     fn evict_to_fit(g: &mut BufferInner) {
         while g.used_bytes > g.capacity_bytes {
             let Some((key, stamp)) = g.lru.pop_front() else { break };
-            let current = match g.entries.get(&key) {
-                Some(e) if e.stamp == stamp => true,
-                _ => false,
-            };
+            let current = matches!(g.entries.get(&key), Some(e) if e.stamp == stamp);
             if current {
                 let e = g.entries.remove(&key).expect("checked");
                 g.used_bytes -= e.bytes;

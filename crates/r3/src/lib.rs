@@ -24,6 +24,7 @@
 pub mod batch_input;
 pub mod buffer;
 pub mod dict;
+pub mod dispatcher;
 pub mod extract;
 pub mod nativesql;
 pub mod opensql;
@@ -31,6 +32,7 @@ pub mod report;
 pub mod reports;
 pub mod schema;
 pub mod system;
+pub mod throughput;
 
 pub use system::R3System;
 

@@ -679,7 +679,7 @@ pub fn literal(v: &Value) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{key16, key6};
+    use crate::schema::key16;
     use tpcd::DbGen;
 
     fn sys(release: Release) -> R3System {

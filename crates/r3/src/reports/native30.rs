@@ -363,10 +363,7 @@ pub fn sql(n: usize, p: &QueryParams) -> Vec<String> {
 pub fn run(sys: &R3System, n: usize, p: &QueryParams) -> DbResult<Vec<Row>> {
     let mut last: Option<Vec<Row>> = None;
     for stmt in sql(n, p) {
-        match sys.native_sql(&stmt)? {
-            rdbms::ExecOutcome::Rows(r) => last = Some(r.rows),
-            _ => {}
-        }
+        if let rdbms::ExecOutcome::Rows(r) = sys.native_sql(&stmt)? { last = Some(r.rows) }
     }
     last.ok_or_else(|| DbError::execution(format!("native report Q{n} produced no rows")))
 }

@@ -21,6 +21,8 @@
 //! tables, the standard ABAP practice the paper notes in §2.3
 //! ("materialize the inner relation ... and avoid repeated calls").
 
+#![allow(clippy::type_complexity)] // row sources return wide domain tuples by design
+
 use crate::opensql::{literal, Cond, SelectSpec, TableExpr};
 use crate::schema::{key16, parse_key, MANDT};
 use crate::system::R3System;
@@ -598,9 +600,9 @@ impl<'a> Src<'a> {
                 d.s_nation = nation;
             }
             if spec.with_konv {
-                if !konv_memo.contains_key(&d.orderkey) {
+                if let std::collections::hash_map::Entry::Vacant(e) = konv_memo.entry(d.orderkey) {
                     let doc = self.konv_document(d.orderkey)?;
-                    konv_memo.insert(d.orderkey, doc);
+                    e.insert(doc);
                 }
                 self.meter_app(1);
                 if let Some((disc, tax)) = konv_memo[&d.orderkey].get(&d.line) {
@@ -693,9 +695,9 @@ impl<'a> Src<'a> {
     fn attach_konv(&self, details: &mut [Detail]) -> DbResult<()> {
         let mut memo: HashMap<i64, HashMap<i64, (Decimal, Decimal)>> = HashMap::new();
         for d in details.iter_mut() {
-            if !memo.contains_key(&d.orderkey) {
+            if let std::collections::hash_map::Entry::Vacant(e) = memo.entry(d.orderkey) {
                 let doc = self.konv_document(d.orderkey)?;
-                memo.insert(d.orderkey, doc);
+                e.insert(doc);
             }
             self.meter_app(1);
             if let Some((disc, tax)) = memo[&d.orderkey].get(&d.line) {

@@ -1,0 +1,112 @@
+//! SAP-side workload adapters for the TPC-D throughput test.
+//!
+//! The generic driver lives in `tpcd::throughput`; these adapters run each
+//! stream unit through the R/3 application server instead of the raw
+//! engine: queries via Native or Open SQL reports, update functions via
+//! the batch-input facility (one batch-input transaction per order — the
+//! application-level LUW that stands in for an engine transaction, with
+//! its per-record consistency checking).
+
+use crate::reports::{self, SapInterface};
+use crate::{R3System, Release};
+use rdbms::clock::{Calibration, Counter, MeterSnapshot};
+use rdbms::error::DbResult;
+use std::collections::BTreeSet;
+use tpcd::queries::QueryParams;
+use tpcd::throughput::{query_read_set, StreamWorkload};
+use tpcd::DbGen;
+
+/// One of the paper's SAP configurations (release × interface) as a
+/// throughput-test workload.
+pub struct SapWorkload<'a> {
+    pub sys: &'a R3System,
+    pub iface: SapInterface,
+    pub gen: &'a DbGen,
+}
+
+impl SapWorkload<'_> {
+    /// Physical table behind the KONV pricing conditions: a cluster
+    /// container in 2.2, a transparent table from 3.0 on.
+    fn konv_physical(&self) -> &'static str {
+        match self.sys.release {
+            Release::R22 => "KOCLU",
+            Release::R30 => "KONV",
+        }
+    }
+}
+
+impl StreamWorkload for SapWorkload<'_> {
+    fn name(&self) -> String {
+        format!("SAP R/3 {} {}", self.sys.release, self.iface)
+    }
+
+    fn run_query(&self, n: usize, params: &QueryParams) -> DbResult<u64> {
+        Ok(reports::run_query_rows(self.sys, self.iface, n, params)?.len() as u64)
+    }
+
+    fn run_uf1(&self, stream: u64) -> DbResult<u64> {
+        crate::batch_input::batch_uf1(self.sys, self.gen, stream)
+    }
+
+    fn run_uf2(&self, stream: u64) -> DbResult<u64> {
+        crate::batch_input::batch_uf2(self.sys, self.gen, stream)
+    }
+
+    fn snapshot(&self) -> MeterSnapshot {
+        self.sys.snapshot()
+    }
+
+    fn calibration(&self) -> Calibration {
+        self.sys.calibration()
+    }
+
+    fn note_lock_wait(&self) {
+        self.sys.meter().bump(Counter::LockWaits);
+    }
+
+    fn query_tables(&self, n: usize, params: &QueryParams) -> BTreeSet<String> {
+        // The logical footprint of the reference SQL, plus the physical
+        // KONV representation for pricing-condition queries.
+        let mut tables = query_read_set(&self.sys.db, n, params);
+        if reports::touches_konv(n) {
+            tables.insert(self.konv_physical().to_string());
+        }
+        tables
+    }
+
+    fn update_tables(&self) -> BTreeSet<String> {
+        // Batch input writes the order, its lineitems, and their pricing
+        // conditions.
+        ["ORDERS", "LINEITEM", self.konv_physical()]
+            .iter()
+            .map(|t| t.to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcd::throughput::{run_throughput_test, ThroughputConfig};
+
+    #[test]
+    fn sap_throughput_runs_deterministically_on_both_interfaces() {
+        for iface in [SapInterface::Native, SapInterface::Open] {
+            let run = |_| {
+                let sys = R3System::install_default(Release::R30).unwrap();
+                let gen = DbGen::new(0.001);
+                sys.load_tpcd(&gen).unwrap();
+                let params = QueryParams::for_scale(gen.sf);
+                let workload = SapWorkload { sys: &sys, iface, gen: &gen };
+                let config = ThroughputConfig { query_streams: 2, seed: 11 };
+                run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
+            };
+            let a = run(0);
+            let b = run(1);
+            assert_eq!(a.streams.len(), 3);
+            assert!(a.elapsed_seconds > 0.0);
+            assert_eq!(a.elapsed_seconds.to_bits(), b.elapsed_seconds.to_bits(), "{iface}");
+            assert_eq!(a.qthd.to_bits(), b.qthd.to_bits());
+        }
+    }
+}

@@ -15,7 +15,9 @@
 //! report both raw counters and derived times.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -51,6 +53,10 @@ pub struct CostMeter {
     /// B+-tree node reads (subset of page reads, kept separately so index
     /// ablations can be reported).
     pub index_node_reads: AtomicU64,
+    /// Times a transaction had to block on a table lock held by another
+    /// transaction (multi-user workloads only; the wall/simulated wait
+    /// duration is tracked by the lock manager / throughput driver).
+    pub lock_waits: AtomicU64,
 }
 
 impl CostMeter {
@@ -60,6 +66,16 @@ impl CostMeter {
 
     pub fn add(&self, field: Counter, n: u64) {
         self.counter(field).fetch_add(n, Ordering::Relaxed);
+        // Mirror the work into every meter scope active on this thread so a
+        // transaction / dispatcher request gets its own attribution without
+        // threading a meter through every storage-layer call.
+        SCOPES.with(|scopes| {
+            for scoped in scopes.borrow().iter() {
+                if !std::ptr::eq(Arc::as_ptr(scoped), self) {
+                    scoped.counter(field).fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        });
     }
 
     pub fn bump(&self, field: Counter) {
@@ -84,6 +100,7 @@ impl CostMeter {
             Counter::CacheProbes => &self.cache_probes,
             Counter::CacheHits => &self.cache_hits,
             Counter::IndexNodeReads => &self.index_node_reads,
+            Counter::LockWaits => &self.lock_waits,
         }
     }
 
@@ -102,6 +119,7 @@ impl CostMeter {
             cache_probes: self.get(Counter::CacheProbes),
             cache_hits: self.get(Counter::CacheHits),
             index_node_reads: self.get(Counter::IndexNodeReads),
+            lock_waits: self.get(Counter::LockWaits),
         }
     }
 
@@ -128,10 +146,11 @@ pub enum Counter {
     CacheProbes,
     CacheHits,
     IndexNodeReads,
+    LockWaits,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 13] = [
         Counter::SeqPageReads,
         Counter::RandPageReads,
         Counter::PageWrites,
@@ -144,7 +163,49 @@ impl Counter {
         Counter::CacheProbes,
         Counter::CacheHits,
         Counter::IndexNodeReads,
+        Counter::LockWaits,
     ];
+}
+
+thread_local! {
+    /// Stack of per-transaction / per-request meters active on this thread.
+    static SCOPES: RefCell<Vec<Arc<CostMeter>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard that registers `meter` as an attribution target on the current
+/// thread: while the scope is alive, every [`CostMeter::add`] performed on
+/// this thread (against any meter) is mirrored into the scoped meter. Scopes
+/// nest — a dispatcher request scope can contain a transaction scope, and
+/// both receive the work done inside the inner scope.
+///
+/// The guard is `!Send` so a scope is always popped on the thread that
+/// pushed it.
+pub struct MeterScope {
+    meter: Arc<CostMeter>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl MeterScope {
+    pub fn enter(meter: Arc<CostMeter>) -> MeterScope {
+        SCOPES.with(|scopes| scopes.borrow_mut().push(Arc::clone(&meter)));
+        MeterScope { meter, _not_send: PhantomData }
+    }
+
+    /// The meter this scope feeds.
+    pub fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+}
+
+impl Drop for MeterScope {
+    fn drop(&mut self) {
+        SCOPES.with(|scopes| {
+            let mut scopes = scopes.borrow_mut();
+            // Scopes are strictly nested (RAII, !Send), so ours is on top.
+            let popped = scopes.pop();
+            debug_assert!(popped.is_some_and(|p| Arc::ptr_eq(&p, &self.meter)));
+        });
+    }
 }
 
 /// An immutable point-in-time copy of the meter, with difference support.
@@ -162,6 +223,7 @@ pub struct MeterSnapshot {
     pub cache_probes: u64,
     pub cache_hits: u64,
     pub index_node_reads: u64,
+    pub lock_waits: u64,
 }
 
 impl MeterSnapshot {
@@ -180,6 +242,7 @@ impl MeterSnapshot {
             cache_probes: self.cache_probes - earlier.cache_probes,
             cache_hits: self.cache_hits - earlier.cache_hits,
             index_node_reads: self.index_node_reads - earlier.index_node_reads,
+            lock_waits: self.lock_waits - earlier.lock_waits,
         }
     }
 
@@ -286,7 +349,7 @@ impl fmt::Display for MeterSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seq_io={} rand_io={} writes={} db_tuples={} ipc={} ipc_tuples={} app_tuples={} spill={} checks={} cache={}/{}",
+            "seq_io={} rand_io={} writes={} db_tuples={} ipc={} ipc_tuples={} app_tuples={} spill={} checks={} cache={}/{} lock_waits={}",
             self.seq_page_reads,
             self.rand_page_reads,
             self.page_writes,
@@ -298,6 +361,7 @@ impl fmt::Display for MeterSnapshot {
             self.check_units,
             self.cache_hits,
             self.cache_probes,
+            self.lock_waits,
         )
     }
 }
@@ -349,6 +413,35 @@ mod tests {
         assert_eq!(fmt_duration(8096.0), "2h 14m 56s");
         assert_eq!(fmt_duration(2_231_700.0), "25d 19h 55m 0s");
         assert_eq!(fmt_duration(0.25), "0.25s");
+    }
+
+    #[test]
+    fn meter_scope_mirrors_work_and_nests() {
+        let global = CostMeter::new();
+        let outer = CostMeter::new();
+        let inner = CostMeter::new();
+        global.add(Counter::DbTuples, 1); // before any scope
+        {
+            let _o = MeterScope::enter(Arc::clone(&outer));
+            global.add(Counter::DbTuples, 10);
+            {
+                let _i = MeterScope::enter(Arc::clone(&inner));
+                global.add(Counter::DbTuples, 100);
+            }
+            global.add(Counter::DbTuples, 1000);
+        }
+        global.add(Counter::DbTuples, 10000); // after scopes closed
+        assert_eq!(global.get(Counter::DbTuples), 11111);
+        assert_eq!(outer.get(Counter::DbTuples), 1110);
+        assert_eq!(inner.get(Counter::DbTuples), 100);
+    }
+
+    #[test]
+    fn meter_scope_does_not_double_count_self() {
+        let meter = CostMeter::new();
+        let _s = MeterScope::enter(Arc::clone(&meter));
+        meter.add(Counter::AppTuples, 3);
+        assert_eq!(meter.get(Counter::AppTuples), 3);
     }
 
     #[test]

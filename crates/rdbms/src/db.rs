@@ -10,10 +10,13 @@ use crate::schema::{Column, Row, Schema};
 use crate::sql::ast::{Expr, Statement};
 use crate::sql::parse_statement;
 use crate::storage::{Pager, PagerConfig};
+use crate::txn::{LockManager, Txn, Undo};
 use crate::types::Value;
 use parking_lot::RwLock;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Database configuration.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +24,9 @@ pub struct DbConfig {
     pub pager: PagerConfig,
     pub planner: PlannerConfig,
     pub calibration: Calibration,
+    /// How long a transaction blocks on a table lock before it is aborted
+    /// as a presumed-deadlock victim (backstop behind the wait-for graph).
+    pub lock_timeout: Duration,
 }
 
 impl Default for DbConfig {
@@ -29,6 +35,7 @@ impl Default for DbConfig {
             pager: PagerConfig::default(),
             planner: PlannerConfig::default(),
             calibration: Calibration::default(),
+            lock_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -104,6 +111,8 @@ pub struct Database {
     meter: Arc<CostMeter>,
     planner_config: RwLock<PlannerConfig>,
     calibration: Calibration,
+    locks: LockManager,
+    next_txn_id: AtomicU64,
 }
 
 impl Database {
@@ -116,6 +125,8 @@ impl Database {
             meter,
             planner_config: RwLock::new(config.planner),
             calibration: config.calibration,
+            locks: LockManager::new(config.lock_timeout),
+            next_txn_id: AtomicU64::new(1),
         }
     }
 
@@ -150,6 +161,18 @@ impl Database {
     /// Snapshot the work meter (for experiment bookkeeping).
     pub fn snapshot(&self) -> MeterSnapshot {
         self.meter.snapshot()
+    }
+
+    /// The table lock manager (strict 2PL for open transactions).
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Open a transaction. Locks are acquired per statement and held to
+    /// commit/rollback; dropping the handle rolls back.
+    pub fn begin(&self) -> Txn<'_> {
+        let id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        Txn::new(self, id)
     }
 
     /// Execute any single SQL statement (constants visible to the optimizer).
@@ -216,56 +239,14 @@ impl Database {
                 Ok(ExecOutcome::Rows(QueryResult { schema: pq.schema, rows }))
             }
             Statement::Insert { table, columns, rows } => {
-                let t = self.catalog.table(table)?;
-                let ctx = ExecCtx::new(&[], &self.meter);
-                let mut inserted = 0u64;
-                for exprs in rows {
-                    let row = self.build_insert_row(&t, columns.as_deref(), exprs, &ctx)?;
-                    self.catalog.insert_row(&t, &row)?;
-                    inserted += 1;
-                }
-                Ok(ExecOutcome::Count(inserted))
+                Ok(ExecOutcome::Count(self.apply_insert(table, columns.as_deref(), rows, None)?))
             }
             Statement::Delete { table, filter } => {
-                let t = self.catalog.table(table)?;
-                let pred = self.bind_dml_filter(&t.schema, filter.as_ref())?;
-                let rids = self.matching_rids(&t, filter.as_ref(), &pred)?;
-                for rid in &rids {
-                    self.catalog.delete_row(&t, *rid)?;
-                }
-                Ok(ExecOutcome::Count(rids.len() as u64))
+                Ok(ExecOutcome::Count(self.apply_delete(table, filter.as_ref(), None)?))
             }
-            Statement::Update { table, assignments, filter } => {
-                let t = self.catalog.table(table)?;
-                let pred = self.bind_dml_filter(&t.schema, filter.as_ref())?;
-                let planner = Planner::with_config(&self.catalog, self.planner_config());
-                let mut bound_assignments = Vec::new();
-                for (col, e) in assignments {
-                    let idx = t.schema.resolve(None, col)?;
-                    let mut used = HashSet::new();
-                    let be = planner.bind_expr(e, &t.schema, &[], &mut used)?;
-                    bound_assignments.push((idx, be));
-                }
-                let ctx = ExecCtx::new(&[], &self.meter);
-                let rids = self.matching_rids(&t, filter.as_ref(), &pred)?;
-                let mut updates = Vec::new();
-                for rid in rids {
-                    let row = t
-                        .heap
-                        .get(rid, crate::storage::AccessPattern::Random)?
-                        .ok_or_else(|| DbError::storage("row vanished during UPDATE"))?;
-                    let mut new_row = row.clone();
-                    for (idx, be) in &bound_assignments {
-                        new_row[*idx] = be.eval(&row, &ctx)?;
-                    }
-                    updates.push((rid, new_row));
-                }
-                let n = updates.len() as u64;
-                for (rid, new_row) in updates {
-                    self.catalog.update_row(&t, rid, &new_row)?;
-                }
-                Ok(ExecOutcome::Count(n))
-            }
+            Statement::Update { table, assignments, filter } => Ok(ExecOutcome::Count(
+                self.apply_update(table, assignments, filter.as_ref(), None)?,
+            )),
             Statement::CreateTable { name, columns, primary_key } => {
                 let cols: Vec<Column> = columns
                     .iter()
@@ -319,6 +300,117 @@ impl Database {
                 Ok(ExecOutcome::Done)
             }
         }
+    }
+
+    /// Statement execution for an open transaction: DML records undo,
+    /// SELECT runs normally. DDL is rejected by the transaction layer
+    /// before it gets here.
+    pub(crate) fn execute_statement_in_txn(
+        &self,
+        stmt: &Statement,
+        undo: &mut Vec<Undo>,
+    ) -> DbResult<ExecOutcome> {
+        match stmt {
+            Statement::Insert { table, columns, rows } => Ok(ExecOutcome::Count(
+                self.apply_insert(table, columns.as_deref(), rows, Some(undo))?,
+            )),
+            Statement::Delete { table, filter } => {
+                Ok(ExecOutcome::Count(self.apply_delete(table, filter.as_ref(), Some(undo))?))
+            }
+            Statement::Update { table, assignments, filter } => Ok(ExecOutcome::Count(
+                self.apply_update(table, assignments, filter.as_ref(), Some(undo))?,
+            )),
+            other => self.execute_statement(other),
+        }
+    }
+
+    fn apply_insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+        mut undo: Option<&mut Vec<Undo>>,
+    ) -> DbResult<u64> {
+        let t = self.catalog.table(table)?;
+        let ctx = ExecCtx::new(&[], &self.meter);
+        let mut inserted = 0u64;
+        for exprs in rows {
+            let row = self.build_insert_row(&t, columns, exprs, &ctx)?;
+            let rid = self.catalog.insert_row(&t, &row)?;
+            if let Some(u) = undo.as_deref_mut() {
+                u.push(Undo::Insert { table: t.name.clone(), rid });
+            }
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+
+    fn apply_delete(
+        &self,
+        table: &str,
+        filter: Option<&Expr>,
+        mut undo: Option<&mut Vec<Undo>>,
+    ) -> DbResult<u64> {
+        let t = self.catalog.table(table)?;
+        let pred = self.bind_dml_filter(&t.schema, filter)?;
+        let rids = self.matching_rids(&t, filter, &pred)?;
+        for rid in &rids {
+            if let Some(u) = undo.as_deref_mut() {
+                let row = t
+                    .heap
+                    .get(*rid, crate::storage::AccessPattern::Random)?
+                    .ok_or_else(|| DbError::storage("row vanished during DELETE"))?;
+                u.push(Undo::Delete { table: t.name.clone(), rid: *rid, row });
+            }
+            self.catalog.delete_row(&t, *rid)?;
+        }
+        Ok(rids.len() as u64)
+    }
+
+    fn apply_update(
+        &self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        filter: Option<&Expr>,
+        mut undo: Option<&mut Vec<Undo>>,
+    ) -> DbResult<u64> {
+        let t = self.catalog.table(table)?;
+        let pred = self.bind_dml_filter(&t.schema, filter)?;
+        let planner = Planner::with_config(&self.catalog, self.planner_config());
+        let mut bound_assignments = Vec::new();
+        for (col, e) in assignments {
+            let idx = t.schema.resolve(None, col)?;
+            let mut used = HashSet::new();
+            let be = planner.bind_expr(e, &t.schema, &[], &mut used)?;
+            bound_assignments.push((idx, be));
+        }
+        let ctx = ExecCtx::new(&[], &self.meter);
+        let rids = self.matching_rids(&t, filter, &pred)?;
+        let mut updates = Vec::new();
+        for rid in rids {
+            let row = t
+                .heap
+                .get(rid, crate::storage::AccessPattern::Random)?
+                .ok_or_else(|| DbError::storage("row vanished during UPDATE"))?;
+            let mut new_row = row.clone();
+            for (idx, be) in &bound_assignments {
+                new_row[*idx] = be.eval(&row, &ctx)?;
+            }
+            updates.push((rid, row, new_row));
+        }
+        let n = updates.len() as u64;
+        for (rid, old_row, new_row) in updates {
+            let new_rid = self.catalog.update_row(&t, rid, &new_row)?;
+            if let Some(u) = undo.as_deref_mut() {
+                u.push(Undo::Update {
+                    table: t.name.clone(),
+                    prev_rid: rid,
+                    rid: new_rid,
+                    old: old_row,
+                });
+            }
+        }
+        Ok(n)
     }
 
     /// RIDs of the rows matching a DML filter. Uses an index range when the
@@ -459,11 +551,21 @@ mod tests {
     }
 
     #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<crate::txn::LockManager>();
+        assert_send_sync::<Prepared>();
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::txn::Txn<'static>>();
+    }
+
+    #[test]
     fn end_to_end_select() {
         let db = db();
         setup_items(&db);
         let r = db.query("SELECT id, name FROM items WHERE qty = 3 ORDER BY id").unwrap();
-        assert_eq!(r.rows.len(), 100 / 7 + if 100 % 7 > 3 { 1 } else { 0 });
+        assert_eq!(r.rows.len(), (100 / 7));
         assert!(r.rows.windows(2).all(|w| w[0][0].as_int().unwrap() < w[1][0].as_int().unwrap()));
     }
 

@@ -21,6 +21,9 @@ pub enum DbError {
     Constraint(String),
     /// The statement referenced a parameter that was not bound.
     UnboundParameter(usize),
+    /// A transaction was chosen as a deadlock (or lock-wait-timeout)
+    /// victim and must be rolled back.
+    Deadlock(String),
 }
 
 impl fmt::Display for DbError {
@@ -33,6 +36,7 @@ impl fmt::Display for DbError {
             DbError::Storage(m) => write!(f, "storage error: {m}"),
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::UnboundParameter(i) => write!(f, "parameter ${i} is not bound"),
+            DbError::Deadlock(m) => write!(f, "deadlock: {m}"),
         }
     }
 }

@@ -275,7 +275,7 @@ impl Plan {
                     }
                     if *kind == JoinKind::LeftOuter && !matched {
                         let mut combined = lrow.clone();
-                        combined.extend(std::iter::repeat(Value::Null).take(*right_width));
+                        combined.extend(std::iter::repeat_n(Value::Null, *right_width));
                         out.push(combined);
                     }
                 }
@@ -327,7 +327,7 @@ impl Plan {
                     for (i, row) in build_rows.iter().enumerate() {
                         if !matched_build[i] {
                             let mut combined = row.clone();
-                            combined.extend(std::iter::repeat(Value::Null).take(*right_width));
+                            combined.extend(std::iter::repeat_n(Value::Null, *right_width));
                             out.push(combined);
                         }
                     }

@@ -345,14 +345,9 @@ impl BTree {
         };
         // Descend to the leaf that may contain lower_key.
         let mut pid = self.root;
-        loop {
-            match self.load(pid)? {
-                Node::Internal { separators, children } => {
-                    let idx = separators.partition_point(|s| s.as_slice() <= lower_key);
-                    pid = children[idx];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { separators, children } = self.load(pid)? {
+            let idx = separators.partition_point(|s| s.as_slice() <= lower_key);
+            pid = children[idx];
         }
         let mut out = Vec::new();
         loop {

@@ -24,10 +24,12 @@ pub mod planner;
 pub mod schema;
 pub mod sql;
 pub mod storage;
+pub mod txn;
 pub mod types;
 
-pub use clock::{Calibration, CostMeter, Counter, MeterSnapshot};
+pub use clock::{Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
 pub use db::{Database, DbConfig, ExecOutcome, Prepared, QueryResult};
 pub use error::{DbError, DbResult};
+pub use txn::{LockManager, LockMode, Txn, TxnId, TxnStats};
 pub use schema::{Column, Row, Schema};
 pub use types::{DataType, Date, Decimal, Value};

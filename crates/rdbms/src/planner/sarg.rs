@@ -147,16 +147,14 @@ pub fn match_index(index_columns: &[usize], sargs: &[Sarg]) -> Option<IndexAcces
         // Otherwise take range sargs on this column and stop.
         for s in sargs.iter().filter(|s| s.column == col) {
             match s.op {
-                BinOp::Gt | BinOp::GtEq => {
-                    if lower.is_none() {
+                BinOp::Gt | BinOp::GtEq
+                    if lower.is_none() => {
                         lower = Some(s.clone());
                     }
-                }
-                BinOp::Lt | BinOp::LtEq => {
-                    if upper.is_none() {
+                BinOp::Lt | BinOp::LtEq
+                    if upper.is_none() => {
                         upper = Some(s.clone());
                     }
-                }
                 _ => {}
             }
         }

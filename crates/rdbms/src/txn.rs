@@ -1,0 +1,545 @@
+//! Transactions and concurrency control for multi-user workloads.
+//!
+//! The paper's throughput test (TPC-D §5) runs N concurrent query streams
+//! against one update stream, so the engine needs just enough concurrency
+//! control to make that meaningful: table-level shared/exclusive locks held
+//! to commit (strict two-phase locking), transaction-level rollback via an
+//! undo log, and deadlock handling. Lock granularity is the whole table —
+//! the same granularity SAP R/3 effectively works at for its own enqueue
+//! locks on buffered tables — which keeps the lock manager small while still
+//! producing the reader/writer interference the throughput test measures.
+//!
+//! Deadlocks are detected with a wait-for graph evaluated while a request
+//! blocks (the requester that closes a cycle aborts with
+//! [`DbError::Deadlock`]); a lock-wait timeout backstops anything the graph
+//! misses. Every wait is metered as [`Counter::LockWaits`] and the wall
+//! wait duration is accumulated per transaction, so multi-stream drivers
+//! can attribute lock-wait time to the right stream.
+
+use crate::catalog::Catalog;
+use crate::clock::{CostMeter, Counter, MeterScope, MeterSnapshot};
+use crate::db::{Database, ExecOutcome, QueryResult};
+use crate::error::{DbError, DbResult};
+use crate::schema::Row;
+use crate::sql::ast::{Expr, SelectItem, SelectStmt, Statement, TableRef};
+use crate::sql::parse_statement;
+use crate::storage::Rid;
+use crate::types::Value;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Transaction identifier (monotonically increasing per database).
+pub type TxnId = u64;
+
+/// Lock strength on a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Default)]
+struct TableLockState {
+    shared: HashSet<TxnId>,
+    exclusive: Option<TxnId>,
+}
+
+struct LmState {
+    tables: HashMap<String, TableLockState>,
+    /// What each currently-blocked transaction is waiting for.
+    waiting: HashMap<TxnId, (String, LockMode)>,
+}
+
+/// Table-level strict two-phase lock manager with wait-for-graph deadlock
+/// detection and a timeout fallback.
+pub struct LockManager {
+    state: Mutex<LmState>,
+    released: Condvar,
+    timeout: Duration,
+}
+
+impl LockManager {
+    pub fn new(timeout: Duration) -> Self {
+        LockManager {
+            state: Mutex::new(LmState { tables: HashMap::new(), waiting: HashMap::new() }),
+            released: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquire (or upgrade to) `mode` on `table` for transaction `me`,
+    /// blocking while conflicting holders exist. Returns the wall-clock
+    /// time spent blocked (zero when granted immediately).
+    pub fn acquire(&self, me: TxnId, table: &str, mode: LockMode) -> DbResult<Duration> {
+        let key = table.to_ascii_uppercase();
+        let mut st = self.state.lock();
+        if Self::held_sufficiently(&st, me, &key, mode) {
+            return Ok(Duration::ZERO);
+        }
+        let start = Instant::now();
+        let mut blocked = false;
+        loop {
+            if Self::conflicting_holders(&st, me, &key, mode).is_empty() {
+                st.waiting.remove(&me);
+                let entry = st.tables.entry(key).or_default();
+                match mode {
+                    LockMode::Shared => {
+                        entry.shared.insert(me);
+                    }
+                    LockMode::Exclusive => {
+                        entry.shared.remove(&me);
+                        entry.exclusive = Some(me);
+                    }
+                }
+                return Ok(if blocked { start.elapsed() } else { Duration::ZERO });
+            }
+            blocked = true;
+            st.waiting.insert(me, (key.clone(), mode));
+            if Self::in_cycle(&st, me) {
+                st.waiting.remove(&me);
+                return Err(DbError::Deadlock(format!(
+                    "transaction {me} aborted: deadlock on table {key}"
+                )));
+            }
+            if start.elapsed() >= self.timeout {
+                st.waiting.remove(&me);
+                return Err(DbError::Deadlock(format!(
+                    "transaction {me} aborted: lock wait timeout on table {key}"
+                )));
+            }
+            // Wake periodically even without a release so a cycle formed by
+            // two requests registering simultaneously is still detected.
+            let tick = self.timeout.min(Duration::from_millis(20));
+            self.released.wait_for(&mut st, tick);
+        }
+    }
+
+    /// Release every lock `me` holds and wake blocked requesters.
+    pub fn release_all(&self, me: TxnId) {
+        let mut st = self.state.lock();
+        st.waiting.remove(&me);
+        st.tables.retain(|_, t| {
+            t.shared.remove(&me);
+            if t.exclusive == Some(me) {
+                t.exclusive = None;
+            }
+            t.exclusive.is_some() || !t.shared.is_empty()
+        });
+        self.released.notify_all();
+    }
+
+    /// Tables `me` currently holds locks on (for tests / introspection).
+    pub fn held(&self, me: TxnId) -> Vec<String> {
+        let st = self.state.lock();
+        let mut out: Vec<String> = st
+            .tables
+            .iter()
+            .filter(|(_, t)| t.exclusive == Some(me) || t.shared.contains(&me))
+            .map(|(name, _)| name.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn held_sufficiently(st: &LmState, me: TxnId, key: &str, mode: LockMode) -> bool {
+        match st.tables.get(key) {
+            None => false,
+            Some(t) => match mode {
+                LockMode::Shared => t.exclusive == Some(me) || t.shared.contains(&me),
+                LockMode::Exclusive => t.exclusive == Some(me),
+            },
+        }
+    }
+
+    fn conflicting_holders(st: &LmState, me: TxnId, key: &str, mode: LockMode) -> Vec<TxnId> {
+        let Some(t) = st.tables.get(key) else { return Vec::new() };
+        let mut out = Vec::new();
+        if let Some(x) = t.exclusive {
+            if x != me {
+                out.push(x);
+            }
+        }
+        if mode == LockMode::Exclusive {
+            out.extend(t.shared.iter().copied().filter(|&s| s != me));
+        }
+        out
+    }
+
+    /// Does the wait-for graph contain a cycle through `me`? Edges run from
+    /// each waiting transaction to the holders blocking its request.
+    fn in_cycle(st: &LmState, me: TxnId) -> bool {
+        let mut visited = HashSet::new();
+        let Some((key, mode)) = st.waiting.get(&me) else { return false };
+        let mut stack = Self::conflicting_holders(st, me, key, *mode);
+        while let Some(n) = stack.pop() {
+            if n == me {
+                return true;
+            }
+            if !visited.insert(n) {
+                continue;
+            }
+            if let Some((k, m)) = st.waiting.get(&n) {
+                stack.extend(Self::conflicting_holders(st, n, k, *m));
+            }
+        }
+        false
+    }
+}
+
+/// One undo-log record. Replayed in reverse on rollback; RIDs invalidated
+/// by later undo steps (a heap update or re-insert can move a row) are
+/// patched through a remap table during replay.
+pub(crate) enum Undo {
+    Insert { table: String, rid: Rid },
+    Delete { table: String, rid: Rid, row: Row },
+    Update { table: String, prev_rid: Rid, rid: Rid, old: Row },
+}
+
+/// Per-transaction metering summary returned by [`Txn::commit`].
+#[derive(Debug, Clone, Copy)]
+pub struct TxnStats {
+    pub work: MeterSnapshot,
+    pub lock_wait: Duration,
+}
+
+/// An open transaction: strict 2PL table locks plus an undo log. Dropping
+/// an uncommitted transaction rolls it back (best effort).
+pub struct Txn<'db> {
+    db: &'db Database,
+    id: TxnId,
+    meter: Arc<CostMeter>,
+    undo: Vec<Undo>,
+    lock_wait: Duration,
+    done: bool,
+}
+
+impl<'db> Txn<'db> {
+    pub(crate) fn new(db: &'db Database, id: TxnId) -> Self {
+        Txn { db, id, meter: CostMeter::new(), undo: Vec::new(), lock_wait: Duration::ZERO, done: false }
+    }
+
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Work metered to this transaction so far.
+    pub fn work(&self) -> MeterSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Wall time this transaction has spent blocked on locks.
+    pub fn lock_wait(&self) -> Duration {
+        self.lock_wait
+    }
+
+    /// Execute one SQL statement inside the transaction. SELECT takes
+    /// shared locks on every referenced base table; DML takes an exclusive
+    /// lock on its target (plus shared locks for subquery reads); DDL is
+    /// rejected. A statement that fails mid-flight leaves its partial
+    /// effects in the undo log — roll the transaction back to remove them.
+    pub fn execute(&mut self, sql: &str) -> DbResult<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.lock_statement(&stmt)?;
+        let _scope = MeterScope::enter(Arc::clone(&self.meter));
+        self.db.execute_statement_in_txn(&stmt, &mut self.undo)
+    }
+
+    /// Execute a SELECT and return its rows.
+    pub fn query(&mut self, sql: &str) -> DbResult<QueryResult> {
+        self.execute(sql)?.rows()
+    }
+
+    /// Bulk-path insert of a pre-built row (the benchmark kit's refresh
+    /// functions use this; constraint checks still apply).
+    pub fn insert_row(&mut self, table: &str, row: &[Value]) -> DbResult<()> {
+        self.lock_table(table, LockMode::Exclusive)?;
+        let _scope = MeterScope::enter(Arc::clone(&self.meter));
+        let t = self.db.catalog().table(table)?;
+        let rid = self.db.catalog().insert_row(&t, row)?;
+        self.undo.push(Undo::Insert { table: t.name.clone(), rid });
+        Ok(())
+    }
+
+    /// Commit: keep all effects, release locks.
+    pub fn commit(mut self) -> DbResult<TxnStats> {
+        self.done = true;
+        self.undo.clear();
+        self.db.lock_manager().release_all(self.id);
+        Ok(TxnStats { work: self.meter.snapshot(), lock_wait: self.lock_wait })
+    }
+
+    /// Roll back: undo every change this transaction made, release locks.
+    pub fn rollback(mut self) -> DbResult<TxnStats> {
+        let result = self.rollback_inner();
+        self.done = true;
+        self.db.lock_manager().release_all(self.id);
+        result?;
+        Ok(TxnStats { work: self.meter.snapshot(), lock_wait: self.lock_wait })
+    }
+
+    fn rollback_inner(&mut self) -> DbResult<()> {
+        let _scope = MeterScope::enter(Arc::clone(&self.meter));
+        // RIDs recorded at do-time can be stale by the time we undo: a heap
+        // update or a re-insert may have moved the row. `remap` carries
+        // "row recorded at rid R now lives at rid R2" forward through the
+        // reverse replay.
+        let mut remap: HashMap<(String, Rid), Rid> = HashMap::new();
+        while let Some(u) = self.undo.pop() {
+            match u {
+                Undo::Insert { table, rid } => {
+                    let t = self.db.catalog().table(&table)?;
+                    let rid = remap.remove(&(table, rid)).unwrap_or(rid);
+                    self.db.catalog().delete_row(&t, rid)?;
+                }
+                Undo::Delete { table, rid, row } => {
+                    let t = self.db.catalog().table(&table)?;
+                    let new_rid = self.db.catalog().insert_row(&t, &row)?;
+                    remap.insert((table, rid), new_rid);
+                }
+                Undo::Update { table, prev_rid, rid, old } => {
+                    let t = self.db.catalog().table(&table)?;
+                    let cur = remap.remove(&(table.clone(), rid)).unwrap_or(rid);
+                    let restored = self.db.catalog().update_row(&t, cur, &old)?;
+                    remap.insert((table, prev_rid), restored);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lock_table(&mut self, table: &str, mode: LockMode) -> DbResult<()> {
+        let waited = self.db.lock_manager().acquire(self.id, table, mode)?;
+        if waited > Duration::ZERO {
+            self.lock_wait += waited;
+            self.meter.bump(Counter::LockWaits);
+            self.db.meter().bump(Counter::LockWaits);
+        }
+        Ok(())
+    }
+
+    fn lock_statement(&mut self, stmt: &Statement) -> DbResult<()> {
+        if matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::CreateIndex { .. }
+                | Statement::CreateView { .. }
+                | Statement::DropTable { .. }
+                | Statement::DropIndex { .. }
+                | Statement::DropView { .. }
+                | Statement::Analyze { .. }
+        ) {
+            return Err(DbError::execution(
+                "DDL is not transactional; execute it outside a transaction",
+            ));
+        }
+        let (reads, writes) = referenced_tables(stmt, self.db.catalog());
+        // Exclusive locks first, then shared, each in sorted name order, so
+        // every transaction requests locks for one statement in the same
+        // global order (deadlocks can still arise across statements).
+        for t in &writes {
+            self.lock_table(t, LockMode::Exclusive)?;
+        }
+        for t in reads.difference(&writes) {
+            self.lock_table(t, LockMode::Shared)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            // Best effort: a failed undo here has nowhere to report.
+            let _ = self.rollback_inner();
+            self.db.lock_manager().release_all(self.id);
+        }
+    }
+}
+
+/// Base tables a statement reads and writes (view references expanded to
+/// the tables underneath). Names are upper-cased like the catalog's own
+/// lookups. Unknown names are kept — the statement will fail later with a
+/// proper catalog error; locking a nonexistent name is harmless.
+pub fn referenced_tables(
+    stmt: &Statement,
+    catalog: &Catalog,
+) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    match stmt {
+        Statement::Select(q) => walk_select(q, catalog, &mut reads),
+        Statement::Insert { table, rows, .. } => {
+            writes.insert(table.to_ascii_uppercase());
+            for row in rows {
+                for e in row {
+                    walk_expr(e, catalog, &mut reads);
+                }
+            }
+        }
+        Statement::Delete { table, filter } => {
+            writes.insert(table.to_ascii_uppercase());
+            if let Some(f) = filter {
+                walk_expr(f, catalog, &mut reads);
+            }
+        }
+        Statement::Update { table, assignments, filter } => {
+            writes.insert(table.to_ascii_uppercase());
+            for (_, e) in assignments {
+                walk_expr(e, catalog, &mut reads);
+            }
+            if let Some(f) = filter {
+                walk_expr(f, catalog, &mut reads);
+            }
+        }
+        // CREATE VIEW reads its defining query's tables — callers that use
+        // this for read-set analysis (not locking) want those names.
+        Statement::CreateView { query, .. } => walk_select(query, catalog, &mut reads),
+        // Other DDL takes no data locks (rejected inside transactions).
+        _ => {}
+    }
+    (reads, writes)
+}
+
+fn walk_select(q: &SelectStmt, catalog: &Catalog, reads: &mut BTreeSet<String>) {
+    for t in &q.from {
+        walk_tableref(t, catalog, reads);
+    }
+    for item in &q.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr(expr, catalog, reads);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        walk_expr(w, catalog, reads);
+    }
+    for e in &q.group_by {
+        walk_expr(e, catalog, reads);
+    }
+    if let Some(h) = &q.having {
+        walk_expr(h, catalog, reads);
+    }
+    for o in &q.order_by {
+        walk_expr(&o.expr, catalog, reads);
+    }
+}
+
+fn walk_tableref(t: &TableRef, catalog: &Catalog, reads: &mut BTreeSet<String>) {
+    match t {
+        TableRef::Named { name, .. } => {
+            let upper = name.to_ascii_uppercase();
+            if let Some(view) = catalog.view(&upper) {
+                // Views cannot be self-referential (a view must plan at
+                // CREATE time, before its own name exists), so recursion
+                // terminates.
+                if reads.insert(upper) {
+                    walk_select(&view, catalog, reads);
+                }
+            } else {
+                reads.insert(upper);
+            }
+        }
+        TableRef::Join { left, right, on, .. } => {
+            walk_tableref(left, catalog, reads);
+            walk_tableref(right, catalog, reads);
+            walk_expr(on, catalog, reads);
+        }
+        TableRef::Subquery { query, .. } => walk_select(query, catalog, reads),
+    }
+}
+
+fn walk_expr(e: &Expr, catalog: &Catalog, reads: &mut BTreeSet<String>) {
+    match e {
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => {}
+        Expr::Unary { expr, .. } => walk_expr(expr, catalog, reads),
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, catalog, reads);
+            walk_expr(right, catalog, reads);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr(expr, catalog, reads);
+            walk_expr(low, catalog, reads);
+            walk_expr(high, catalog, reads);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, catalog, reads);
+            for e in list {
+                walk_expr(e, catalog, reads);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            walk_expr(expr, catalog, reads);
+            walk_select(query, catalog, reads);
+        }
+        Expr::Exists { query, .. } => walk_select(query, catalog, reads),
+        Expr::ScalarSubquery(query) => walk_select(query, catalog, reads),
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr(expr, catalog, reads);
+            walk_expr(pattern, catalog, reads);
+        }
+        Expr::IsNull { expr, .. } => walk_expr(expr, catalog, reads),
+        Expr::Case { branches, else_expr } => {
+            for (c, v) in branches {
+                walk_expr(c, catalog, reads);
+                walk_expr(v, catalog, reads);
+            }
+            if let Some(e) = else_expr {
+                walk_expr(e, catalog, reads);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                walk_expr(a, catalog, reads);
+            }
+        }
+        Expr::Extract { expr, .. } => walk_expr(expr, catalog, reads),
+        Expr::IntervalAdd { expr, .. } => walk_expr(expr, catalog, reads),
+        Expr::Func { args, .. } => {
+            for a in args {
+                walk_expr(a, catalog, reads);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_compatibility_and_upgrade() {
+        let lm = LockManager::new(Duration::from_millis(200));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.acquire(2, "t", LockMode::Shared).unwrap();
+        assert_eq!(lm.held(1), vec!["T"]);
+        // Upgrade blocked by the other reader times out.
+        assert!(matches!(lm.acquire(1, "t", LockMode::Exclusive), Err(DbError::Deadlock(_))));
+        lm.release_all(2);
+        lm.acquire(1, "t", LockMode::Exclusive).unwrap();
+        // X implies S; re-acquire is free.
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.release_all(1);
+        lm.acquire(3, "t", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn referenced_tables_expands_views_and_subqueries() {
+        let db = Database::with_defaults();
+        db.execute("CREATE TABLE base (a INTEGER)").unwrap();
+        db.execute("CREATE TABLE other (b INTEGER)").unwrap();
+        db.execute("CREATE VIEW v AS SELECT a FROM base").unwrap();
+        let stmt = parse_statement(
+            "SELECT * FROM v WHERE a > (SELECT MAX(b) FROM other)",
+        )
+        .unwrap();
+        let (reads, writes) = referenced_tables(&stmt, db.catalog());
+        assert!(reads.contains("BASE") && reads.contains("OTHER") && reads.contains("V"));
+        assert!(writes.is_empty());
+        let stmt = parse_statement("UPDATE base SET a = 1 WHERE a IN (SELECT b FROM other)")
+            .unwrap();
+        let (reads, writes) = referenced_tables(&stmt, db.catalog());
+        assert_eq!(writes.iter().collect::<Vec<_>>(), vec!["BASE"]);
+        assert!(reads.contains("OTHER"));
+    }
+}

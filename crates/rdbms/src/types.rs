@@ -96,6 +96,7 @@ const POW10: [i128; 20] = [
     10_000_000_000_000_000_000,
 ];
 
+#[allow(clippy::should_implement_trait)] // by-value helpers named like the ops traits; call sites predate them
 impl Decimal {
     pub const MAX_SCALE: u8 = 12;
 
@@ -332,7 +333,7 @@ impl Date {
         // Days from civil algorithm (Howard Hinnant's days_from_civil).
         let y = if month <= 2 { year - 1 } else { year } as i64;
         let era = if y >= 0 { y } else { y - 399 } / 400;
-        let yoe = (y - era * 400) as i64;
+        let yoe = y - era * 400;
         let mp = ((month as i64) + 9) % 12;
         let doy = (153 * mp + 2) / 5 + day as i64 - 1;
         let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;

@@ -1,0 +1,184 @@
+//! Concurrency-control tests: conflicting writers serialize, deadlocks are
+//! detected and broken, committed work is visible to later transactions,
+//! rollback undoes everything, and lock waits are metered.
+
+use rdbms::db::DbConfig;
+use rdbms::types::Value;
+use rdbms::{Database, DbError};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn db_with_counter() -> Database {
+    let db = Database::with_defaults();
+    db.execute("CREATE TABLE counters (id INTEGER NOT NULL, v INTEGER, PRIMARY KEY (id))")
+        .unwrap();
+    db.execute("INSERT INTO counters VALUES (1, 0)").unwrap();
+    db
+}
+
+fn counter_value(db: &Database) -> i64 {
+    db.query("SELECT v FROM counters WHERE id = 1").unwrap().scalar().unwrap().as_int().unwrap()
+}
+
+#[test]
+fn conflicting_writers_serialize_without_lost_updates() {
+    let db = Arc::new(db_with_counter());
+    let threads = 4;
+    let increments = 25;
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut txn = db.begin();
+                for _ in 0..increments {
+                    // Read-modify-write across two statements: only the
+                    // exclusive table lock held to commit keeps another
+                    // writer from sneaking in between them.
+                    let v = txn
+                        .query("SELECT v FROM counters WHERE id = 1")
+                        .unwrap()
+                        .scalar()
+                        .unwrap()
+                        .as_int()
+                        .unwrap();
+                    txn.execute(&format!("UPDATE counters SET v = {} WHERE id = 1", v + 1))
+                        .unwrap();
+                }
+                txn.commit().unwrap();
+            });
+        }
+    });
+    assert_eq!(counter_value(&db), (threads * increments) as i64);
+}
+
+#[test]
+fn deadlock_is_detected_and_one_victim_aborts() {
+    let config = DbConfig { lock_timeout: Duration::from_secs(2), ..DbConfig::default() };
+    let db = Arc::new(Database::new(config));
+    db.execute("CREATE TABLE t1 (a INTEGER)").unwrap();
+    db.execute("CREATE TABLE t2 (a INTEGER)").unwrap();
+    db.execute("INSERT INTO t1 VALUES (0)").unwrap();
+    db.execute("INSERT INTO t2 VALUES (0)").unwrap();
+    let barrier = Arc::new(Barrier::new(2));
+    let outcomes: Vec<Result<(), DbError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (first, second) in [("t1", "t2"), ("t2", "t1")] {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || {
+                let mut txn = db.begin();
+                txn.execute(&format!("UPDATE {first} SET a = a + 1")).unwrap();
+                barrier.wait(); // both hold their first lock before crossing
+                match txn.execute(&format!("UPDATE {second} SET a = a + 1")) {
+                    Ok(_) => {
+                        txn.commit().unwrap();
+                        Ok(())
+                    }
+                    Err(e) => {
+                        txn.rollback().unwrap();
+                        Err(e)
+                    }
+                }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let victims = outcomes.iter().filter(|o| o.is_err()).count();
+    assert_eq!(victims, 1, "exactly one deadlock victim, got {outcomes:?}");
+    for o in &outcomes {
+        if let Err(e) = o {
+            assert!(matches!(e, DbError::Deadlock(_)), "victim error: {e}");
+        }
+    }
+    // The survivor committed both updates; the victim rolled back both.
+    let a1 = db.query("SELECT a FROM t1").unwrap().scalar().unwrap().as_int().unwrap();
+    let a2 = db.query("SELECT a FROM t2").unwrap().scalar().unwrap().as_int().unwrap();
+    assert_eq!((a1, a2), (1, 1));
+}
+
+#[test]
+fn committed_updates_visible_to_later_transactions() {
+    let db = db_with_counter();
+    let mut writer = db.begin();
+    writer.execute("UPDATE counters SET v = 42 WHERE id = 1").unwrap();
+    writer.execute("INSERT INTO counters VALUES (2, 7)").unwrap();
+    writer.commit().unwrap();
+    let mut reader = db.begin();
+    let rows = reader.query("SELECT id, v FROM counters ORDER BY id").unwrap();
+    assert_eq!(
+        rows.rows,
+        vec![vec![Value::Int(1), Value::Int(42)], vec![Value::Int(2), Value::Int(7)]]
+    );
+    reader.commit().unwrap();
+}
+
+#[test]
+fn rollback_undoes_inserts_updates_and_deletes() {
+    let db = db_with_counter();
+    db.execute("INSERT INTO counters VALUES (2, 20), (3, 30)").unwrap();
+    let before = db.query("SELECT id, v FROM counters ORDER BY id").unwrap();
+    let mut txn = db.begin();
+    txn.execute("INSERT INTO counters VALUES (4, 40)").unwrap();
+    txn.execute("UPDATE counters SET v = v + 100 WHERE id <= 2").unwrap();
+    // Chained update of the same rows: rollback must walk RID remaps.
+    txn.execute("UPDATE counters SET v = v * 2 WHERE id <= 2").unwrap();
+    txn.execute("DELETE FROM counters WHERE id = 3").unwrap();
+    txn.rollback().unwrap();
+    let after = db.query("SELECT id, v FROM counters ORDER BY id").unwrap();
+    assert_eq!(before.rows, after.rows);
+}
+
+#[test]
+fn dropping_uncommitted_transaction_rolls_back() {
+    let db = db_with_counter();
+    {
+        let mut txn = db.begin();
+        txn.execute("UPDATE counters SET v = 999 WHERE id = 1").unwrap();
+    } // dropped without commit
+    assert_eq!(counter_value(&db), 0);
+    // Locks were released: a fresh writer proceeds immediately.
+    let mut txn = db.begin();
+    txn.execute("UPDATE counters SET v = 5 WHERE id = 1").unwrap();
+    txn.commit().unwrap();
+    assert_eq!(counter_value(&db), 5);
+}
+
+#[test]
+fn lock_waits_are_metered_per_transaction() {
+    let db = Arc::new(db_with_counter());
+    let barrier = Arc::new(Barrier::new(2));
+    let waited = std::thread::scope(|scope| {
+        let holder = {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut txn = db.begin();
+                txn.execute("UPDATE counters SET v = 1 WHERE id = 1").unwrap();
+                barrier.wait(); // lock held; let the waiter line up
+                std::thread::sleep(Duration::from_millis(120));
+                txn.commit().unwrap()
+            })
+        };
+        let waiter = {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut txn = db.begin();
+                txn.execute("UPDATE counters SET v = 2 WHERE id = 1").unwrap();
+                txn.commit().unwrap()
+            })
+        };
+        let holder_stats = holder.join().unwrap();
+        let waiter_stats = waiter.join().unwrap();
+        assert_eq!(holder_stats.work.lock_waits, 0);
+        assert_eq!(waiter_stats.work.lock_waits, 1);
+        assert!(!waiter_stats.lock_wait.is_zero());
+        waiter_stats.lock_wait
+    });
+    assert!(waited >= Duration::from_millis(50), "waiter blocked for {waited:?}");
+    assert_eq!(counter_value(&db), 2);
+}

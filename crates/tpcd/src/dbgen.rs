@@ -357,9 +357,11 @@ fn text(rng: &mut StdRng, min: usize, max: usize) -> String {
 
 /// A fraction of suppliers get the Q16 "Customer Complaints" marker.
 fn supplier_comment(rng: &mut StdRng, suppkey: i64) -> String {
-    let base = text(rng, 25, 100);
+    let mut base = text(rng, 25, 100);
     if suppkey % 100 == 7 {
-        format!("{base} Customer stuff Complaints")
+        // Keep the marker within S_COMMENT's VARCHAR(101).
+        base.truncate(75);
+        format!("{} Customer stuff Complaints", base.trim_end())
     } else {
         base
     }

@@ -10,9 +10,13 @@ pub mod power;
 pub mod queries;
 pub mod records;
 pub mod schema;
+pub mod throughput;
 pub mod updates;
 pub mod validate;
 
 pub use dbgen::DbGen;
 pub use power::{run_power_test, run_query, PowerResult, StepResult};
 pub use queries::QueryParams;
+pub use throughput::{
+    run_throughput_test, IsolatedWorkload, StreamWorkload, ThroughputConfig, ThroughputResult,
+};

@@ -57,10 +57,7 @@ pub fn run_query(db: &Database, n: usize, params: &QueryParams) -> DbResult<Quer
     let stmts = queries::sql(n, params);
     let mut last: Option<QueryResult> = None;
     for stmt in &stmts {
-        match db.execute(stmt)? {
-            rdbms::ExecOutcome::Rows(r) => last = Some(r),
-            _ => {}
-        }
+        if let rdbms::ExecOutcome::Rows(r) = db.execute(stmt)? { last = Some(r) }
     }
     last.ok_or_else(|| rdbms::DbError::execution(format!("Q{n} produced no result set")))
 }

@@ -108,9 +108,10 @@ impl Default for QueryParams {
 impl QueryParams {
     /// Scale-dependent parameters (Q11's fraction is 0.0001/SF).
     pub fn for_scale(sf: f64) -> Self {
-        let mut p = QueryParams::default();
-        p.q11_fraction = format!("{:.10}", 0.0001 / sf.max(1e-6));
-        p
+        QueryParams {
+            q11_fraction: format!("{:.10}", 0.0001 / sf.max(1e-6)),
+            ..QueryParams::default()
+        }
     }
 }
 

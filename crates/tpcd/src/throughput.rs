@@ -1,0 +1,463 @@
+//! The TPC-D throughput test (multi-user): N concurrent query streams plus
+//! one update stream running UF1/UF2 pairs in transactions.
+//!
+//! ## Deterministic virtual-time scheduling
+//!
+//! The whole workspace measures *simulated* seconds derived from metered
+//! physical work, so the throughput test is driven the same way: as a
+//! discrete-event simulation over virtual time. Each stream owns a virtual
+//! clock; the driver always executes the next unit of the stream whose
+//! clock is furthest behind (ties break toward the lowest stream id), so
+//! unit execution order — and therefore database state, metered work, and
+//! every reported time — is identical across runs. Real-thread concurrency
+//! is exercised separately by the `r3` dispatcher and the lock-manager
+//! tests; here determinism is the point, exactly like the cost clock
+//! itself.
+//!
+//! Lock interference between streams is modeled at the same granularity
+//! the engine's lock manager uses (table-level S/X, held for the duration
+//! of a unit): a query's shared locks wait for any exclusive interval that
+//! ends later than the stream's clock, and the update stream's exclusive
+//! locks wait for both kinds. The wait time is charged to the stream as
+//! lock-wait seconds and metered as `Counter::LockWaits`.
+//!
+//! The composite metric follows the TPC-D throughput definition:
+//! `QthD = (S * 17 * 3600 / T) * SF` with `T` the elapsed (virtual)
+//! seconds of the whole test.
+
+use crate::queries::{self, QueryParams};
+use rdbms::clock::{Calibration, MeterSnapshot};
+use rdbms::error::{DbError, DbResult};
+use rdbms::sql::parse_statement;
+use rdbms::txn::referenced_tables;
+use rdbms::{Counter, Database};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// A workload the throughput driver can execute: one of the paper's three
+/// configurations (isolated RDBMS, SAP R/3 Native SQL, SAP R/3 Open SQL).
+/// Implementations run the unit and return its row count; the driver
+/// meters work through `snapshot`.
+pub trait StreamWorkload {
+    /// Human-readable configuration name for reports.
+    fn name(&self) -> String;
+    /// Execute TPC-D query `n`, returning the number of answer rows.
+    fn run_query(&self, n: usize, params: &QueryParams) -> DbResult<u64>;
+    /// Execute UF1 for `stream` (inside a transaction where the
+    /// configuration supports one), returning rows inserted.
+    fn run_uf1(&self, stream: u64) -> DbResult<u64>;
+    /// Execute UF2 for `stream`, returning rows deleted.
+    fn run_uf2(&self, stream: u64) -> DbResult<u64>;
+    /// Current global meter snapshot (the driver takes before/after
+    /// differences per unit).
+    fn snapshot(&self) -> MeterSnapshot;
+    /// Calibration converting metered work to simulated seconds.
+    fn calibration(&self) -> Calibration;
+    /// Record one simulated lock wait on the global meter.
+    fn note_lock_wait(&self);
+    /// Base tables query `n` reads (upper-cased). Used for modeling lock
+    /// interference with the update stream.
+    fn query_tables(&self, n: usize, params: &QueryParams) -> BTreeSet<String>;
+    /// Tables the update stream writes (upper-cased). The SAP
+    /// configurations add the physical KONV representation to the TPC-D
+    /// base tables.
+    fn update_tables(&self) -> BTreeSet<String> {
+        UPDATE_TABLES.iter().map(|t| t.to_string()).collect()
+    }
+}
+
+/// Throughput-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputConfig {
+    /// Number of concurrent query streams (TPC-D `S`). The update stream
+    /// runs one UF1/UF2 pair per query stream.
+    pub query_streams: usize,
+    /// Seed for the per-stream query permutations.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig { query_streams: 4, seed: 42 }
+    }
+}
+
+/// One executed unit (a query or an update function) within a stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitResult {
+    /// "Q5", "UF1(2)", ...
+    pub unit: String,
+    /// Virtual second the unit's locks were granted.
+    pub start: f64,
+    /// Simulated seconds the stream waited for locks before `start`.
+    pub lock_wait: f64,
+    /// Simulated execution seconds (excluding lock wait).
+    pub seconds: f64,
+    /// Answer rows (queries) or rows touched (update functions).
+    pub rows: u64,
+    /// Metered work of the unit.
+    pub work: MeterSnapshot,
+}
+
+/// Everything one stream did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// "S1".."Sn" for query streams, "UPD" for the update stream.
+    pub stream: String,
+    pub units: Vec<UnitResult>,
+    /// Sum of unit execution seconds.
+    pub busy_seconds: f64,
+    /// Sum of simulated lock-wait seconds — the metered breakdown the
+    /// paper-style tables report per stream.
+    pub lock_wait_seconds: f64,
+    /// Virtual second this stream finished its last unit.
+    pub finished_at: f64,
+}
+
+/// Full throughput-test result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputResult {
+    pub configuration: String,
+    pub sf: f64,
+    pub query_streams: usize,
+    /// Elapsed virtual seconds (start of test to last unit end).
+    pub elapsed_seconds: f64,
+    /// TPC-D composite throughput metric `QthD@Size`.
+    pub qthd: f64,
+    pub streams: Vec<StreamResult>,
+}
+
+impl ThroughputResult {
+    pub fn stream(&self, name: &str) -> Option<&StreamResult> {
+        self.streams.iter().find(|s| s.stream == name)
+    }
+
+    /// Total simulated lock-wait seconds across all streams.
+    pub fn total_lock_wait(&self) -> f64 {
+        self.streams.iter().map(|s| s.lock_wait_seconds).sum()
+    }
+}
+
+/// The TPC-D tables the update functions write.
+const UPDATE_TABLES: [&str; 2] = ["LINEITEM", "ORDERS"];
+
+enum Unit {
+    Query(usize),
+    Uf1(u64),
+    Uf2(u64),
+}
+
+struct StreamState {
+    units: Vec<Unit>,
+    next: usize,
+    vtime: f64,
+    result: StreamResult,
+}
+
+#[derive(Default, Clone, Copy)]
+struct TableIntervals {
+    last_s_end: f64,
+    last_x_end: f64,
+}
+
+/// Deterministic Fisher–Yates permutation of 1..=17 from a 64-bit seed
+/// (SplitMix64 steps; independent of any RNG crate).
+fn query_permutation(seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut order: Vec<usize> = (1..=17).collect();
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Run the throughput test: `S` query streams (each a seeded permutation
+/// of Q1..Q17) interleaved with one update stream running `S` UF1/UF2
+/// pairs in transactions. Fully deterministic for a given workload state,
+/// config, and seed.
+pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
+    workload: &W,
+    params: &QueryParams,
+    sf: f64,
+    config: &ThroughputConfig,
+) -> DbResult<ThroughputResult> {
+    if config.query_streams == 0 {
+        return Err(DbError::execution("throughput test needs at least one query stream"));
+    }
+    let cal = workload.calibration();
+    let mut streams: Vec<StreamState> = Vec::new();
+    for s in 0..config.query_streams {
+        let name = format!("S{}", s + 1);
+        streams.push(StreamState {
+            units: query_permutation(config.seed ^ (s as u64).wrapping_mul(0x9E37_79B9))
+                .into_iter()
+                .map(Unit::Query)
+                .collect(),
+            next: 0,
+            vtime: 0.0,
+            result: StreamResult {
+                stream: name.clone(),
+                units: Vec::new(),
+                busy_seconds: 0.0,
+                lock_wait_seconds: 0.0,
+                finished_at: 0.0,
+            },
+        });
+    }
+    let update_units: Vec<Unit> = (1..=config.query_streams as u64)
+        .flat_map(|p| [Unit::Uf1(p), Unit::Uf2(p)])
+        .collect();
+    streams.push(StreamState {
+        units: update_units,
+        next: 0,
+        vtime: 0.0,
+        result: StreamResult {
+            stream: "UPD".to_string(),
+            units: Vec::new(),
+            busy_seconds: 0.0,
+            lock_wait_seconds: 0.0,
+            finished_at: 0.0,
+        },
+    });
+
+    let update_tables = workload.update_tables();
+    let mut intervals: HashMap<String, TableIntervals> = HashMap::new();
+    // Pick the most-behind stream with work left (ties: lowest index).
+    while let Some(idx) = streams
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.next < s.units.len())
+        .min_by(|(ai, a), (bi, b)| a.vtime.total_cmp(&b.vtime).then(ai.cmp(bi)))
+        .map(|(i, _)| i)
+    {
+        let stream = &mut streams[idx];
+        let unit = &stream.units[stream.next];
+        stream.next += 1;
+
+        let (label, reads, writes): (String, BTreeSet<String>, BTreeSet<String>) = match unit {
+            Unit::Query(n) => (
+                format!("Q{n}"),
+                workload.query_tables(*n, params),
+                BTreeSet::new(),
+            ),
+            Unit::Uf1(p) => (format!("UF1({p})"), BTreeSet::new(), update_tables.clone()),
+            Unit::Uf2(p) => (format!("UF2({p})"), BTreeSet::new(), update_tables.clone()),
+        };
+
+        // Lock grant time: shared locks wait for exclusive intervals,
+        // exclusive locks wait for both.
+        let mut start = stream.vtime;
+        for t in &reads {
+            let iv = intervals.get(t).copied().unwrap_or_default();
+            start = start.max(iv.last_x_end);
+        }
+        for t in &writes {
+            let iv = intervals.get(t).copied().unwrap_or_default();
+            start = start.max(iv.last_x_end).max(iv.last_s_end);
+        }
+        let lock_wait = start - stream.vtime;
+        if lock_wait > 0.0 {
+            workload.note_lock_wait();
+        }
+
+        let before = workload.snapshot();
+        let rows = match unit {
+            Unit::Query(n) => workload.run_query(*n, params)?,
+            Unit::Uf1(p) => workload.run_uf1(*p)?,
+            Unit::Uf2(p) => workload.run_uf2(*p)?,
+        };
+        let work = workload.snapshot().since(&before);
+        let seconds = cal.seconds(&work);
+        let end = start + seconds;
+
+        for t in &reads {
+            let iv = intervals.entry(t.clone()).or_default();
+            iv.last_s_end = iv.last_s_end.max(end);
+        }
+        for t in &writes {
+            let iv = intervals.entry(t.clone()).or_default();
+            iv.last_x_end = iv.last_x_end.max(end);
+        }
+
+        stream.result.units.push(UnitResult {
+            unit: label,
+            start,
+            lock_wait,
+            seconds,
+            rows,
+            work,
+        });
+        stream.result.busy_seconds += seconds;
+        stream.result.lock_wait_seconds += lock_wait;
+        stream.vtime = end;
+        stream.result.finished_at = end;
+    }
+
+    let elapsed = streams.iter().map(|s| s.result.finished_at).fold(0.0, f64::max);
+    let s = config.query_streams as f64;
+    let qthd = if elapsed > 0.0 { s * 17.0 * 3600.0 / elapsed * sf } else { 0.0 };
+    Ok(ThroughputResult {
+        configuration: workload.name(),
+        sf,
+        query_streams: config.query_streams,
+        elapsed_seconds: elapsed,
+        qthd,
+        streams: streams.into_iter().map(|s| s.result).collect(),
+    })
+}
+
+/// The isolated-RDBMS configuration: queries through plain SQL (literals
+/// visible to the optimizer), update functions as engine transactions.
+pub struct IsolatedWorkload<'a> {
+    pub db: &'a Database,
+    pub gen: &'a crate::dbgen::DbGen,
+}
+
+impl StreamWorkload for IsolatedWorkload<'_> {
+    fn name(&self) -> String {
+        "isolated RDBMS".to_string()
+    }
+
+    fn run_query(&self, n: usize, params: &QueryParams) -> DbResult<u64> {
+        Ok(crate::power::run_query(self.db, n, params)?.rows.len() as u64)
+    }
+
+    fn run_uf1(&self, stream: u64) -> DbResult<u64> {
+        crate::updates::uf1_txn(self.db, self.gen, stream)
+    }
+
+    fn run_uf2(&self, stream: u64) -> DbResult<u64> {
+        crate::updates::uf2_txn(self.db, self.gen, stream)
+    }
+
+    fn snapshot(&self) -> MeterSnapshot {
+        self.db.snapshot()
+    }
+
+    fn calibration(&self) -> Calibration {
+        self.db.calibration()
+    }
+
+    fn note_lock_wait(&self) {
+        self.db.meter().bump(Counter::LockWaits);
+    }
+
+    fn query_tables(&self, n: usize, params: &QueryParams) -> BTreeSet<String> {
+        query_read_set(self.db, n, params)
+    }
+}
+
+/// Union of base tables referenced by every statement of query `n`
+/// (derived from the SQL text itself, so it stays correct as queries
+/// change).
+pub fn query_read_set(db: &Database, n: usize, params: &QueryParams) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for stmt in queries::sql(n, params) {
+        if let Ok(parsed) = parse_statement(&stmt) {
+            let (reads, writes) = referenced_tables(&parsed, db.catalog());
+            out.extend(reads);
+            out.extend(writes);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::DbGen;
+    use crate::schema::load;
+
+    fn fresh(sf: f64) -> (Database, DbGen) {
+        let db = Database::with_defaults();
+        let gen = DbGen::new(sf);
+        load(&db, &gen).unwrap();
+        (db, gen)
+    }
+
+    #[test]
+    fn permutations_are_seeded_and_complete() {
+        let a = query_permutation(7);
+        let b = query_permutation(7);
+        let c = query_permutation(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_read_sets_name_base_tables() {
+        let (db, gen) = fresh(0.001);
+        let params = QueryParams::for_scale(gen.sf);
+        let q1 = query_read_set(&db, 1, &params);
+        assert!(q1.contains("LINEITEM"), "Q1 reads lineitem: {q1:?}");
+        let q5 = query_read_set(&db, 5, &params);
+        for t in ["CUSTOMER", "ORDERS", "LINEITEM", "SUPPLIER", "NATION", "REGION"] {
+            assert!(q5.contains(t), "Q5 reads {t}: {q5:?}");
+        }
+    }
+
+    #[test]
+    fn throughput_test_runs_and_is_deterministic() {
+        let config = ThroughputConfig { query_streams: 2, seed: 7 };
+        let run = |_| {
+            let (db, gen) = fresh(0.002);
+            let params = QueryParams::for_scale(gen.sf);
+            let workload = IsolatedWorkload { db: &db, gen: &gen };
+            run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
+        };
+        let a = run(0);
+        let b = run(1);
+        assert_eq!(a.streams.len(), 3, "2 query streams + 1 update stream");
+        assert_eq!(a.stream("UPD").unwrap().units.len(), 4, "2 UF1/UF2 pairs");
+        for s in &a.streams {
+            if s.stream != "UPD" {
+                assert_eq!(s.units.len(), 17);
+            }
+        }
+        assert!(a.elapsed_seconds > 0.0);
+        assert!(a.qthd > 0.0);
+        // Determinism: identical simulated timings, work, and row counts.
+        assert_eq!(a.elapsed_seconds.to_bits(), b.elapsed_seconds.to_bits());
+        assert_eq!(a.qthd.to_bits(), b.qthd.to_bits());
+        for (x, y) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(x.lock_wait_seconds.to_bits(), y.lock_wait_seconds.to_bits());
+            for (ux, uy) in x.units.iter().zip(&y.units) {
+                assert_eq!(ux.unit, uy.unit);
+                assert_eq!(ux.rows, uy.rows);
+                assert_eq!(ux.work, uy.work);
+            }
+        }
+    }
+
+    #[test]
+    fn update_stream_leaves_database_unchanged_and_waits_are_attributed() {
+        let (db, gen) = fresh(0.002);
+        let params = QueryParams::for_scale(gen.sf);
+        let before: i64 =
+            db.query("SELECT COUNT(*) FROM orders").unwrap().scalar().unwrap().as_int().unwrap();
+        let workload = IsolatedWorkload { db: &db, gen: &gen };
+        let config = ThroughputConfig { query_streams: 2, seed: 3 };
+        let result = run_throughput_test(&workload, &params, gen.sf, &config).unwrap();
+        let after: i64 =
+            db.query("SELECT COUNT(*) FROM orders").unwrap().scalar().unwrap().as_int().unwrap();
+        assert_eq!(before, after, "each UF1 is paired with a UF2");
+        // Queries read ORDERS/LINEITEM while the update stream writes
+        // them: somebody must have waited.
+        assert!(result.total_lock_wait() > 0.0, "lock interference modeled");
+        assert!(
+            db.snapshot().lock_waits > 0,
+            "waits are metered on the global meter"
+        );
+    }
+}

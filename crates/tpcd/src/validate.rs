@@ -9,16 +9,19 @@ use rdbms::types::{Date, Decimal};
 use rdbms::{Database, DbResult, Value};
 use std::collections::BTreeMap;
 
+/// Q1 aggregates keyed by (returnflag, linestatus):
+/// (sum_qty, sum_base_price, sum_disc_price, sum_charge, count).
+pub type Q1Answer = BTreeMap<(String, String), (Decimal, Decimal, Decimal, Decimal, u64)>;
+
 /// Q1 reference answer computed directly over generated lineitems:
 /// (returnflag, linestatus) -> (sum_qty, sum_base, sum_disc, sum_charge, count).
 pub fn q1_reference(
     lineitems: &[LineItem],
     delta_days: i32,
-) -> BTreeMap<(String, String), (Decimal, Decimal, Decimal, Decimal, u64)> {
+) -> Q1Answer {
     let cutoff = Date::from_ymd(1998, 12, 1).expect("valid").add_days(-delta_days);
     let one = Decimal::from_int(1);
-    let mut out: BTreeMap<(String, String), (Decimal, Decimal, Decimal, Decimal, u64)> =
-        BTreeMap::new();
+    let mut out = Q1Answer::new();
     for l in lineitems {
         if l.shipdate > cutoff {
             continue;

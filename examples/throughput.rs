@@ -1,0 +1,69 @@
+//! The TPC-D throughput test across the paper's three configurations:
+//! the isolated RDBMS, SAP R/3 with Native SQL reports, and SAP R/3 with
+//! Open SQL reports. Four query streams run their permuted Q1..Q17
+//! sequences while an update stream applies UF1/UF2 pairs, and the driver
+//! reports the per-stream metered breakdown — busy time, lock-wait time —
+//! and the composite QthD metric.
+//!
+//! ```text
+//! cargo run --release --example throughput
+//! ```
+
+use r3::reports::SapInterface;
+use r3::throughput::SapWorkload;
+use r3::{R3System, Release};
+use tpcd::throughput::StreamWorkload;
+use tpcd::{run_throughput_test, DbGen, IsolatedWorkload, QueryParams, ThroughputConfig};
+
+fn report(result: &tpcd::ThroughputResult) {
+    println!("== {} ==", result.configuration);
+    println!(
+        "   {} query streams + update stream, SF {}",
+        result.query_streams, result.sf
+    );
+    println!("   stream   units   busy(s)   lock-wait(s)   finished(s)");
+    for s in &result.streams {
+        println!(
+            "   {:<6} {:>6} {:>9.2} {:>14.3} {:>13.2}",
+            s.stream,
+            s.units.len(),
+            s.busy_seconds,
+            s.lock_wait_seconds,
+            s.finished_at
+        );
+    }
+    println!(
+        "   elapsed {:.2} simulated s   QthD@{}MB = {:.2}\n",
+        result.elapsed_seconds,
+        (result.sf * 1000.0).round(),
+        result.qthd
+    );
+}
+
+fn main() {
+    let sf = 0.005;
+    let config = ThroughputConfig { query_streams: 4, seed: 42 };
+    println!(
+        "TPC-D throughput test, SF={sf}, {} query streams, seed {}\n",
+        config.query_streams, config.seed
+    );
+
+    // Configuration 1: the isolated RDBMS.
+    let db = rdbms::Database::with_defaults();
+    let gen = DbGen::new(sf);
+    tpcd::schema::load(&db, &gen).expect("load");
+    let params = QueryParams::for_scale(sf);
+    let workload = IsolatedWorkload { db: &db, gen: &gen };
+    let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
+    report(&result);
+
+    // Configurations 2 and 3: SAP R/3 3.0E with Native and Open SQL.
+    for iface in [SapInterface::Native, SapInterface::Open] {
+        let sys = R3System::install_default(Release::R30).expect("install");
+        sys.load_tpcd(&gen).expect("load");
+        let workload = SapWorkload { sys: &sys, iface, gen: &gen };
+        println!("running {} ...", workload.name());
+        let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
+        report(&result);
+    }
+}

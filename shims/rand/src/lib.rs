@@ -1,0 +1,179 @@
+//! Shim of the `rand` 0.8 API surface used in this workspace.
+//!
+//! `StdRng` here is a SplitMix64-fed xorshift generator, NOT the real
+//! crate's ChaCha12: sequences differ from upstream `rand`, but are fully
+//! deterministic across runs, platforms, and rebuilds — which is what the
+//! deterministic cost clock needs from `tpcd::DbGen`.
+
+pub mod rngs {
+    /// The standard deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub use rngs::StdRng;
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero fixpoint and decorrelate small seeds.
+        StdRng { state: seed ^ 0x5851_F42D_4C95_7F2D }
+    }
+}
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, one
+        // 64-bit word of state, and every step is a bijection.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy {
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi_inclusive: Self) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($ty:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range(rng: &mut dyn RngCore, lo: Self, hi_inclusive: Self) -> Self {
+                debug_assert!(lo <= hi_inclusive);
+                let span = (hi_inclusive as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                // Modulo bias is < 2^-64 for every span used here; fine for
+                // a deterministic workload generator.
+                let draw = ((rng.next_u64() as u128) % span) as $wide;
+                (lo as $wide).wrapping_add(draw) as $ty
+            }
+        }
+    )*};
+}
+
+sample_uniform_int! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, i128 => i128, u128 => u128,
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Bounded + StepDown> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_range(rng, self.start, self.end.step_down())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_range(rng, lo, hi)
+    }
+}
+
+/// Helper traits so `Range<T>` (half-open) can convert to inclusive bounds.
+pub trait StepDown {
+    fn step_down(self) -> Self;
+}
+
+pub trait Bounded {}
+
+macro_rules! step_down_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl StepDown for $ty {
+            fn step_down(self) -> Self { self - 1 }
+        }
+        impl Bounded for $ty {}
+    )*};
+}
+
+step_down_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128);
+
+/// Core entropy source (object-safe).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+/// The user-facing generator trait.
+pub trait Rng: RngCore + Sized {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        // 53 bits of mantissa: exact for every p a benchmark would use.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..25i64);
+            assert!((0..25).contains(&v));
+            let w = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&w));
+            let u = rng.gen_range(0..3usize);
+            assert!(u < 3);
+            let neg = rng.gen_range(-5000i32..5000);
+            assert!((-5000..5000).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn full_range_is_exercised() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+    }
+}

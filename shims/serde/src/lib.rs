@@ -1,0 +1,10 @@
+//! Shim `serde`: marker traits plus no-op derive macros. The workspace
+//! serializes through hand-written `serde_json::ToJson` impls instead of
+//! serde's visitor machinery; the traits exist so `#[derive(Serialize,
+//! Deserialize)]` annotations and trait bounds keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize {}

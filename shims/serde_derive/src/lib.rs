@@ -1,0 +1,37 @@
+//! No-op derive macros for the `serde` shim: they emit marker-trait impls
+//! (`serde::Serialize` / `serde::Deserialize` carry no methods in the shim),
+//! so `#[derive(Serialize, Deserialize)]` annotations compile unchanged.
+//! Actual JSON output in this workspace goes through `serde_json::ToJson`
+//! implementations written by hand.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The type name following the `struct`/`enum` keyword. The shim derives
+/// are only applied to plain non-generic items in this workspace.
+fn item_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input).expect("derive(Serialize): no struct/enum name");
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input).expect("derive(Deserialize): no struct/enum name");
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+}

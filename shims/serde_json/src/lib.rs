@@ -1,0 +1,273 @@
+//! Shim `serde_json`: a small JSON value model plus pretty-printing.
+//!
+//! Instead of serde's derive/visitor machinery, types opt in by
+//! implementing [`ToJson`]; `to_string_pretty` then renders the value with
+//! two-space indentation (stable output, suitable for committed baselines).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Append a field to an object value (panics on non-objects).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        if v <= i64::MAX as u64 {
+            Json::Int(v as i64)
+        } else {
+            Json::Float(v as f64)
+        }
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::from(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(v: &[T]) -> Json {
+        Json::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<V: Into<Json>> From<BTreeMap<String, V>> for Json {
+    fn from(v: BTreeMap<String, V>) -> Json {
+        Json::Object(v.into_iter().map(|(k, val)| (k, val.into())).collect())
+    }
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+/// Error type for signature compatibility with the real crate (emission
+/// itself cannot fail).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
+    Ok(write_compact(&value.to_json()))
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{:.1}", v));
+        } else {
+            out.push_str(&format!("{}", v));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_value(v: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => write_float(*f, out),
+        Json::Str(s) => escape(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape(k, out);
+                out.push_str(": ");
+                write_value(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact(v: &Json) -> String {
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Int(i) => i.to_string(),
+        Json::Float(f) => {
+            let mut s = String::new();
+            write_float(*f, &mut s);
+            s
+        }
+        Json::Str(s) => {
+            let mut out = String::new();
+            escape(s, &mut out);
+            out
+        }
+        Json::Array(items) => {
+            let inner: Vec<String> = items.iter().map(write_compact).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Object(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| {
+                    let mut key = String::new();
+                    escape(k, &mut key);
+                    format!("{key}:{}", write_compact(v))
+                })
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = Json::object()
+            .field("name", "q1")
+            .field("seconds", 12.5)
+            .field("rows", 4i64)
+            .field("tags", vec!["a", "b"]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"q1\",\n  \"seconds\": 12.5,\n  \"rows\": 4,\n  \"tags\": [\n    \"a\",\n    \"b\"\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_and_compact() {
+        let v = Json::object().field("s", "a\"b\\c\nd");
+        assert_eq!(to_string(&v).unwrap(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal() {
+        assert_eq!(to_string(&Json::Float(3.0)).unwrap(), "3.0");
+        assert_eq!(to_string(&Json::Float(0.25)).unwrap(), "0.25");
+    }
+}
