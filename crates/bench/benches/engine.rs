@@ -16,13 +16,9 @@ fn bench_codec(c: &mut Criterion) {
         Value::date(1995, 6, 17),
         Value::Bool(true),
     ];
-    c.bench_function("codec/encode_row", |b| {
-        b.iter(|| encode_row(black_box(&row)))
-    });
+    c.bench_function("codec/encode_row", |b| b.iter(|| encode_row(black_box(&row))));
     let bytes = encode_row(&row);
-    c.bench_function("codec/decode_row", |b| {
-        b.iter(|| decode_row(black_box(&bytes)).unwrap())
-    });
+    c.bench_function("codec/decode_row", |b| b.iter(|| decode_row(black_box(&bytes)).unwrap()));
     c.bench_function("codec/encode_key_composite", |b| {
         b.iter(|| encode_key(black_box(&[Value::Int(123456), Value::str("0000000000000042")])))
     });
@@ -47,11 +43,7 @@ fn bench_btree(c: &mut Criterion) {
             i = (i + 997) % 99_000;
             let lo = encode_key(&[Value::Int(i)]);
             let hi = encode_key(&[Value::Int(i + 100)]);
-            tree.range_scan(
-                std::ops::Bound::Included(&lo),
-                std::ops::Bound::Excluded(&hi),
-            )
-            .unwrap()
+            tree.range_scan(std::ops::Bound::Included(&lo), std::ops::Bound::Excluded(&hi)).unwrap()
         })
     });
 }
@@ -83,9 +75,7 @@ fn bench_sql(c: &mut Criterion) {
         })
     });
     c.bench_function("sql/group_by_10k_rows", |b| {
-        b.iter(|| {
-            db.query("SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g ORDER BY g").unwrap()
-        })
+        b.iter(|| db.query("SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g ORDER BY g").unwrap())
     });
     let prepared = db.prepare("SELECT v FROM t WHERE k = ?").unwrap();
     c.bench_function("sql/prepared_reexecution", |b| {
@@ -111,9 +101,7 @@ fn bench_expr(c: &mut Criterion) {
     let t = Decimal::parse("0.08").unwrap();
     let one = Decimal::from_int(1);
     c.bench_function("expr/tpcd_charge_arith", |b| {
-        b.iter(|| {
-            black_box(a).mul(one.sub(black_box(d))).mul(one.add(black_box(t)))
-        })
+        b.iter(|| black_box(a).mul(one.sub(black_box(d))).mul(one.add(black_box(t))))
     });
 }
 

@@ -18,9 +18,7 @@ fn bench_table2_sizes(c: &mut Criterion) {
 }
 
 fn bench_table3_loading(c: &mut Criterion) {
-    c.bench_function("table3/batch_input_load", |b| {
-        b.iter(|| bench::table3(0.0005).unwrap())
-    });
+    c.bench_function("table3/batch_input_load", |b| b.iter(|| bench::table3(0.0005).unwrap()));
 }
 
 fn bench_power_queries(c: &mut Criterion) {
@@ -32,9 +30,7 @@ fn bench_power_queries(c: &mut Criterion) {
 
     let db = rdbms::Database::with_defaults();
     tpcd::schema::load(&db, &gen).unwrap();
-    c.bench_function("table4_5/rdbms_q6", |b| {
-        b.iter(|| tpcd::run_query(&db, 6, &params).unwrap())
-    });
+    c.bench_function("table4_5/rdbms_q6", |b| b.iter(|| tpcd::run_query(&db, 6, &params).unwrap()));
 
     let s22 = R3System::install_default(Release::R22).unwrap();
     s22.load_tpcd(&gen).unwrap();
@@ -56,27 +52,19 @@ fn bench_power_queries(c: &mut Criterion) {
 }
 
 fn bench_table6_plan_choice(c: &mut Criterion) {
-    c.bench_function("table6/plan_choice_experiment", |b| {
-        b.iter(|| bench::table6(SF).unwrap())
-    });
+    c.bench_function("table6/plan_choice_experiment", |b| b.iter(|| bench::table6(SF).unwrap()));
 }
 
 fn bench_table7_aggregation(c: &mut Criterion) {
-    c.bench_function("table7/aggregation_placement", |b| {
-        b.iter(|| bench::table7(SF).unwrap())
-    });
+    c.bench_function("table7/aggregation_placement", |b| b.iter(|| bench::table7(SF).unwrap()));
 }
 
 fn bench_table8_caching(c: &mut Criterion) {
-    c.bench_function("table8/caching_effectiveness", |b| {
-        b.iter(|| bench::table8(SF).unwrap())
-    });
+    c.bench_function("table8/caching_effectiveness", |b| b.iter(|| bench::table8(SF).unwrap()));
 }
 
 fn bench_table9_extraction(c: &mut Criterion) {
-    c.bench_function("table9/warehouse_extraction", |b| {
-        b.iter(|| bench::table9(SF).unwrap())
-    });
+    c.bench_function("table9/warehouse_extraction", |b| b.iter(|| bench::table9(SF).unwrap()));
 }
 
 criterion_group! {

@@ -1,8 +1,12 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--sf <scale>] [table1 .. table9 | figures | all]
+//! experiments [--sf <scale>] [table1 .. table9 | figures | all | trace [qN]]
 //! ```
+//!
+//! `trace` runs the end-to-end observability demo for one query (default
+//! Q3): an EXPLAIN ANALYZE plan trace, ST05 SQL traces on 2.2G vs 3.0E,
+//! and dispatcher/throughput latency histograms.
 //!
 //! Results print as text tables (paper numbers alongside) and are also
 //! dumped as JSON under `target/experiments/`.
@@ -37,19 +41,53 @@ fn main() {
     let out_dir = "target/experiments";
     let _ = fs::create_dir_all(out_dir);
 
-    let run = |name: &str, table: Result<ExpTable, rdbms::DbError>| {
-        match table {
-            Ok(t) => {
-                println!("{}", t.render());
-                let path = format!("{out_dir}/{name}.json");
-                if let Ok(json) = serde_json::to_string_pretty(&t) {
-                    let _ = fs::write(&path, json);
-                    println!("  (written to {path})\n");
+    let run = |name: &str, table: Result<ExpTable, rdbms::DbError>| match table {
+        Ok(t) => {
+            println!("{}", t.render());
+            let path = format!("{out_dir}/{name}.json");
+            if let Ok(json) = serde_json::to_string_pretty(&t) {
+                let _ = fs::write(&path, json);
+                println!("  (written to {path})\n");
+            }
+        }
+        Err(e) => eprintln!("{name} failed: {e}"),
+    };
+
+    // `trace [qN|N]`: one subcommand consuming an optional query operand.
+    if which.first().map(String::as_str) == Some("trace") {
+        let n = which
+            .get(1)
+            .map(|q| {
+                q.trim_start_matches(['q', 'Q'])
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("trace: bad query '{q}'"))
+            })
+            .unwrap_or(3);
+        match bench::tracecmd::run_trace(n, sf) {
+            Ok(artifacts) => {
+                for a in &artifacts {
+                    println!("{}", a.text);
+                    let path = format!("{out_dir}/{}.json", a.name);
+                    let json =
+                        serde_json::to_string_pretty(&a.json).expect("trace artifact serializes");
+                    // Validate what we are about to publish round-trips.
+                    if let Err(e) = serde_json::from_str(&json) {
+                        eprintln!("{path}: emitted JSON does not parse: {e}");
+                        std::process::exit(1);
+                    }
+                    match fs::write(&path, json) {
+                        Ok(()) => println!("  (written to {path})\n"),
+                        Err(e) => eprintln!("  (write to {path} failed: {e})\n"),
+                    }
                 }
             }
-            Err(e) => eprintln!("{name} failed: {e}"),
+            Err(e) => {
+                eprintln!("trace failed: {e}");
+                std::process::exit(1);
+            }
         }
-    };
+        return;
+    }
 
     for w in &which {
         match w.as_str() {

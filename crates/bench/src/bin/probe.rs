@@ -5,11 +5,8 @@ use r3::{R3System, Release};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sf: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(0.005);
-    let release = if args.get(1).map(|s| s.as_str()) == Some("r22") {
-        Release::R22
-    } else {
-        Release::R30
-    };
+    let release =
+        if args.get(1).map(|s| s.as_str()) == Some("r22") { Release::R22 } else { Release::R30 };
     let gen = tpcd::DbGen::new(sf);
     let params = tpcd::QueryParams::for_scale(sf);
     eprintln!("loading {release} at SF={sf}...");

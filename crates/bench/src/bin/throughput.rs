@@ -43,10 +43,7 @@ fn result_json(r: &ThroughputResult) -> Json {
         .field("elapsed_seconds", r.elapsed_seconds)
         .field("qthd", r.qthd)
         .field("total_lock_wait", r.total_lock_wait())
-        .field(
-            "streams",
-            Json::Array(r.streams.iter().map(stream_json).collect()),
-        )
+        .field("streams", Json::Array(r.streams.iter().map(stream_json).collect()))
 }
 
 fn main() {
@@ -64,18 +61,15 @@ fn main() {
             }
             "--streams" => {
                 i += 1;
-                streams = args[i]
-                    .split(',')
-                    .map(|s| s.parse().expect("--streams needs a,b,c"))
-                    .collect();
+                streams =
+                    args[i].split(',').map(|s| s.parse().expect("--streams needs a,b,c")).collect();
             }
             "--configs" => {
                 i += 1;
                 systems = args[i]
                     .split(',')
                     .map(|s| {
-                        ThroughputSystem::parse(s)
-                            .unwrap_or_else(|| panic!("unknown config '{s}'"))
+                        ThroughputSystem::parse(s).unwrap_or_else(|| panic!("unknown config '{s}'"))
                     })
                     .collect();
             }
@@ -108,10 +102,7 @@ fn main() {
         .field("benchmark", "tpcd_throughput")
         .field("sf", sf)
         .field("seed", seed)
-        .field(
-            "stream_counts",
-            Json::Array(streams.iter().map(|&s| Json::from(s)).collect()),
-        )
+        .field("stream_counts", Json::Array(streams.iter().map(|&s| Json::from(s)).collect()))
         .field("runs", Json::Array(runs));
     fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write baseline");
     eprintln!("wrote {out}");

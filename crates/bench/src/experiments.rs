@@ -38,10 +38,7 @@ impl serde_json::ToJson for ExpTable {
             .field("id", self.id.clone())
             .field("title", self.title.clone())
             .field("headers", self.headers.clone())
-            .field(
-                "rows",
-                Json::Array(self.rows.iter().map(|r| Json::from(r.clone())).collect()),
-            )
+            .field("rows", Json::Array(self.rows.iter().map(|r| Json::from(r.clone())).collect()))
             .field("notes", self.notes.clone())
     }
 }
@@ -130,7 +127,12 @@ pub fn table1() -> DbResult<ExpTable> {
     Ok(ExpTable {
         id: "Table 1".into(),
         title: "SAP tables used in the TPC-D benchmark".into(),
-        headers: vec!["SAP Table".into(), "Description".into(), "Orig. TPC-D".into(), "kind (2.2)".into()],
+        headers: vec![
+            "SAP Table".into(),
+            "Description".into(),
+            "Orig. TPC-D".into(),
+            "kind (2.2)".into(),
+        ],
         rows,
         notes: vec!["KONV becomes transparent after the 3.0 conversion".into()],
     })
@@ -248,25 +250,12 @@ pub fn table3(sf: f64) -> DbResult<ExpTable> {
     let mut rows = Vec::new();
     let mut total = 0.0;
     for t in &timings {
-        let paper = paper::TABLE3
-            .iter()
-            .find(|(n, _)| *n == t.table)
-            .map(|(_, s)| *s)
-            .unwrap_or(0.0);
-        rows.push(vec![
-            t.table.clone(),
-            format!("{}", t.records),
-            dur(t.seconds),
-            dur(paper),
-        ]);
+        let paper =
+            paper::TABLE3.iter().find(|(n, _)| *n == t.table).map(|(_, s)| *s).unwrap_or(0.0);
+        rows.push(vec![t.table.clone(), format!("{}", t.records), dur(t.seconds), dur(paper)]);
         total += t.seconds;
     }
-    rows.push(vec![
-        "Total".into(),
-        "-".into(),
-        dur(total),
-        format!("~{}", dur(30.0 * 86400.0)),
-    ]);
+    rows.push(vec!["Total".into(), "-".into(), dur(total), format!("~{}", dur(30.0 * 86400.0))]);
     Ok(ExpTable {
         id: "Table 3".into(),
         title: format!("Loading the SAP database, 2 parallel batch-input processes (SF={sf})"),
@@ -433,11 +422,12 @@ pub fn table6(sf: f64) -> DbResult<ExpTable> {
     let measure_open = |bound: i64| -> DbResult<f64> {
         sys.db.pager().flush_all();
         let before = sys.snapshot();
-        let _ = sys.open_select(
-            &SelectSpec::from_table("VBAP")
-                .fields(&["KWMENG"])
-                .cond(Cond::new("KWMENG", CmpOp::Lt, Value::Int(bound))),
-        )?;
+        let _ =
+            sys.open_select(&SelectSpec::from_table("VBAP").fields(&["KWMENG"]).cond(Cond::new(
+                "KWMENG",
+                CmpOp::Lt,
+                Value::Int(bound),
+            )))?;
         Ok(cal.seconds(&sys.snapshot().since(&before)))
     };
     let open_high = measure_open(0)?;
@@ -519,9 +509,7 @@ pub fn table7(sf: f64) -> DbResult<ExpTable> {
     let thousand = rdbms::Decimal::from_int(1000);
     let one = rdbms::Decimal::from_int(1);
     for row in &fetched.rows {
-        let charge = row[2]
-            .as_decimal()?
-            .mul(one.add(row[1].as_decimal()?.div(thousand)?));
+        let charge = row[2].as_decimal()?.mul(one.add(row[1].as_decimal()?.div(thousand)?));
         extract.extract(meter, vec![row[0].clone()], vec![Value::Decimal(charge)]);
     }
     extract.sort(meter);
@@ -620,11 +608,7 @@ pub fn table8(sf: f64) -> DbResult<ExpTable> {
     Ok(ExpTable {
         id: "Table 8".into(),
         title: format!("Effectiveness of caching MARA, {} small queries (SF={sf})", {
-            let v: i64 = sys
-                .db
-                .query("SELECT COUNT(*) FROM VBAP")?
-                .scalar()?
-                .as_int()?;
+            let v: i64 = sys.db.query("SELECT COUNT(*) FROM VBAP")?.scalar()?.as_int()?;
             v
         }),
         headers: vec![
@@ -654,11 +638,8 @@ pub fn table9(sf: f64) -> DbResult<ExpTable> {
     let mut rows = Vec::new();
     let mut total = 0.0;
     for r in &results {
-        let paper = paper::TABLE9
-            .iter()
-            .find(|(n, _)| *n == r.table)
-            .map(|(_, s)| *s)
-            .unwrap_or(0.0);
+        let paper =
+            paper::TABLE9.iter().find(|(n, _)| *n == r.table).map(|(_, s)| *s).unwrap_or(0.0);
         rows.push(vec![
             r.table.clone(),
             format!("{}", r.rows),
@@ -668,13 +649,7 @@ pub fn table9(sf: f64) -> DbResult<ExpTable> {
         ]);
         total += r.seconds;
     }
-    rows.push(vec![
-        "total".into(),
-        "-".into(),
-        "-".into(),
-        dur(total),
-        dur(paper::TABLE9[8].1),
-    ]);
+    rows.push(vec!["total".into(), "-".into(), "-".into(), dur(total), dur(paper::TABLE9[8].1)]);
     Ok(ExpTable {
         id: "Table 9".into(),
         title: format!("Constructing a data warehouse: Open SQL extraction (SF={sf})"),
@@ -687,7 +662,8 @@ pub fn table9(sf: f64) -> DbResult<ExpTable> {
         ],
         rows,
         notes: vec![
-            "LINEITEM dominates; total is comparable to one Open SQL power test (paper's point)".into(),
+            "LINEITEM dominates; total is comparable to one Open SQL power test (paper's point)"
+                .into(),
         ],
     })
 }
@@ -706,11 +682,8 @@ pub enum ThroughputSystem {
 }
 
 impl ThroughputSystem {
-    pub const ALL: [ThroughputSystem; 3] = [
-        ThroughputSystem::Isolated,
-        ThroughputSystem::Native,
-        ThroughputSystem::Open,
-    ];
+    pub const ALL: [ThroughputSystem; 3] =
+        [ThroughputSystem::Isolated, ThroughputSystem::Native, ThroughputSystem::Open];
 
     pub fn parse(s: &str) -> Option<ThroughputSystem> {
         match s {
@@ -760,10 +733,7 @@ pub fn run_throughput_series(
             };
             let sys = R3System::install_default(Release::R30)?;
             sys.load_tpcd(&gen)?;
-            run_all(
-                &r3::throughput::SapWorkload { sys: &sys, iface, gen: &gen },
-                &mut progress,
-            )
+            run_all(&r3::throughput::SapWorkload { sys: &sys, iface, gen: &gen }, &mut progress)
         }
     }
 }

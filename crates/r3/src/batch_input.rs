@@ -116,16 +116,18 @@ impl R3System {
             &[Value::str(MANDT), Value::str(object)],
         )?;
         if existing.rows.is_empty() {
-            self.db.insert_row(
-                "NRIV",
-                &[Value::str(MANDT), Value::str(object), Value::Int(1)],
-            )?;
+            self.db.insert_row("NRIV", &[Value::str(MANDT), Value::str(object), Value::Int(1)])?;
         } else {
             let n = existing.rows[0][0].as_int()? + 1;
+            let traced = self.sql_trace.begin();
             self.meter().bump(Counter::IpcCrossings);
-            self.db.execute(&format!(
+            let sql = format!(
                 "UPDATE NRIV SET NRLEVEL = {n} WHERE MANDT = '{MANDT}' AND OBJECT = '{object}'"
-            ))?;
+            );
+            self.db.execute(&sql)?;
+            if let Some(t) = traced {
+                t.finish(crate::sqltrace::SqlOp::Exec, sql, &[], 1, 1);
+            }
         }
         Ok(())
     }
@@ -210,10 +212,7 @@ impl R3System {
             self.must_exist("MARA", vec![Cond::eq("MATNR", key16(l.partkey))])?;
             self.must_exist("LFA1", vec![Cond::eq("LIFNR", key16(l.suppkey))])?;
             // The item must reference an existing purchasing relationship.
-            self.must_exist(
-                "EINA",
-                vec![Cond::eq("INFNR", schema::infnr(l.partkey, l.suppkey))],
-            )?;
+            self.must_exist("EINA", vec![Cond::eq("INFNR", schema::infnr(l.partkey, l.suppkey))])?;
             for (t, row) in &rows {
                 self.validate_row(t, row)?;
             }
@@ -229,8 +228,18 @@ impl R3System {
             self.open_insert(t, row)?;
         }
         if !konv_rows.is_empty() {
+            let traced = self.sql_trace.begin();
             self.meter().bump(Counter::IpcCrossings);
             self.insert_cluster_rows(&konv, &konv_rows)?;
+            if let Some(t) = traced {
+                t.finish(
+                    crate::sqltrace::SqlOp::Insert,
+                    "INSERT KONV (cluster batch)",
+                    &[],
+                    konv_rows.len() as u64,
+                    1,
+                );
+            }
         }
         Ok(())
     }
@@ -260,8 +269,18 @@ impl R3System {
         self.open_delete("VBEP", &[Cond::eq("VBELN", key16(orderkey))])?;
         let konv = self.dict.table("KONV")?;
         if konv.kind.is_encapsulated() {
+            let traced = self.sql_trace.begin();
             self.meter().bump(Counter::IpcCrossings);
-            self.delete_cluster_document("KONV", &key16(orderkey))?;
+            let n = self.delete_cluster_document("KONV", &key16(orderkey))?;
+            if let Some(t) = traced {
+                t.finish(
+                    crate::sqltrace::SqlOp::Delete,
+                    "DELETE KONV (cluster document)",
+                    std::slice::from_ref(&key16(orderkey)),
+                    n,
+                    1,
+                );
+            }
         } else {
             self.open_delete("KONV", &[Cond::eq("KNUMV", key16(orderkey))])?;
         }
@@ -324,13 +343,10 @@ pub fn batch_input_load(
         }};
     }
 
-    timed!("SUPPLIER", gen.suppliers(), |s: &R3System, r: &Supplier| s
-        .batch_input_supplier(r));
+    timed!("SUPPLIER", gen.suppliers(), |s: &R3System, r: &Supplier| s.batch_input_supplier(r));
     timed!("PART", gen.parts(), |s: &R3System, r: &Part| s.batch_input_part(r));
-    timed!("PARTSUPP", gen.partsupps(), |s: &R3System, r: &PartSupp| s
-        .batch_input_partsupp(r));
-    timed!("CUSTOMER", gen.customers(), |s: &R3System, r: &Customer| s
-        .batch_input_customer(r));
+    timed!("PARTSUPP", gen.partsupps(), |s: &R3System, r: &PartSupp| s.batch_input_partsupp(r));
+    timed!("CUSTOMER", gen.customers(), |s: &R3System, r: &Customer| s.batch_input_customer(r));
 
     // ORDER + LINEITEM jointly.
     let (orders, lineitems) = gen.orders_and_lineitems();
@@ -347,14 +363,10 @@ pub fn batch_input_load(
         }
         docs
     };
-    timed!(
-        "ORDER+LINEITEM",
-        docs,
-        |s: &R3System, (o, items): &(Order, Vec<LineItem>)| {
-            let refs: Vec<&LineItem> = items.iter().collect();
-            s.batch_input_order(o, &refs)
-        }
-    );
+    timed!("ORDER+LINEITEM", docs, |s: &R3System, (o, items): &(Order, Vec<LineItem>)| {
+        let refs: Vec<&LineItem> = items.iter().collect();
+        s.batch_input_order(o, &refs)
+    });
 
     sys.db.execute("ANALYZE")?;
     Ok(out)
@@ -495,10 +507,8 @@ mod tests {
         let gen = DbGen::new(0.0005);
         batch_input_load(&sys, &gen, 1).unwrap();
         let (orders, lineitems) = gen.orders_and_lineitems();
-        let items: Vec<&LineItem> = lineitems
-            .iter()
-            .filter(|l| l.orderkey == orders[0].orderkey)
-            .collect();
+        let items: Vec<&LineItem> =
+            lineitems.iter().filter(|l| l.orderkey == orders[0].orderkey).collect();
         let err = sys.batch_input_order(&orders[0], &items);
         assert!(err.is_err(), "duplicate document number must be rejected");
     }

@@ -79,12 +79,8 @@ impl TableBuffer {
         let mut g = self.inner.lock();
         g.buffered_tables.remove(&table.to_ascii_uppercase());
         // Drop its entries.
-        let keys: Vec<_> = g
-            .entries
-            .keys()
-            .filter(|(t, _)| t == &table.to_ascii_uppercase())
-            .cloned()
-            .collect();
+        let keys: Vec<_> =
+            g.entries.keys().filter(|(t, _)| t == &table.to_ascii_uppercase()).cloned().collect();
         for k in keys {
             if let Some(e) = g.entries.remove(&k) {
                 g.used_bytes -= e.bytes;

@@ -36,10 +36,15 @@ const NULL_MARK: &str = "\u{3}";
 pub enum TableKind {
     Transparent,
     /// Bundled into the named pool container table.
-    Pool { container: String },
+    Pool {
+        container: String,
+    },
     /// Bundled into the named cluster container; rows sharing the first
     /// `cluster_key_len` key columns form one physical row.
-    Cluster { container: String, cluster_key_len: usize },
+    Cluster {
+        container: String,
+        cluster_key_len: usize,
+    },
 }
 
 impl TableKind {
@@ -153,9 +158,8 @@ pub fn decode_field(s: &str) -> DbResult<Value> {
         return Ok(Value::Str(rest.to_string()));
     }
     if let Some(rest) = s.strip_prefix('t') {
-        let days: i32 = rest
-            .parse()
-            .map_err(|_| DbError::storage(format!("bad date field '{s}'")))?;
+        let days: i32 =
+            rest.parse().map_err(|_| DbError::storage(format!("bad date field '{s}'")))?;
         return Ok(Value::Date(Date::from_days(days)));
     }
     if let Some(rest) = s.strip_prefix('b') {
@@ -168,11 +172,7 @@ pub fn decode_field(s: &str) -> DbResult<Value> {
 
 /// Encode the data (non-key) fields of one logical row.
 pub fn encode_row_data(values: &[Value]) -> String {
-    values
-        .iter()
-        .map(encode_field)
-        .collect::<Vec<_>>()
-        .join(&FIELD_SEP.to_string())
+    values.iter().map(encode_field).collect::<Vec<_>>().join(&FIELD_SEP.to_string())
 }
 
 /// Decode data fields, coercing to the declared column types.
@@ -205,10 +205,7 @@ pub fn decode_row_data(s: &str, columns: &[Column]) -> DbResult<Vec<Value>> {
 /// Encode several logical rows (cluster bundling): each row contributes its
 /// *non-cluster-key* fields.
 pub fn encode_cluster_rows(rows: &[Vec<Value>]) -> String {
-    rows.iter()
-        .map(|r| encode_row_data(r))
-        .collect::<Vec<_>>()
-        .join(&ROW_SEP.to_string())
+    rows.iter().map(|r| encode_row_data(r)).collect::<Vec<_>>().join(&ROW_SEP.to_string())
 }
 
 /// Decode a cluster VARDATA blob into rows of the given columns.
@@ -216,9 +213,7 @@ pub fn decode_cluster_rows(s: &str, columns: &[Column]) -> DbResult<Vec<Vec<Valu
     if s.is_empty() {
         return Ok(Vec::new());
     }
-    s.split(ROW_SEP)
-        .map(|r| decode_row_data(r, columns))
-        .collect()
+    s.split(ROW_SEP).map(|r| decode_row_data(r, columns)).collect()
 }
 
 /// The physical DDL of a pool container table.
@@ -307,9 +302,8 @@ mod tests {
     #[test]
     fn cluster_is_more_compact_than_fields() {
         // The whole point of cluster tables: shared key prefix amortized.
-        let rows: Vec<Vec<Value>> = (0..10)
-            .map(|i| vec![Value::str("DISC"), Value::Int(i)])
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            (0..10).map(|i| vec![Value::str("DISC"), Value::Int(i)]).collect();
         let enc = encode_cluster_rows(&rows);
         // Transparent storage would repeat a 16-char key + overhead per row.
         let transparent_estimate = rows.len() * (16 + 3 + 6 + 10);

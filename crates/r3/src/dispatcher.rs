@@ -18,11 +18,13 @@ use crate::R3System;
 use parking_lot::{Condvar, Mutex};
 use rdbms::clock::{Calibration, CostMeter, MeterScope, MeterSnapshot};
 use rdbms::{DbError, DbResult};
+use serde_json::Json;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use trace::Histogram;
 
 /// Work-process type, which doubles as the request class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +91,50 @@ impl RequestStats {
     }
 }
 
+/// Latency distributions for one work-process class, in wall-clock
+/// microseconds. Atomic throughout: work processes record concurrently
+/// without coordination.
+#[derive(Debug, Default)]
+pub struct WpMetrics {
+    /// Time requests spent in the dispatcher queue.
+    pub queue_wait_us: Histogram,
+    /// Time requests spent inside a work process.
+    pub service_us: Histogram,
+}
+
+impl WpMetrics {
+    fn record(&self, stats: &RequestStats) {
+        self.queue_wait_us.record(stats.queue_wait.as_micros() as u64);
+        self.service_us.record(stats.service.as_micros() as u64);
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("queue_wait", self.queue_wait_us.to_json("us"))
+            .field("service", self.service_us.to_json("us"))
+    }
+}
+
+/// Per-class latency histograms for the whole dispatcher.
+#[derive(Debug, Default)]
+pub struct DispatcherMetrics {
+    pub dialog: WpMetrics,
+    pub batch: WpMetrics,
+}
+
+impl DispatcherMetrics {
+    pub fn for_kind(&self, kind: WpKind) -> &WpMetrics {
+        match kind {
+            WpKind::Dialog => &self.dialog,
+            WpKind::Batch => &self.batch,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::object().field("dialog", self.dialog.to_json()).field("batch", self.batch.to_json())
+    }
+}
+
 struct HandleState {
     done: Mutex<Option<RequestStats>>,
     cv: Condvar,
@@ -122,6 +168,7 @@ struct Shared {
     sys: Arc<R3System>,
     queues: Mutex<Queues>,
     enqueued: Condvar,
+    metrics: Arc<DispatcherMetrics>,
 }
 
 /// Dispatcher + work-process pool. Dropping it drains the queues and joins
@@ -141,6 +188,7 @@ impl Dispatcher {
                 shutdown: false,
             }),
             enqueued: Condvar::new(),
+            metrics: Arc::new(DispatcherMetrics::default()),
         });
         let mut workers = Vec::new();
         for (kind, count) in
@@ -167,8 +215,7 @@ impl Dispatcher {
         name: impl Into<String>,
         job: impl FnOnce(&R3System) -> DbResult<()> + Send + 'static,
     ) -> RequestHandle {
-        let handle =
-            Arc::new(HandleState { done: Mutex::new(None), cv: Condvar::new() });
+        let handle = Arc::new(HandleState { done: Mutex::new(None), cv: Condvar::new() });
         let request = Request {
             name: name.into(),
             kind,
@@ -186,6 +233,12 @@ impl Dispatcher {
         }
         self.shared.enqueued.notify_all();
         RequestHandle { state: handle }
+    }
+
+    /// Latency histograms recorded so far (shared with the live work
+    /// processes; safe to read while requests are still being served).
+    pub fn metrics(&self) -> Arc<DispatcherMetrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Number of requests currently waiting in the queues.
@@ -262,6 +315,7 @@ fn work_process(shared: Arc<Shared>, kind: WpKind, worker_name: String) {
             work: meter.snapshot(),
             result,
         };
+        shared.metrics.for_kind(stats.kind).record(&stats);
         *request.handle.done.lock() = Some(stats);
         request.handle.cv.notify_all();
     }
@@ -292,9 +346,10 @@ mod tests {
             .map(|i| {
                 let kind = if i % 4 == 0 { WpKind::Batch } else { WpKind::Dialog };
                 dispatcher.submit(kind, format!("req-{i}"), move |sys| {
-                    let r = sys.db_select_prepared("SELECT COUNT(*) FROM z WHERE a > ?", &[
-                        rdbms::Value::Int(0),
-                    ])?;
+                    let r = sys.db_select_prepared(
+                        "SELECT COUNT(*) FROM z WHERE a > ?",
+                        &[rdbms::Value::Int(0)],
+                    )?;
                     assert_eq!(r.scalar()?.as_int()?, 3);
                     Ok(())
                 })
@@ -303,12 +358,17 @@ mod tests {
         for h in handles {
             let stats = h.wait();
             assert!(stats.result.is_ok(), "{:?}", stats.result);
-            assert!(stats.work.ipc_crossings > 0, "request work was metered");
+            assert!(stats.work.ipc_crossings() > 0, "request work was metered");
             match stats.kind {
                 WpKind::Dialog => assert!(stats.worker.starts_with("DIA-")),
                 WpKind::Batch => assert!(stats.worker.starts_with("BTC-")),
             }
         }
+        let metrics = dispatcher.metrics();
+        assert_eq!(metrics.dialog.service_us.count(), 6);
+        assert_eq!(metrics.batch.service_us.count(), 2);
+        assert_eq!(metrics.dialog.queue_wait_us.count(), 6);
+        assert!(metrics.dialog.service_us.p50() <= metrics.dialog.service_us.max());
         dispatcher.shutdown();
     }
 

@@ -240,9 +240,8 @@ pub fn extract_table(sys: &R3System, table: &str) -> DbResult<ExtractResult> {
             // Per-document reconstruction: items + schedule lines +
             // pricing conditions + text — the n-way reassembly that makes
             // extraction "extremely complex reports" (§5).
-            let orders = sys.open_select(
-                &SelectSpec::from_table("VBAK").fields(&["VBELN", "KNUMV"]),
-            )?;
+            let orders =
+                sys.open_select(&SelectSpec::from_table("VBAK").fields(&["VBELN", "KNUMV"]))?;
             for orow in &orders.rows {
                 let vbeln = orow[0].clone();
                 let knumv = orow[1].clone();
@@ -253,10 +252,8 @@ pub fn extract_table(sys: &R3System, table: &str) -> DbResult<ExtractResult> {
                     let etep = find_by(sys, &eteps, "POSNR", &posnr);
                     let disc = find_konv(sys, &konv, &posnr, "DISC");
                     let tax = find_konv(sys, &konv, &posnr, "TAX");
-                    let comment = sys.stxl_comment(
-                        "VBBP",
-                        &format!("{}{}", vbeln.as_str()?, posnr.as_str()?),
-                    )?;
+                    let comment = sys
+                        .stxl_comment("VBBP", &format!("{}{}", vbeln.as_str()?, posnr.as_str()?))?;
                     let mut fields: Vec<Value> = vec![
                         vbeln.clone(),
                         sys.field(&items, irow, "MATNR"),
@@ -283,11 +280,7 @@ pub fn extract_table(sys: &R3System, table: &str) -> DbResult<ExtractResult> {
                 }
             }
         }
-        other => {
-            return Err(rdbms::DbError::analysis(format!(
-                "unknown TPC-D table '{other}'"
-            )))
-        }
+        other => return Err(rdbms::DbError::analysis(format!("unknown TPC-D table '{other}'"))),
     }
     let work = sys.snapshot().since(&before);
     Ok(ExtractResult {
@@ -350,12 +343,10 @@ fn find_konv(sys: &R3System, konv: &rdbms::QueryResult, posnr: &Value, kschl: &s
 
 /// Extract all eight TPC-D tables (the paper's Table 9 run).
 pub fn extract_warehouse(sys: &R3System) -> DbResult<Vec<ExtractResult>> {
-    [
-        "REGION", "NATION", "SUPPLIER", "PART", "PARTSUPP", "CUSTOMER", "ORDER", "LINEITEM",
-    ]
-    .iter()
-    .map(|t| extract_table(sys, t))
-    .collect()
+    ["REGION", "NATION", "SUPPLIER", "PART", "PARTSUPP", "CUSTOMER", "ORDER", "LINEITEM"]
+        .iter()
+        .map(|t| extract_table(sys, t))
+        .collect()
 }
 
 #[cfg(test)]

@@ -17,6 +17,8 @@
 //!   behaviour of §4.2 ([`report`]),
 //! * the **batch-input** facility with per-record consistency checking
 //!   ([`batch_input`]),
+//! * an **ST05-style SQL trace** recording every statement that crosses
+//!   the RDBMS interface ([`sqltrace`]),
 //! * **EIS warehouse extraction** ([`extract`]),
 //! * and the TPC-D **reports** in four variants each — Native/Open SQL ×
 //!   Release 2.2/3.0 ([`reports`]).
@@ -31,9 +33,11 @@ pub mod opensql;
 pub mod report;
 pub mod reports;
 pub mod schema;
+pub mod sqltrace;
 pub mod system;
 pub mod throughput;
 
+pub use sqltrace::{SqlOp, SqlTrace, SqlTraceEntry};
 pub use system::R3System;
 
 /// SAP R/3 release. Gates Open SQL features and the KONV representation.

@@ -162,12 +162,10 @@ mod tests {
     #[test]
     fn native_sql_reads_transparent_tables() {
         let s = sys(Release::R22);
-        let r = s
-            .native_query("SELECT COUNT(*) FROM VBAP WHERE MANDT = '301'")
-            .unwrap();
+        let r = s.native_query("SELECT COUNT(*) FROM VBAP WHERE MANDT = '301'").unwrap();
         assert!(r.scalar().unwrap().as_int().unwrap() > 0);
         // Crossings metered.
-        assert!(s.snapshot().ipc_crossings >= 1);
+        assert!(s.snapshot().ipc_crossings() >= 1);
     }
 
     #[test]
@@ -175,9 +173,7 @@ mod tests {
         let s = sys(Release::R22);
         let err = s.native_query("SELECT * FROM KONV WHERE MANDT = '301'");
         assert!(err.is_err(), "cluster KONV must be unreachable in 2.2");
-        let err = s.native_query(
-            "SELECT * FROM VBAP WHERE VBELN IN (SELECT KNUMV FROM A004)",
-        );
+        let err = s.native_query("SELECT * FROM VBAP WHERE VBELN IN (SELECT KNUMV FROM A004)");
         assert!(err.is_err(), "pool table in subquery must be caught");
     }
 

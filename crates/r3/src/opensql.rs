@@ -19,6 +19,7 @@
 
 use crate::dict::{decode_cluster_rows, decode_row_data, TableKind};
 use crate::schema::MANDT;
+use crate::sqltrace::SqlOp;
 use crate::system::{pool_varkey, R3System};
 use crate::Release;
 use rdbms::clock::Counter;
@@ -164,10 +165,7 @@ impl TableExpr {
         TableExpr::Join {
             left: Box::new(self),
             table,
-            on: on
-                .iter()
-                .map(|(a, b)| (a.to_ascii_uppercase(), b.to_ascii_uppercase()))
-                .collect(),
+            on: on.iter().map(|(a, b)| (a.to_ascii_uppercase(), b.to_ascii_uppercase())).collect(),
         }
     }
 
@@ -332,8 +330,12 @@ impl R3System {
 
     /// Open SQL INSERT (dictionary-mediated write).
     pub fn open_insert(&self, table: &str, row: &[Value]) -> DbResult<()> {
+        let traced = self.sql_trace.begin();
         self.meter().bump(Counter::IpcCrossings);
         self.insert_logical(table, row)?;
+        if let Some(t) = traced {
+            t.finish(SqlOp::Insert, format!("INSERT {table}"), &[], 1, 1);
+        }
         // Invalidate any buffered copy.
         if self.buffer.is_buffered(table) {
             if let Ok(lt) = self.dict.table(table) {
@@ -350,29 +352,44 @@ impl R3System {
         if lt.kind.is_encapsulated() {
             // Cluster delete by document key.
             if let Some(c) = conds.iter().find(|c| c.op == CmpOp::Eq) {
+                let traced = self.sql_trace.begin();
                 self.meter().bump(Counter::IpcCrossings);
-                return self.delete_cluster_document(table, &c.value);
+                let n = self.delete_cluster_document(table, &c.value)?;
+                if let Some(t) = traced {
+                    t.finish(
+                        SqlOp::Delete,
+                        format!("DELETE {table} (cluster document)"),
+                        std::slice::from_ref(&c.value),
+                        n,
+                        1,
+                    );
+                }
+                return Ok(n);
             }
             return Err(DbError::analysis("encapsulated delete needs a key condition"));
         }
         let mut sql = format!("DELETE FROM {} WHERE MANDT = '{MANDT}'", lt.name);
         for c in conds {
-            sql.push_str(&format!(
-                " AND {} {} {}",
-                c.field,
-                c.op.sql(),
-                literal(&c.value)
-            ));
+            sql.push_str(&format!(" AND {} {} {}", c.field, c.op.sql(), literal(&c.value)));
         }
+        let traced = self.sql_trace.begin();
         self.meter().bump(Counter::IpcCrossings);
-        self.db.execute(&sql)?.count()
+        let n = self.db.execute(&sql)?.count()?;
+        if let Some(t) = traced {
+            t.finish(SqlOp::Delete, sql, &[], n, 1);
+        }
+        Ok(n)
     }
 
     // ------------------------------------------------------------------
 
     /// Build the parameterized SQL translation of an Open SQL statement.
     /// Public for tests that inspect the blind-plan mechanism.
-    pub fn translate(&self, spec: &SelectSpec, tables: &[String]) -> DbResult<(String, Vec<Value>)> {
+    pub fn translate(
+        &self,
+        spec: &SelectSpec,
+        tables: &[String],
+    ) -> DbResult<(String, Vec<Value>)> {
         let mut params: Vec<Value> = Vec::new();
         let mut sql = String::from("SELECT ");
         let multi = tables.len() > 1;
@@ -407,11 +424,8 @@ impl R3System {
         }
         // WHERE: automatic client injection, then the conditions.
         let bindings = spec.from.bindings();
-        let mandt_field = if multi {
-            format!("{}.MANDT", bindings[0])
-        } else {
-            "MANDT".to_string()
-        };
+        let mandt_field =
+            if multi { format!("{}.MANDT", bindings[0]) } else { "MANDT".to_string() };
         sql.push_str(&format!(" WHERE {mandt_field} = ?"));
         params.push(Value::str(MANDT));
         for b in bindings.iter().skip(1) {
@@ -447,11 +461,7 @@ impl R3System {
         let lt = self.dict.table(table)?;
         let mut key = String::new();
         for col in &lt.key_columns()[1..] {
-            match spec
-                .conds
-                .iter()
-                .find(|c| c.op == CmpOp::Eq && c.field == col.name)
-            {
+            match spec.conds.iter().find(|c| c.op == CmpOp::Eq && c.field == col.name) {
                 Some(c) => {
                     key.push_str(&c.value.to_string());
                     key.push('\u{1}');
@@ -471,6 +481,7 @@ impl R3System {
         let Some(key) = self.single_key(table, spec)? else {
             return Ok(None);
         };
+        let traced = self.sql_trace.begin();
         match self.buffer.get(table, &key) {
             Some(cached) => {
                 let lt = self.dict.table(table)?;
@@ -479,6 +490,18 @@ impl R3System {
                     Some(r) => vec![r],
                     None => vec![],
                 };
+                if let Some(t) = traced {
+                    // Served from the application-server buffer: zero
+                    // crossings reach the RDBMS.
+                    let params: Vec<Value> = spec.conds.iter().map(|c| c.value.clone()).collect();
+                    t.finish(
+                        SqlOp::BufferHit,
+                        format!("SELECT SINGLE * FROM {table}"),
+                        &params,
+                        rows.len() as u64,
+                        0,
+                    );
+                }
                 Ok(Some(QueryResult { schema, rows }))
             }
             None => Ok(None),
@@ -533,10 +556,7 @@ impl R3System {
             }
             TableKind::Cluster { container, cluster_key_len } => {
                 let key_col = &lt.columns[1].name;
-                let key_cond = spec
-                    .conds
-                    .iter()
-                    .find(|c| c.op == CmpOp::Eq && c.field == *key_col);
+                let key_cond = spec.conds.iter().find(|c| c.op == CmpOp::Eq && c.field == *key_col);
                 let result = match key_cond {
                     Some(c) => self.db_select_prepared(
                         &format!(
@@ -584,11 +604,8 @@ impl R3System {
         let (schema, mut out_rows) = if spec.fields.is_empty() {
             (schema, filtered)
         } else {
-            let idxs: Vec<usize> = spec
-                .fields
-                .iter()
-                .map(|f| lt.column_index(f))
-                .collect::<DbResult<_>>()?;
+            let idxs: Vec<usize> =
+                spec.fields.iter().map(|f| lt.column_index(f)).collect::<DbResult<_>>()?;
             let cols: Vec<Column> = idxs.iter().map(|&i| lt.columns[i].clone()).collect();
             let rows = filtered
                 .into_iter()
@@ -632,8 +649,7 @@ fn render_join(expr: &TableExpr) -> DbResult<String> {
             if on.is_empty() {
                 return Err(DbError::analysis("Open SQL join requires ON conditions"));
             }
-            let conds: Vec<String> =
-                on.iter().map(|(a, b)| format!("{a} = {b}")).collect();
+            let conds: Vec<String> = on.iter().map(|(a, b)| format!("{a} = {b}")).collect();
             Ok(format!("{l} JOIN {} ON {}", table.render(), conds.join(" AND ")))
         }
     }
@@ -717,20 +733,14 @@ mod tests {
     #[test]
     fn r30_pushes_joins_and_simple_aggregates() {
         let s = sys(Release::R30);
-        let spec = SelectSpec::from_expr(TableExpr::table("VBAP").join(
-            "VBEP",
-            &[("VBAP.VBELN", "VBEP.VBELN"), ("VBAP.POSNR", "VBEP.POSNR")],
-        ))
+        let spec = SelectSpec::from_expr(
+            TableExpr::table("VBAP")
+                .join("VBEP", &[("VBAP.VBELN", "VBEP.VBELN"), ("VBAP.POSNR", "VBEP.POSNR")]),
+        )
         .fields(&["VBAP.NETWR", "VBEP.EDATU"]);
         let r = s.open_select(&spec).unwrap();
-        let vbap: i64 = s
-            .db
-            .query("SELECT COUNT(*) FROM VBAP")
-            .unwrap()
-            .scalar()
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let vbap: i64 =
+            s.db.query("SELECT COUNT(*) FROM VBAP").unwrap().scalar().unwrap().as_int().unwrap();
         assert_eq!(r.rows.len(), vbap as usize);
 
         let agg = SelectSpec::from_table("VBAP")
@@ -791,19 +801,17 @@ mod tests {
         let s = sys(Release::R30);
         s.buffer.set_capacity_bytes(1 << 20);
         s.buffer.enable("MARA");
-        let spec = SelectSpec::from_table("MARA")
-            .cond(Cond::eq("MATNR", key16(1)))
-            .single();
+        let spec = SelectSpec::from_table("MARA").cond(Cond::eq("MATNR", key16(1))).single();
         s.meter().reset();
         let r1 = s.open_select(&spec).unwrap();
         assert_eq!(r1.rows.len(), 1);
         let after_first = s.snapshot();
-        assert_eq!(after_first.ipc_crossings, 1, "miss goes to the database");
+        assert_eq!(after_first.ipc_crossings(), 1, "miss goes to the database");
         let r2 = s.open_select(&spec).unwrap();
         assert_eq!(r2.rows.len(), 1);
         let after_second = s.snapshot();
-        assert_eq!(after_second.ipc_crossings, 1, "hit stays in the app server");
-        assert_eq!(after_second.cache_hits, 1);
+        assert_eq!(after_second.ipc_crossings(), 1, "hit stays in the app server");
+        assert_eq!(after_second.cache_hits(), 1);
         assert_eq!(r1.rows[0], r2.rows[0]);
     }
 
@@ -814,9 +822,11 @@ mod tests {
         // the Open SQL translation is parameterized, so the engine picks
         // the plan without seeing the constant.
         s.db.execute("CREATE INDEX VBAP_KWMENG ON VBAP (KWMENG)").unwrap();
-        let spec = SelectSpec::from_table("VBAP")
-            .fields(&["KWMENG"])
-            .cond(Cond::new("KWMENG", CmpOp::Lt, Value::Int(9999)));
+        let spec = SelectSpec::from_table("VBAP").fields(&["KWMENG"]).cond(Cond::new(
+            "KWMENG",
+            CmpOp::Lt,
+            Value::Int(9999),
+        ));
         let (sql, _) = s.translate(&spec, &spec.from.tables()).unwrap();
         let _ = s.open_select(&spec).unwrap();
         let plan = s.cached_plan_description(&sql).unwrap();
@@ -826,28 +836,16 @@ mod tests {
     #[test]
     fn open_delete_and_insert() {
         let s = sys(Release::R22);
-        let before: i64 = s
-            .db
-            .query("SELECT COUNT(*) FROM KNA1")
-            .unwrap()
-            .scalar()
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let before: i64 =
+            s.db.query("SELECT COUNT(*) FROM KNA1").unwrap().scalar().unwrap().as_int().unwrap();
         let gen = DbGen::new(0.001);
         let mut c = gen.customers()[0].clone();
         c.custkey = 99_999;
         for (t, row) in crate::schema::customer_rows(&c) {
             s.open_insert(t, &row).unwrap();
         }
-        let mid: i64 = s
-            .db
-            .query("SELECT COUNT(*) FROM KNA1")
-            .unwrap()
-            .scalar()
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let mid: i64 =
+            s.db.query("SELECT COUNT(*) FROM KNA1").unwrap().scalar().unwrap().as_int().unwrap();
         assert_eq!(mid, before + 1);
         let n = s.open_delete("KNA1", &[Cond::eq("KUNNR", key16(99_999))]).unwrap();
         assert_eq!(n, 1);

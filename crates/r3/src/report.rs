@@ -51,11 +51,7 @@ impl InternalTable {
     ) -> Option<&Row> {
         for row in &self.rows {
             meter.bump(Counter::AppTuples);
-            if key_cols
-                .iter()
-                .zip(key)
-                .all(|(&c, v)| row[c].group_eq(v))
-            {
+            if key_cols.iter().zip(key).all(|(&c, v)| row[c].group_eq(v)) {
                 return Some(row);
             }
         }
@@ -72,10 +68,7 @@ impl InternalTable {
 
     /// Approximate memory footprint (drives spill accounting).
     pub fn bytes(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.storage_size()).sum::<usize>() + 16)
-            .sum()
+        self.rows.iter().map(|r| r.iter().map(|v| v.storage_size()).sum::<usize>() + 16).sum()
     }
 }
 
@@ -151,11 +144,7 @@ impl Extract {
             let key = &self.lines[start].0;
             let mut end = start + 1;
             while end < self.lines.len()
-                && self.lines[end]
-                    .0
-                    .iter()
-                    .zip(key.iter())
-                    .all(|(a, b)| a.total_cmp(b).is_eq())
+                && self.lines[end].0.iter().zip(key.iter()).all(|(a, b)| a.total_cmp(b).is_eq())
             {
                 end += 1;
             }
@@ -227,19 +216,14 @@ pub fn app_aggregate_scalar(
             acc.update(expr.eval(row, &ctx)?)?;
         }
     }
-    aggs.iter()
-        .zip(&accs)
-        .map(|((f, _), acc)| acc.finish(*f))
-        .collect()
+    aggs.iter().zip(&accs).map(|((f, _), acc)| acc.finish(*f)).collect()
 }
 
 /// Sort rows app-side by (column, desc) keys. Internal-table sorts also
 /// spill per §4.2.
 pub fn app_sort(meter: &CostMeter, rows: &mut [Row], keys: &[(usize, bool)]) {
-    let bytes: usize = rows
-        .iter()
-        .map(|r| r.iter().map(|v| v.storage_size()).sum::<usize>() + 16)
-        .sum();
+    let bytes: usize =
+        rows.iter().map(|r| r.iter().map(|v| v.storage_size()).sum::<usize>() + 16).sum();
     let pages = (bytes / PAGE_SIZE).max(1) as u64;
     meter.add(Counter::AppSpillPages, 2 * pages);
     meter.add(Counter::AppTuples, rows.len() as u64);
@@ -300,9 +284,9 @@ impl AppAcc {
             AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
             AggFunc::Avg => match &self.sum {
                 None => Value::Null,
-                Some(s) => Value::Decimal(
-                    s.as_decimal()?.div(Decimal::from_int(self.count as i64))?,
-                ),
+                Some(s) => {
+                    Value::Decimal(s.as_decimal()?.div(Decimal::from_int(self.count as i64))?)
+                }
             },
         })
     }
@@ -419,10 +403,8 @@ mod tests {
     #[test]
     fn having_filters_groups() {
         let m = meter();
-        let rows: Vec<Row> = vec![
-            vec![Value::str("X"), Value::Int(10)],
-            vec![Value::str("Y"), Value::Int(1)],
-        ];
+        let rows: Vec<Row> =
+            vec![vec![Value::str("X"), Value::Int(10)], vec![Value::str("Y"), Value::Int(1)]];
         use rdbms::sql::ast::BinOp;
         let agg = AppAgg {
             group_cols: vec![0],

@@ -89,12 +89,7 @@ pub fn run_report(
     let before = sys.snapshot();
     let rows = run_query_rows(sys, iface, n, p)?;
     let work = sys.snapshot().since(&before);
-    Ok(ReportResult {
-        query: n,
-        rows: rows.len(),
-        seconds: sys.calibration().seconds(&work),
-        work,
-    })
+    Ok(ReportResult { query: n, rows: rows.len(), seconds: sys.calibration().seconds(&work), work })
 }
 
 /// Run the full SAP-side power test: Q1..Q17 through `iface`, then UF1 and

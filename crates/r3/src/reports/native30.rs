@@ -19,11 +19,7 @@ use rdbms::types::{Date, Decimal};
 use tpcd::QueryParams;
 
 fn mandts(aliases: &[&str]) -> String {
-    aliases
-        .iter()
-        .map(|a| format!("{a}.MANDT = '{MANDT}'"))
-        .collect::<Vec<_>>()
-        .join(" AND ")
+    aliases.iter().map(|a| format!("{a}.MANDT = '{MANDT}'")).collect::<Vec<_>>().join(" AND ")
 }
 
 fn dlit(d: Date) -> String {
@@ -43,9 +39,7 @@ fn q6_permille_bounds(p: &QueryParams) -> (i64, i64) {
 
 /// The discount/tax join fragment: KD/KT against order `a` and item `v`.
 fn konv_join(a: &str, v: &str, with_tax: bool) -> String {
-    let mut s = format!(
-        "KD.KNUMV = {a}.KNUMV AND KD.KPOSN = {v}.POSNR AND KD.KSCHL = 'DISC'"
-    );
+    let mut s = format!("KD.KNUMV = {a}.KNUMV AND KD.KPOSN = {v}.POSNR AND KD.KSCHL = 'DISC'");
     if with_tax {
         s.push_str(&format!(
             " AND KT.KNUMV = {a}.KNUMV AND KT.KPOSN = {v}.POSNR AND KT.KSCHL = 'TAX'"
@@ -363,7 +357,9 @@ pub fn sql(n: usize, p: &QueryParams) -> Vec<String> {
 pub fn run(sys: &R3System, n: usize, p: &QueryParams) -> DbResult<Vec<Row>> {
     let mut last: Option<Vec<Row>> = None;
     for stmt in sql(n, p) {
-        if let rdbms::ExecOutcome::Rows(r) = sys.native_sql(&stmt)? { last = Some(r.rows) }
+        if let rdbms::ExecOutcome::Rows(r) = sys.native_sql(&stmt)? {
+            last = Some(r.rows)
+        }
     }
     last.ok_or_else(|| DbError::execution(format!("native report Q{n} produced no rows")))
 }

@@ -138,11 +138,8 @@ fn q2(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
     let nations = src.nations()?;
     let nation_name: HashMap<i64, &str> =
         nations.iter().map(|(k, n, _)| (*k, n.as_str())).collect();
-    let in_region: HashSet<i64> = nations
-        .iter()
-        .filter(|(_, _, r)| *r == region_key)
-        .map(|(k, _, _)| *k)
-        .collect();
+    let in_region: HashSet<i64> =
+        nations.iter().filter(|(_, _, r)| *r == region_key).map(|(k, _, _)| *k).collect();
     // Suppliers of the region, with their output fields.
     let suppliers = src.suppliers(&[])?;
     let supp: HashMap<i64, _> = suppliers
@@ -192,11 +189,7 @@ fn q2(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
             ]);
         }
     }
-    app_sort(
-        src.sys.meter(),
-        &mut out,
-        &[(0, true), (2, false), (1, false), (3, false)],
-    );
+    app_sort(src.sys.meter(), &mut out, &[(0, true), (2, false), (1, false), (3, false)]);
     out.truncate(100);
     Ok(out)
 }
@@ -228,7 +221,11 @@ fn q3(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
     let grouped = app_aggregate(
         src.sys.meter(),
         &rows,
-        &AppAgg { group_cols: vec![0, 1, 2], aggs: vec![(AggFunc::Sum, revenue(3, 4))], having: None },
+        &AppAgg {
+            group_cols: vec![0, 1, 2],
+            aggs: vec![(AggFunc::Sum, revenue(3, 4))],
+            having: None,
+        },
     )?;
     // [okey, odate, sprio, rev] -> [okey, rev, odate, sprio]
     let mut out: Vec<Row> = grouped
@@ -255,10 +252,7 @@ fn q4(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
             *counts.entry(priority.trim_end().to_string()).or_insert(0) += 1;
         }
     }
-    Ok(counts
-        .into_iter()
-        .map(|(prio, n)| vec![Value::Str(prio), Value::Int(n)])
-        .collect())
+    Ok(counts.into_iter().map(|(prio, n)| vec![Value::Str(prio), Value::Int(n)]).collect())
 }
 
 fn q5(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
@@ -275,16 +269,11 @@ fn q5(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
         ..Default::default()
     })?;
     let regions = src.regions()?;
-    let rkey = regions
-        .iter()
-        .find(|(_, n)| n == &p.q5_region)
-        .map(|(k, _)| *k)
-        .unwrap_or(-1);
+    let rkey = regions.iter().find(|(_, n)| n == &p.q5_region).map(|(k, _)| *k).unwrap_or(-1);
     let nations = src.nations()?;
     let nation_name: HashMap<i64, &str> =
         nations.iter().map(|(k, n, _)| (*k, n.as_str())).collect();
-    let nation_region: HashMap<i64, i64> =
-        nations.iter().map(|(k, _, r)| (*k, *r)).collect();
+    let nation_region: HashMap<i64, i64> = nations.iter().map(|(k, _, r)| (*k, *r)).collect();
     let rows: Vec<Row> = det
         .iter()
         .filter(|x| {
@@ -404,16 +393,11 @@ fn q8(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
         ..Default::default()
     })?;
     let regions = src.regions()?;
-    let rkey = regions
-        .iter()
-        .find(|(_, n)| n == &p.q8_region)
-        .map(|(k, _)| *k)
-        .unwrap_or(-1);
+    let rkey = regions.iter().find(|(_, n)| n == &p.q8_region).map(|(k, _)| *k).unwrap_or(-1);
     let nations = src.nations()?;
     let nation_name: HashMap<i64, &str> =
         nations.iter().map(|(k, n, _)| (*k, n.as_str())).collect();
-    let nation_region: HashMap<i64, i64> =
-        nations.iter().map(|(k, _, r)| (*k, *r)).collect();
+    let nation_region: HashMap<i64, i64> = nations.iter().map(|(k, _, r)| (*k, *r)).collect();
     let one = Decimal::from_int(1);
     // [year, volume, brazil_volume]
     let rows: Vec<Row> = det
@@ -429,11 +413,7 @@ fn q8(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
             } else {
                 Decimal::zero()
             };
-            vec![
-                Value::Int(x.orderdate.year() as i64),
-                Value::Decimal(vol),
-                Value::Decimal(brazil),
-            ]
+            vec![Value::Int(x.orderdate.year() as i64), Value::Decimal(vol), Value::Decimal(brazil)]
         })
         .collect();
     let grouped = app_aggregate(
@@ -474,10 +454,7 @@ fn q9(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
         .map(|x| {
             src.sys.meter().bump(Counter::AppTuples);
             let supply = cost.get(&(x.partkey, x.suppkey)).copied().unwrap_or(Decimal::zero());
-            let amount = x
-                .extprice
-                .mul(one.sub(x.disc))
-                .sub(supply.mul(x.qty));
+            let amount = x.extprice.mul(one.sub(x.disc)).sub(supply.mul(x.qty));
             vec![
                 Value::str(*nation_name.get(&x.s_nation).unwrap_or(&"")),
                 Value::Int(x.orderdate.year() as i64),
@@ -613,11 +590,7 @@ fn q12(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
         .map(|x| {
             let prio = x.opriority.trim_end();
             let high = (prio == "1-URGENT" || prio == "2-HIGH") as i64;
-            vec![
-                Value::str(x.mode.trim_end()),
-                Value::Int(high),
-                Value::Int(1 - high),
-            ]
+            vec![Value::str(x.mode.trim_end()), Value::Int(high), Value::Int(1 - high)]
         })
         .collect();
     app_aggregate(
@@ -638,9 +611,7 @@ fn q13(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
     ])?;
     let rows: Vec<Row> = orders
         .iter()
-        .map(|(_, _, _, prio, total)| {
-            vec![Value::str(prio.trim_end()), Value::Decimal(*total)]
-        })
+        .map(|(_, _, _, prio, total)| vec![Value::str(prio.trim_end()), Value::Decimal(*total)])
         .collect();
     app_aggregate(
         src.sys.meter(),
@@ -671,11 +642,8 @@ fn q14(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
         .map(|x| {
             src.sys.meter().bump(Counter::AppTuples);
             let vol = x.extprice.mul(one.sub(x.disc));
-            let promo = if x.p_type.trim_end().starts_with("PROMO") {
-                vol
-            } else {
-                Decimal::zero()
-            };
+            let promo =
+                if x.p_type.trim_end().starts_with("PROMO") { vol } else { Decimal::zero() };
             vec![Value::Decimal(vol), Value::Decimal(promo)]
         })
         .collect();
@@ -709,13 +677,7 @@ fn q15(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
     })?;
     let rows: Vec<Row> = det
         .iter()
-        .map(|x| {
-            vec![
-                Value::Int(x.suppkey),
-                Value::Decimal(x.extprice),
-                Value::Decimal(x.disc),
-            ]
-        })
+        .map(|x| vec![Value::Int(x.suppkey), Value::Decimal(x.extprice), Value::Decimal(x.disc)])
         .collect();
     let grouped = app_aggregate(
         src.sys.meter(),
@@ -759,17 +721,10 @@ fn q16(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
         &SelectSpec::from_table("STXL")
             .fields(&["TDNAME"])
             .cond(Cond::eq("TDOBJECT", Value::str("LFA1")))
-            .cond(Cond::new(
-                "TDLINE",
-                CmpOp::Like,
-                Value::str("%Customer%Complaints%"),
-            )),
+            .cond(Cond::new("TDLINE", CmpOp::Like, Value::str("%Customer%Complaints%"))),
     )?;
-    let complaints: HashSet<i64> = complaints_result
-        .rows
-        .iter()
-        .map(|r| crate::schema::parse_key(&r[0]))
-        .collect();
+    let complaints: HashSet<i64> =
+        complaints_result.rows.iter().map(|r| crate::schema::parse_key(&r[0])).collect();
     let parts = src.parts(&[], false)?;
     let sizes: HashSet<i64> = p.q16_sizes.iter().copied().collect();
     let keep: HashMap<i64, _> = parts
@@ -806,11 +761,7 @@ fn q16(src: &Src, p: &QueryParams) -> DbResult<Vec<Row>> {
             ]
         })
         .collect();
-    app_sort(
-        src.sys.meter(),
-        &mut out,
-        &[(3, true), (0, false), (1, false), (2, false)],
-    );
+    app_sort(src.sys.meter(), &mut out, &[(3, true), (0, false), (1, false), (2, false)]);
     Ok(out)
 }
 

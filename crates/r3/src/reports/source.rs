@@ -215,8 +215,7 @@ impl<'a> Src<'a> {
     fn detail_open30(&self, spec: &DetailSpec) -> DbResult<Vec<Detail>> {
         let mut from = TableExpr::table_as("VBAP", "V");
         let mut fields: Vec<String> = [
-            "V.VBELN", "V.POSNR", "V.MATNR", "V.LIFNR", "V.KWMENG", "V.NETWR", "V.RFLAG",
-            "V.LSTAT",
+            "V.VBELN", "V.POSNR", "V.MATNR", "V.LIFNR", "V.KWMENG", "V.NETWR", "V.RFLAG", "V.LSTAT",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -247,11 +246,8 @@ impl<'a> Src<'a> {
         }
         if spec.with_part {
             from = from.join_as("MARA", "M", &[("V.MATNR", "M.MATNR")]);
-            fields.extend(
-                ["M.MATKL", "M.MTART", "M.GROES", "M.MAGRV"]
-                    .iter()
-                    .map(|s| s.to_string()),
-            );
+            fields
+                .extend(["M.MATKL", "M.MTART", "M.GROES", "M.MAGRV"].iter().map(|s| s.to_string()));
         }
         if spec.needs_makt() {
             from = from.join_as("MAKT", "MK", &[("V.MATNR", "MK.MATNR")]);
@@ -286,7 +282,8 @@ impl<'a> Src<'a> {
             select = select.cond(Cond::new(&format!("M.{}", c.field), c.op, c.value.clone()));
         }
         if let Some(pat) = &spec.part_name_like {
-            select = select.cond(Cond::new("MK.MAKTX", crate::opensql::CmpOp::Like, Value::str(pat)));
+            select =
+                select.cond(Cond::new("MK.MAKTX", crate::opensql::CmpOp::Like, Value::str(pat)));
         }
         if spec.needs_makt() {
             select = select.cond(Cond::eq("MK.SPRAS", Value::str("E")));
@@ -305,8 +302,7 @@ impl<'a> Src<'a> {
         let konv_in_sql = spec.with_konv && !self.is22();
         let mut from = vec!["VBAP V".to_string()];
         let mut fields: Vec<String> = [
-            "V.VBELN", "V.POSNR", "V.MATNR", "V.LIFNR", "V.KWMENG", "V.NETWR", "V.RFLAG",
-            "V.LSTAT",
+            "V.VBELN", "V.POSNR", "V.MATNR", "V.LIFNR", "V.KWMENG", "V.NETWR", "V.RFLAG", "V.LSTAT",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -342,11 +338,8 @@ impl<'a> Src<'a> {
         if spec.with_part {
             from.push("MARA M".to_string());
             joins.push("M.MATNR = V.MATNR".to_string());
-            fields.extend(
-                ["M.MATKL", "M.MTART", "M.GROES", "M.MAGRV"]
-                    .iter()
-                    .map(|s| s.to_string()),
-            );
+            fields
+                .extend(["M.MATKL", "M.MTART", "M.GROES", "M.MAGRV"].iter().map(|s| s.to_string()));
         }
         if spec.needs_makt() {
             from.push("MAKT MK".to_string());
@@ -364,9 +357,8 @@ impl<'a> Src<'a> {
             joins.push(
                 "KD.KNUMV = A.KNUMV AND KD.KPOSN = V.POSNR AND KD.KSCHL = 'DISC'".to_string(),
             );
-            joins.push(
-                "KT.KNUMV = A.KNUMV AND KT.KPOSN = V.POSNR AND KT.KSCHL = 'TAX'".to_string(),
-            );
+            joins
+                .push("KT.KNUMV = A.KNUMV AND KT.KPOSN = V.POSNR AND KT.KSCHL = 'TAX'".to_string());
             fields.push("KD.KBETR".to_string());
             fields.push("KT.KBETR".to_string());
         }
@@ -410,9 +402,8 @@ impl<'a> Src<'a> {
     /// Open SQL 2.2: driver select over VBAP plus nested SELECT SINGLEs per
     /// row, with master data memoized in internal tables.
     fn detail_open22(&self, spec: &DetailSpec) -> DbResult<Vec<Detail>> {
-        let mut driver = SelectSpec::from_table("VBAP").fields(&[
-            "VBELN", "POSNR", "MATNR", "LIFNR", "KWMENG", "NETWR", "RFLAG", "LSTAT",
-        ]);
+        let mut driver = SelectSpec::from_table("VBAP")
+            .fields(&["VBELN", "POSNR", "MATNR", "LIFNR", "KWMENG", "NETWR", "RFLAG", "LSTAT"]);
         for c in &spec.vbap_conds {
             driver = driver.cond(c.clone());
         }
@@ -725,10 +716,8 @@ impl<'a> Src<'a> {
                 self.sys.open_select(&s)?
             }
             SapInterface::Native => {
-                let mut sql = format!(
-                    "SELECT {} FROM VBAK WHERE MANDT = '{MANDT}'",
-                    fields.join(", ")
-                );
+                let mut sql =
+                    format!("SELECT {} FROM VBAK WHERE MANDT = '{MANDT}'", fields.join(", "));
                 for c in vbak_conds {
                     sql.push_str(&format!(
                         " AND {} {} {}",
@@ -782,8 +771,11 @@ impl<'a> Src<'a> {
     ) -> DbResult<Vec<(i64, i64, Decimal, i64, i64)>> {
         match (self.iface, self.is22()) {
             (SapInterface::Open, false) => {
-                let mut from = TableExpr::table_as("EINA", "I")
-                    .join_as("EINE", "P", &[("I.INFNR", "P.INFNR")]);
+                let mut from = TableExpr::table_as("EINA", "I").join_as(
+                    "EINE",
+                    "P",
+                    &[("I.INFNR", "P.INFNR")],
+                );
                 let mut fields = vec!["I.MATNR", "I.LIFNR", "P.NETPR", "P.BSTMA"];
                 if with_supplier {
                     from = from.join_as("LFA1", "S", &[("I.LIFNR", "S.LIFNR")]);
@@ -797,8 +789,7 @@ impl<'a> Src<'a> {
                 self.parse_partsupp(&r, with_supplier)
             }
             (SapInterface::Native, _) => {
-                let mut fields =
-                    vec!["I.MATNR", "I.LIFNR", "P.NETPR", "P.BSTMA"];
+                let mut fields = vec!["I.MATNR", "I.LIFNR", "P.NETPR", "P.BSTMA"];
                 let mut from = vec!["EINA I", "EINE P"];
                 if with_supplier {
                     fields.push("S.LAND1");
@@ -826,11 +817,9 @@ impl<'a> Src<'a> {
             }
             (SapInterface::Open, true) => {
                 // Nested loops: EINA driver, EINE per row, LFA1 memoized.
-                let driver = self
-                    .sys
-                    .open_select(&SelectSpec::from_table("EINA").fields(&[
-                        "INFNR", "MATNR", "LIFNR",
-                    ]))?;
+                let driver = self.sys.open_select(
+                    &SelectSpec::from_table("EINA").fields(&["INFNR", "MATNR", "LIFNR"]),
+                )?;
                 let mut lfa1_memo: HashMap<i64, Option<i64>> = HashMap::new();
                 let mut out = Vec::new();
                 for row in &driver.rows {
@@ -874,13 +863,7 @@ impl<'a> Src<'a> {
                             None => continue,
                         }
                     }
-                    out.push((
-                        partkey,
-                        suppkey,
-                        erow[0].as_decimal()?,
-                        erow[1].as_int()?,
-                        nation,
-                    ));
+                    out.push((partkey, suppkey, erow[0].as_decimal()?, erow[1].as_int()?, nation));
                 }
                 Ok(out)
             }
@@ -912,28 +895,20 @@ impl<'a> Src<'a> {
 
     /// (nationkey, name, regionkey).
     pub fn nations(&self) -> DbResult<Vec<(i64, String, i64)>> {
-        let t005 = self.sys.open_select(
-            &SelectSpec::from_table("T005").fields(&["LAND1", "REGIO"]),
-        )?;
+        let t005 =
+            self.sys.open_select(&SelectSpec::from_table("T005").fields(&["LAND1", "REGIO"]))?;
         let t005t = self.sys.open_select(
             &SelectSpec::from_table("T005T")
                 .fields(&["LAND1", "LANDX"])
                 .cond(Cond::eq("SPRAS", Value::str("E"))),
         )?;
-        let names: HashMap<i64, String> = t005t
-            .rows
-            .iter()
-            .map(|r| (parse_key(&r[0]), r[1].to_string()))
-            .collect();
+        let names: HashMap<i64, String> =
+            t005t.rows.iter().map(|r| (parse_key(&r[0]), r[1].to_string())).collect();
         let mut out = Vec::new();
         for row in &t005.rows {
             self.meter_app(1);
             let key = parse_key(&row[0]);
-            out.push((
-                key,
-                names.get(&key).cloned().unwrap_or_default(),
-                parse_key(&row[1]),
-            ));
+            out.push((key, names.get(&key).cloned().unwrap_or_default(), parse_key(&row[1])));
         }
         Ok(out)
     }
@@ -945,10 +920,7 @@ impl<'a> Src<'a> {
                 .fields(&["REGIO", "BEZEI"])
                 .cond(Cond::eq("SPRAS", Value::str("E"))),
         )?;
-        Ok(r.rows
-            .iter()
-            .map(|row| (parse_key(&row[0]), row[1].to_string()))
-            .collect())
+        Ok(r.rows.iter().map(|row| (parse_key(&row[0]), row[1].to_string())).collect())
     }
 
     /// Suppliers: (suppkey, name, address, nationkey, phone, acctbal).
@@ -956,9 +928,8 @@ impl<'a> Src<'a> {
         &self,
         lfa1_conds: &[Cond],
     ) -> DbResult<Vec<(i64, String, String, i64, String, Decimal)>> {
-        let mut s = SelectSpec::from_table("LFA1").fields(&[
-            "LIFNR", "NAME1", "STRAS", "LAND1", "TELF1", "SALDO",
-        ]);
+        let mut s = SelectSpec::from_table("LFA1")
+            .fields(&["LIFNR", "NAME1", "STRAS", "LAND1", "TELF1", "SALDO"]);
         for c in lfa1_conds {
             s = s.cond(c.clone());
         }
@@ -986,9 +957,8 @@ impl<'a> Src<'a> {
         mara_conds: &[Cond],
         with_name: bool,
     ) -> DbResult<Vec<(i64, String, String, i64, String, String, String)>> {
-        let mut s = SelectSpec::from_table("MARA").fields(&[
-            "MATNR", "MATKL", "MTART", "GROES", "MAGRV", "MFRNR",
-        ]);
+        let mut s = SelectSpec::from_table("MARA")
+            .fields(&["MATNR", "MATKL", "MTART", "GROES", "MAGRV", "MFRNR"]);
         for c in mara_conds {
             s = s.cond(c.clone());
         }
@@ -1000,11 +970,7 @@ impl<'a> Src<'a> {
                     .fields(&["MATNR", "MAKTX"])
                     .cond(Cond::eq("SPRAS", Value::str("E"))),
             )?;
-            names = m
-                .rows
-                .iter()
-                .map(|row| (parse_key(&row[0]), row[1].to_string()))
-                .collect();
+            names = m.rows.iter().map(|row| (parse_key(&row[0]), row[1].to_string())).collect();
         }
         let mut out = Vec::with_capacity(r.rows.len());
         for row in &r.rows {

@@ -15,9 +15,7 @@
 //! * `A004` is a pool table and `KONV` is a cluster table by default
 //!   (Release 2.2); Release 3.0 converts KONV to transparent, tripling it.
 
-use crate::dict::{
-    cluster_container_ddl, pool_container_ddl, DataDict, LogicalTable, TableKind,
-};
+use crate::dict::{cluster_container_ddl, pool_container_ddl, DataDict, LogicalTable, TableKind};
 use crate::Release;
 use rdbms::schema::Column;
 use rdbms::types::{DataType, Value};
@@ -75,9 +73,7 @@ fn filler_cols(prefix: &str, count: usize, width: u16) -> Vec<Column> {
 fn filler_vals(count: usize, width: u16) -> Vec<Value> {
     // Default values are non-empty (SAP initializes to type defaults; we
     // use a short constant so CHAR padding dominates, like real defaults).
-    (0..count)
-        .map(|_| Value::Str(format!("{:<w$}", "X", w = width as usize)))
-        .collect()
+    (0..count).map(|_| Value::Str(format!("{:<w$}", "X", w = width as usize))).collect()
 }
 
 /// Names of the 17 SAP tables used by the TPC-D data (paper Table 1).
@@ -330,11 +326,11 @@ pub fn build_dict(release: Release) -> DataDict {
         c("VBELN", 16).not_null(),
         c("POSNR", 6).not_null(),
         c("ETENR", 4).not_null(),
-        date("EDATU"), // shipdate
-        date("WADAT"), // commitdate
-        date("LDDAT"), // receiptdate
-        c("VSART", 10),  // shipmode
-        c("LIFSP", 25),  // shipinstruct
+        date("EDATU"),  // shipdate
+        date("WADAT"),  // commitdate
+        date("LDDAT"),  // receiptdate
+        c("VSART", 10), // shipmode
+        c("LIFSP", 25), // shipinstruct
     ];
     vbep_cols.extend(filler_cols("SPAD", VBEP_FILL.0, VBEP_FILL.1));
     d.register(LogicalTable {
@@ -406,8 +402,7 @@ pub fn physical_ddl(dict: &DataDict) -> Vec<String> {
                         )
                     })
                     .collect();
-                let pk: Vec<String> =
-                    t.key_columns().iter().map(|col| col.name.clone()).collect();
+                let pk: Vec<String> = t.key_columns().iter().map(|col| col.name.clone()).collect();
                 stmts.push(format!(
                     "CREATE TABLE {} ({}, PRIMARY KEY ({}))",
                     t.name,
@@ -423,8 +418,7 @@ pub fn physical_ddl(dict: &DataDict) -> Vec<String> {
             }
             TableKind::Cluster { container, cluster_key_len } => {
                 if !containers_done.contains(container) {
-                    let key_cols: Vec<(String, DataType)> = t.columns
-                        [1..*cluster_key_len]
+                    let key_cols: Vec<(String, DataType)> = t.columns[1..*cluster_key_len]
                         .iter()
                         .map(|col| (col.name.clone(), col.ty))
                         .collect();
@@ -507,10 +501,7 @@ pub fn nation_rows(n: &Nation) -> Vec<LogicalRow> {
 
 pub fn region_rows(r: &Region) -> Vec<LogicalRow> {
     vec![
-        (
-            "T005U",
-            vec![mandt_val(), Value::str("E"), key16(r.regionkey), Value::str(&r.name)],
-        ),
+        ("T005U", vec![mandt_val(), Value::str("E"), key16(r.regionkey), Value::str(&r.name)]),
         (
             "STXL",
             vec![
@@ -540,10 +531,7 @@ pub fn part_rows(p: &Part) -> Vec<LogicalRow> {
     mara.extend(filler_vals(MARA_FILL.0, MARA_FILL.1));
     vec![
         ("MARA", mara),
-        (
-            "MAKT",
-            vec![mandt_val(), key16(p.partkey), Value::str("E"), Value::str(&p.name)],
-        ),
+        ("MAKT", vec![mandt_val(), key16(p.partkey), Value::str("E"), Value::str(&p.name)]),
         (
             "A004",
             vec![
@@ -624,12 +612,8 @@ pub fn infnr(partkey: i64, suppkey: i64) -> Value {
 }
 
 pub fn partsupp_rows(ps: &PartSupp) -> Vec<LogicalRow> {
-    let mut eina = vec![
-        mandt_val(),
-        infnr(ps.partkey, ps.suppkey),
-        key16(ps.partkey),
-        key16(ps.suppkey),
-    ];
+    let mut eina =
+        vec![mandt_val(), infnr(ps.partkey, ps.suppkey), key16(ps.partkey), key16(ps.suppkey)];
     eina.extend(filler_vals(EINA_FILL.0, EINA_FILL.1));
     let mut eine = vec![
         mandt_val(),
@@ -819,17 +803,11 @@ mod tests {
         }
         // R22: 15 transparent tables + KAPOL + KOCLU containers.
         let d22 = build_dict(Release::R22);
-        let creates = physical_ddl(&d22)
-            .iter()
-            .filter(|s| s.starts_with("CREATE TABLE"))
-            .count();
+        let creates = physical_ddl(&d22).iter().filter(|s| s.starts_with("CREATE TABLE")).count();
         assert_eq!(creates, 17, "15 transparent + 2 containers");
         // R30: 16 transparent + KAPOL.
         let d30 = build_dict(Release::R30);
-        let creates30 = physical_ddl(&d30)
-            .iter()
-            .filter(|s| s.starts_with("CREATE TABLE"))
-            .count();
+        let creates30 = physical_ddl(&d30).iter().filter(|s| s.starts_with("CREATE TABLE")).count();
         assert_eq!(creates30, 17, "16 transparent + 1 container");
     }
 

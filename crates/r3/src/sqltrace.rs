@@ -1,0 +1,273 @@
+//! ST05-style SQL trace.
+//!
+//! SAP's transaction ST05 records every statement the application server
+//! sends across the RDBMS interface — the instrument the paper's authors
+//! used to discover what Open SQL actually submits (§4.1's blind
+//! parameterized plans, §2.3's per-document nested SELECT loops). This
+//! module is that instrument for the simulator: when enabled on an
+//! [`crate::R3System`], every interface crossing appends a
+//! [`SqlTraceEntry`] carrying the statement text, bound parameters, rows
+//! shipped, crossings charged, and the exact [`MeterSnapshot`] work delta
+//! of the call (captured through a scratch [`MeterScope`], so concurrent
+//! work on other threads does not pollute the attribution).
+//!
+//! Buffer hits are traced too, with zero crossings — making "buffer hit
+//! vs. pass-through" directly visible — and the invariant that the traced
+//! crossings sum to the meter's `ipc_crossings` counter is tested in
+//! `tests/sqltrace_equivalence.rs`.
+
+use rdbms::clock::{CostMeter, MeterScope, MeterSnapshot};
+use rdbms::types::Value;
+use serde_json::Json;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// What kind of interface call an entry records. OPEN/REOPEN/EXEC each
+/// model one OPEN + FETCH-to-completion + CLOSE round trip (a single
+/// crossing, matching the meter); REOPEN means the cursor cache supplied
+/// the prepared plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlOp {
+    /// First execution of a parameterized statement: PREPARE + OPEN.
+    Open,
+    /// Cursor-cache hit: the statement re-executes with new bindings.
+    Reopen,
+    /// Native SQL / direct statement with literals inline.
+    Exec,
+    /// SELECT SINGLE satisfied by the application-server table buffer —
+    /// no crossing reaches the RDBMS.
+    BufferHit,
+    /// Dictionary-mediated INSERT.
+    Insert,
+    /// Open SQL DELETE (or cluster-document delete).
+    Delete,
+}
+
+impl SqlOp {
+    pub fn label(self) -> &'static str {
+        match self {
+            SqlOp::Open => "OPEN",
+            SqlOp::Reopen => "REOPEN",
+            SqlOp::Exec => "EXEC",
+            SqlOp::BufferHit => "BUFHIT",
+            SqlOp::Insert => "INSERT",
+            SqlOp::Delete => "DELETE",
+        }
+    }
+}
+
+/// One traced interface call.
+#[derive(Debug, Clone)]
+pub struct SqlTraceEntry {
+    pub seq: u64,
+    pub op: SqlOp,
+    /// Statement text as submitted (parameter markers for Open SQL,
+    /// literals for Native SQL).
+    pub statement: String,
+    /// Bound parameter values, in order (empty for direct statements).
+    pub params: Vec<Value>,
+    /// Rows shipped to the application server (or affected, for DML).
+    pub rows: u64,
+    /// Interface crossings this call charged to the meter (0 for buffer
+    /// hits).
+    pub crossings: u64,
+    /// Exact work delta of the call.
+    pub work: MeterSnapshot,
+}
+
+impl SqlTraceEntry {
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("seq", self.seq)
+            .field("op", self.op.label())
+            .field("statement", self.statement.clone())
+            .field(
+                "params",
+                Json::Array(self.params.iter().map(|p| Json::from(p.to_string())).collect()),
+            )
+            .field("rows", self.rows)
+            .field("crossings", self.crossings)
+            .field("work", self.work.to_json())
+    }
+}
+
+/// The trace facility. Lives on [`crate::R3System`]; disabled (and nearly
+/// free) unless a caller enables it.
+#[derive(Debug, Default)]
+pub struct SqlTrace {
+    enabled: AtomicBool,
+    next_seq: AtomicU64,
+    entries: Mutex<Vec<SqlTraceEntry>>,
+}
+
+impl SqlTrace {
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drain the recorded entries (ordered by sequence number).
+    pub fn take(&self) -> Vec<SqlTraceEntry> {
+        let mut entries = std::mem::take(&mut *self.entries.lock().unwrap());
+        entries.sort_by_key(|e| e.seq);
+        entries
+    }
+
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+
+    /// Begin recording one interface call; `None` when tracing is off.
+    /// The guard's scratch meter scope captures exactly the work performed
+    /// on this thread until [`SqlTraceGuard::finish`].
+    pub fn begin(&self) -> Option<SqlTraceGuard<'_>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let meter = CostMeter::new();
+        let scope = MeterScope::enter(Arc::clone(&meter));
+        Some(SqlTraceGuard { trace: self, meter, _scope: scope })
+    }
+}
+
+/// In-flight recording of one traced call. Dropping it without
+/// [`SqlTraceGuard::finish`] discards the entry (e.g. when the statement
+/// errored).
+pub struct SqlTraceGuard<'a> {
+    trace: &'a SqlTrace,
+    meter: Arc<CostMeter>,
+    _scope: MeterScope,
+}
+
+impl SqlTraceGuard<'_> {
+    pub fn finish(
+        self,
+        op: SqlOp,
+        statement: impl Into<String>,
+        params: &[Value],
+        rows: u64,
+        crossings: u64,
+    ) {
+        let work = self.meter.snapshot();
+        let seq = self.trace.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.trace.entries.lock().unwrap().push(SqlTraceEntry {
+            seq,
+            op,
+            statement: statement.into(),
+            params: params.to_vec(),
+            rows,
+            crossings,
+            work,
+        });
+        // _scope pops here, ending the attribution window.
+    }
+}
+
+/// Aggregate view of a trace (per report / per experiment).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SqlTraceSummary {
+    pub statements: u64,
+    pub crossings: u64,
+    pub rows: u64,
+    pub buffer_hits: u64,
+}
+
+pub fn summarize(entries: &[SqlTraceEntry]) -> SqlTraceSummary {
+    let mut s = SqlTraceSummary::default();
+    for e in entries {
+        s.statements += 1;
+        s.crossings += e.crossings;
+        s.rows += e.rows;
+        if e.op == SqlOp::BufferHit {
+            s.buffer_hits += 1;
+        }
+    }
+    s
+}
+
+/// Render entries as an ST05-style list. `cal` converts each entry's work
+/// delta into simulated milliseconds; `max_statement` truncates long SQL
+/// and `max_entries` limits the listed calls (0 = no limit; the totals
+/// line always covers every entry).
+pub fn render(
+    entries: &[SqlTraceEntry],
+    cal: &rdbms::clock::Calibration,
+    max_statement: usize,
+    max_entries: usize,
+) -> String {
+    let shown = if max_entries > 0 { entries.len().min(max_entries) } else { entries.len() };
+    let mut out = String::new();
+    out.push_str("   # |       ms |     op | rows | x | statement\n");
+    out.push_str("-----+----------+--------+------+---+----------------------------------------\n");
+    for e in &entries[..shown] {
+        let mut stmt = e.statement.replace('\n', " ");
+        if max_statement > 0 && stmt.len() > max_statement {
+            stmt.truncate(max_statement.saturating_sub(1));
+            stmt.push('…');
+        }
+        if !e.params.is_empty() {
+            let ps: Vec<String> = e.params.iter().map(|p| format!("'{p}'")).collect();
+            stmt.push_str(&format!("  [{}]", ps.join(", ")));
+        }
+        out.push_str(&format!(
+            "{:>4} | {:>8.3} | {:>6} | {:>4} | {} | {}\n",
+            e.seq,
+            cal.millis(&e.work),
+            e.op.label(),
+            e.rows,
+            e.crossings,
+            stmt,
+        ));
+    }
+    if shown < entries.len() {
+        out.push_str(&format!("   … ({} more calls not listed)\n", entries.len() - shown));
+    }
+    let s = summarize(entries);
+    out.push_str(&format!(
+        "total: {} statements, {} crossings, {} rows shipped, {} buffer hits\n",
+        s.statements, s.crossings, s.rows, s.buffer_hits,
+    ));
+    out
+}
+
+/// JSON export: summary totals over *all* entries plus the first
+/// `max_entries` entries in full (0 = all; `entries_truncated` records how
+/// many were dropped).
+pub fn to_json(
+    entries: &[SqlTraceEntry],
+    cal: &rdbms::clock::Calibration,
+    max_entries: usize,
+) -> Json {
+    let shown = if max_entries > 0 { entries.len().min(max_entries) } else { entries.len() };
+    let s = summarize(entries);
+    let mut ms = 0.0;
+    for e in entries {
+        ms += cal.millis(&e.work);
+    }
+    Json::object()
+        .field("statements", s.statements)
+        .field("crossings", s.crossings)
+        .field("rows_shipped", s.rows)
+        .field("buffer_hits", s.buffer_hits)
+        .field("traced_ms", ms)
+        .field("entries_truncated", (entries.len() - shown) as u64)
+        .field(
+            "entries",
+            Json::Array(entries[..shown].iter().map(SqlTraceEntry::to_json).collect()),
+        )
+}
+
+impl fmt::Display for SqlOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}

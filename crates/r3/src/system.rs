@@ -9,6 +9,7 @@ use crate::dict::{
     decode_cluster_rows, encode_cluster_rows, encode_row_data, DataDict, LogicalTable, TableKind,
 };
 use crate::schema::{build_dict, physical_ddl, MANDT};
+use crate::sqltrace::{SqlOp, SqlTrace};
 use crate::Release;
 use parking_lot::Mutex;
 use rdbms::clock::{Calibration, CostMeter, Counter, MeterSnapshot};
@@ -35,6 +36,8 @@ pub struct R3System {
     cursor_cache: Mutex<HashMap<String, Arc<Prepared>>>,
     /// Number-range allocation lock (SAP serializes NRIV intervals).
     pub(crate) number_range_lock: Mutex<()>,
+    /// ST05-style SQL trace; disabled unless a caller enables it.
+    pub sql_trace: SqlTrace,
 }
 
 impl R3System {
@@ -54,6 +57,7 @@ impl R3System {
             buffer,
             cursor_cache: Mutex::new(HashMap::new()),
             number_range_lock: Mutex::new(()),
+            sql_trace: SqlTrace::default(),
         })
     }
 
@@ -80,20 +84,25 @@ impl R3System {
     /// One prepared round trip (the Open SQL path: parameterized text,
     /// cursor-cached plan).
     pub fn db_select_prepared(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
-        let prepared = {
+        let (prepared, reopen) = {
             let mut cache = self.cursor_cache.lock();
             match cache.get(sql) {
-                Some(p) => Arc::clone(p),
+                Some(p) => (Arc::clone(p), true),
                 None => {
                     let p = Arc::new(self.db.prepare(sql)?);
                     cache.insert(sql.to_string(), Arc::clone(&p));
-                    p
+                    (p, false)
                 }
             }
         };
+        let traced = self.sql_trace.begin();
         self.meter().bump(Counter::IpcCrossings);
         let result = self.db.execute_prepared(&prepared, params)?;
         self.meter().add(Counter::IpcTuples, result.rows.len() as u64);
+        if let Some(t) = traced {
+            let op = if reopen { SqlOp::Reopen } else { SqlOp::Open };
+            t.finish(op, sql, params, result.rows.len() as u64, 1);
+        }
         Ok(result)
     }
 
@@ -104,10 +113,19 @@ impl R3System {
 
     /// One direct round trip with literals visible (the Native SQL path).
     pub fn db_execute_direct(&self, sql: &str) -> DbResult<rdbms::ExecOutcome> {
+        let traced = self.sql_trace.begin();
         self.meter().bump(Counter::IpcCrossings);
         let out = self.db.execute(sql)?;
-        if let rdbms::ExecOutcome::Rows(r) = &out {
-            self.meter().add(Counter::IpcTuples, r.rows.len() as u64);
+        let rows = match &out {
+            rdbms::ExecOutcome::Rows(r) => {
+                self.meter().add(Counter::IpcTuples, r.rows.len() as u64);
+                r.rows.len() as u64
+            }
+            rdbms::ExecOutcome::Count(n) => *n,
+            _ => 0,
+        };
+        if let Some(t) = traced {
+            t.finish(SqlOp::Exec, sql, &[], rows, 1);
         }
         Ok(out)
     }
@@ -164,9 +182,7 @@ impl R3System {
         }
         let key = &rows[0][..*cluster_key_len];
         if rows.iter().any(|r| &r[..*cluster_key_len] != key) {
-            return Err(DbError::execution(
-                "cluster batch insert requires a single cluster key",
-            ));
+            return Err(DbError::execution("cluster batch insert requires a single cluster key"));
         }
         let data_rows: Vec<Row> = rows.iter().map(|r| r[*cluster_key_len..].to_vec()).collect();
         let key_col = &lt.columns[1].name; // after MANDT
@@ -406,10 +422,7 @@ mod tests {
         };
         sys.insert_cluster_rows(&konv, &[mk_row("040")]).unwrap();
         sys.insert_cluster_rows(&konv, &[mk_row("050")]).unwrap();
-        let blob = sys
-            .db
-            .query("SELECT VARDATA FROM KOCLU")
-            .unwrap();
+        let blob = sys.db.query("SELECT VARDATA FROM KOCLU").unwrap();
         assert_eq!(blob.rows.len(), 1, "single container row");
         let rows =
             decode_cluster_rows(blob.rows[0][0].as_str().unwrap(), konv.data_cluster_columns())
@@ -437,15 +450,15 @@ mod tests {
         sys.load_tpcd(&gen).unwrap();
         sys.meter().reset();
         let r = sys
-            .db_select_prepared("SELECT NAME1 FROM KNA1 WHERE MANDT = ? AND KUNNR = ?", &[
-                Value::str(MANDT),
-                crate::schema::key16(1),
-            ])
+            .db_select_prepared(
+                "SELECT NAME1 FROM KNA1 WHERE MANDT = ? AND KUNNR = ?",
+                &[Value::str(MANDT), crate::schema::key16(1)],
+            )
             .unwrap();
         assert_eq!(r.rows.len(), 1);
         let snap = sys.snapshot();
-        assert_eq!(snap.ipc_crossings, 1);
-        assert_eq!(snap.ipc_tuples, 1);
+        assert_eq!(snap.ipc_crossings(), 1);
+        assert_eq!(snap.ipc_tuples(), 1);
         // Second call reuses the cursor (same plan object).
         assert!(sys
             .cached_plan_description("SELECT NAME1 FROM KNA1 WHERE MANDT = ? AND KUNNR = ?")
@@ -459,11 +472,8 @@ mod tests {
         let gen = DbGen::new(0.001);
         let tpcd_db = Database::with_defaults();
         tpcd::schema::load(&tpcd_db, &gen).unwrap();
-        let tpcd_total: u64 = tpcd::schema::table_sizes(&tpcd_db)
-            .unwrap()
-            .iter()
-            .map(|(_, d, _)| d)
-            .sum();
+        let tpcd_total: u64 =
+            tpcd::schema::table_sizes(&tpcd_db).unwrap().iter().map(|(_, d, _)| d).sum();
 
         let sys = R3System::install_default(Release::R22).unwrap();
         sys.load_tpcd(&gen).unwrap();

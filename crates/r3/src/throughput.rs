@@ -77,10 +77,7 @@ impl StreamWorkload for SapWorkload<'_> {
     fn update_tables(&self) -> BTreeSet<String> {
         // Batch input writes the order, its lineitems, and their pricing
         // conditions.
-        ["ORDERS", "LINEITEM", self.konv_physical()]
-            .iter()
-            .map(|t| t.to_string())
-            .collect()
+        ["ORDERS", "LINEITEM", self.konv_physical()].iter().map(|t| t.to_string()).collect()
     }
 }
 

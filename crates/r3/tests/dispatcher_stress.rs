@@ -52,7 +52,7 @@ fn parallel_streams_serialize_and_meter_lock_waits() {
     for h in handles.drain(..) {
         let stats = h.wait();
         assert!(stats.result.is_ok(), "request {} failed: {:?}", stats.name, stats.result);
-        total_lock_waits += stats.work.lock_waits;
+        total_lock_waits += stats.work.lock_waits();
     }
     assert!(total_lock_waits > 0, "the blocker must have waited for the holder's X lock");
 
@@ -63,10 +63,7 @@ fn parallel_streams_serialize_and_meter_lock_waits() {
         handles.push(dispatcher.submit(kind, format!("writer-{i}"), move |sys| {
             for _ in 0..txns_per_writer {
                 let mut txn = sys.db.begin();
-                let v = txn
-                    .query("SELECT v FROM zcounter WHERE id = 1")?
-                    .scalar()?
-                    .as_int()?;
+                let v = txn.query("SELECT v FROM zcounter WHERE id = 1")?.scalar()?.as_int()?;
                 txn.execute(&format!("UPDATE zcounter SET v = {} WHERE id = 1", v + 1))?;
                 txn.commit()?;
             }
@@ -89,7 +86,7 @@ fn parallel_streams_serialize_and_meter_lock_waits() {
     for h in handles {
         let stats = h.wait();
         assert!(stats.result.is_ok(), "request {} failed: {:?}", stats.name, stats.result);
-        total_lock_waits += stats.work.lock_waits;
+        total_lock_waits += stats.work.lock_waits();
     }
     dispatcher.shutdown();
 

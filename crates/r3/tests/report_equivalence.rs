@@ -142,11 +142,7 @@ fn sap_q1_equals_isolated_rdbms_q1() {
         assert_eq!(norm(&a[1]), norm(&b[1]), "linestatus");
         // sum_qty, sum_base_price, sum_disc_price, sum_charge
         for i in 2..=5 {
-            assert_eq!(
-                a[i].as_decimal().unwrap(),
-                b[i].as_decimal().unwrap(),
-                "Q1 aggregate {i}"
-            );
+            assert_eq!(a[i].as_decimal().unwrap(), b[i].as_decimal().unwrap(), "Q1 aggregate {i}");
         }
         assert_eq!(a[9].as_int().unwrap(), b[9].as_int().unwrap(), "count");
     }

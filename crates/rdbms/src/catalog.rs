@@ -79,21 +79,12 @@ impl Table {
     }
 
     pub fn find_index(&self, name: &str) -> Option<Arc<Index>> {
-        self.indexes
-            .read()
-            .iter()
-            .find(|i| i.name == name)
-            .cloned()
+        self.indexes.read().iter().find(|i| i.name == name).cloned()
     }
 
     /// Indexes whose first key column is `col`.
     pub fn indexes_on_prefix(&self, col: usize) -> Vec<Arc<Index>> {
-        self.indexes
-            .read()
-            .iter()
-            .filter(|i| i.columns.first() == Some(&col))
-            .cloned()
-            .collect()
+        self.indexes.read().iter().filter(|i| i.columns.first() == Some(&col)).cloned().collect()
     }
 }
 
@@ -106,11 +97,7 @@ pub struct Catalog {
 
 impl Catalog {
     pub fn new(pager: Arc<Pager>) -> Self {
-        Catalog {
-            pager,
-            tables: RwLock::new(HashMap::new()),
-            views: RwLock::new(HashMap::new()),
-        }
+        Catalog { pager, tables: RwLock::new(HashMap::new()), views: RwLock::new(HashMap::new()) }
     }
 
     pub fn pager(&self) -> &Arc<Pager> {
@@ -442,19 +429,13 @@ mod tests {
     fn delete_and_update_maintain_indexes() {
         let cat = catalog();
         let t = make_items(&cat);
-        let rid = cat
-            .insert_row(&t, &[Value::Int(1), Value::str("a"), Value::Int(10)])
-            .unwrap();
+        let rid = cat.insert_row(&t, &[Value::Int(1), Value::str("a"), Value::Int(10)]).unwrap();
         cat.create_index("items_qty", "items", &["QTY".into()], false).unwrap();
-        let new_rid = cat
-            .update_row(&t, rid, &[Value::Int(1), Value::str("a"), Value::Int(99)])
-            .unwrap();
+        let new_rid =
+            cat.update_row(&t, rid, &[Value::Int(1), Value::str("a"), Value::Int(99)]).unwrap();
         let idx = t.find_index("ITEMS_QTY").unwrap();
         assert!(idx.tree.lock().search_exact(&encode_key(&[Value::Int(10)])).unwrap().is_empty());
-        assert_eq!(
-            idx.tree.lock().search_exact(&encode_key(&[Value::Int(99)])).unwrap().len(),
-            1
-        );
+        assert_eq!(idx.tree.lock().search_exact(&encode_key(&[Value::Int(99)])).unwrap().len(), 1);
         cat.delete_row(&t, new_rid).unwrap();
         assert_eq!(t.heap.live_rows(), 0);
         assert!(idx.tree.lock().search_exact(&encode_key(&[Value::Int(99)])).unwrap().is_empty());
@@ -465,8 +446,11 @@ mod tests {
         let cat = catalog();
         let t = make_items(&cat);
         for i in 0..100 {
-            cat.insert_row(&t, &[Value::Int(i), Value::str(format!("n{}", i % 10)), Value::Int(i % 4)])
-                .unwrap();
+            cat.insert_row(
+                &t,
+                &[Value::Int(i), Value::str(format!("n{}", i % 10)), Value::Int(i % 4)],
+            )
+            .unwrap();
         }
         cat.analyze_table(&t).unwrap();
         let stats = t.stats.read();

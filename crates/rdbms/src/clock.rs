@@ -1,453 +1,8 @@
 //! The deterministic cost clock.
 //!
-//! The paper's numbers are wall-clock seconds on 1996 hardware (SPARCstation
-//! 20, 2x60 MHz, 10 MB database buffer, Seagate ST15230N disks). What a
-//! reproduction must preserve is the *shape* of the results — which
-//! configuration wins, by roughly what factor, and where crossovers fall.
-//! Those shapes are functions of physical operation counts (page I/Os split
-//! by access pattern, per-tuple CPU work, interface crossings between the
-//! RDBMS and the application server, sort spills, consistency checks)
-//! multiplied by the relative costs of those operations.
-//!
-//! Every layer of this workspace meters its real work into a [`CostMeter`];
-//! a [`Calibration`] turns the meter into simulated seconds. Calibration is
-//! data, not code, so benches can sweep it (ablation) and EXPERIMENTS.md can
-//! report both raw counters and derived times.
+//! The clock now lives in the workspace-wide `trace` crate so the layers
+//! above the engine (R/3 simulator, throughput driver, bench harness) can
+//! share meters, spans, and histograms without depending on the engine.
+//! This module re-exports it under the historical `rdbms::clock` path.
 
-use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::fmt;
-use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-/// Atomic counters for every metered operation class.
-#[derive(Debug, Default)]
-pub struct CostMeter {
-    /// Buffer-pool misses served by a sequential page read.
-    pub seq_page_reads: AtomicU64,
-    /// Buffer-pool misses served by a random page read.
-    pub rand_page_reads: AtomicU64,
-    /// Dirty pages written back.
-    pub page_writes: AtomicU64,
-    /// Tuples processed by engine operators (scan, probe, join, agg, ...).
-    pub db_tuples: AtomicU64,
-    /// Round trips crossing the RDBMS <-> application-server interface
-    /// (statement opens, fetch batches, per-tuple crossings of nested
-    /// SELECT loops — Section 2.3 of the paper).
-    pub ipc_crossings: AtomicU64,
-    /// Tuples shipped across the interface to the application server.
-    pub ipc_tuples: AtomicU64,
-    /// Tuples processed inside the application server (ABAP-side joins,
-    /// grouping, EXTRACT/LOOP processing).
-    pub app_tuples: AtomicU64,
-    /// Application-server intermediate spill I/O in pages (Section 4.2:
-    /// SAP sorts by writing the sorted result to secondary storage and
-    /// re-reading it).
-    pub app_spill_pages: AtomicU64,
-    /// Per-record batch-input consistency-check units (Section 2.4/3.4.2).
-    pub check_units: AtomicU64,
-    /// Application-server buffer (cache) probes and hits (Section 4.3).
-    pub cache_probes: AtomicU64,
-    pub cache_hits: AtomicU64,
-    /// B+-tree node reads (subset of page reads, kept separately so index
-    /// ablations can be reported).
-    pub index_node_reads: AtomicU64,
-    /// Times a transaction had to block on a table lock held by another
-    /// transaction (multi-user workloads only; the wall/simulated wait
-    /// duration is tracked by the lock manager / throughput driver).
-    pub lock_waits: AtomicU64,
-}
-
-impl CostMeter {
-    pub fn new() -> Arc<Self> {
-        Arc::new(CostMeter::default())
-    }
-
-    pub fn add(&self, field: Counter, n: u64) {
-        self.counter(field).fetch_add(n, Ordering::Relaxed);
-        // Mirror the work into every meter scope active on this thread so a
-        // transaction / dispatcher request gets its own attribution without
-        // threading a meter through every storage-layer call.
-        SCOPES.with(|scopes| {
-            for scoped in scopes.borrow().iter() {
-                if !std::ptr::eq(Arc::as_ptr(scoped), self) {
-                    scoped.counter(field).fetch_add(n, Ordering::Relaxed);
-                }
-            }
-        });
-    }
-
-    pub fn bump(&self, field: Counter) {
-        self.add(field, 1);
-    }
-
-    pub fn get(&self, field: Counter) -> u64 {
-        self.counter(field).load(Ordering::Relaxed)
-    }
-
-    fn counter(&self, field: Counter) -> &AtomicU64 {
-        match field {
-            Counter::SeqPageReads => &self.seq_page_reads,
-            Counter::RandPageReads => &self.rand_page_reads,
-            Counter::PageWrites => &self.page_writes,
-            Counter::DbTuples => &self.db_tuples,
-            Counter::IpcCrossings => &self.ipc_crossings,
-            Counter::IpcTuples => &self.ipc_tuples,
-            Counter::AppTuples => &self.app_tuples,
-            Counter::AppSpillPages => &self.app_spill_pages,
-            Counter::CheckUnits => &self.check_units,
-            Counter::CacheProbes => &self.cache_probes,
-            Counter::CacheHits => &self.cache_hits,
-            Counter::IndexNodeReads => &self.index_node_reads,
-            Counter::LockWaits => &self.lock_waits,
-        }
-    }
-
-    /// Snapshot all counters.
-    pub fn snapshot(&self) -> MeterSnapshot {
-        MeterSnapshot {
-            seq_page_reads: self.get(Counter::SeqPageReads),
-            rand_page_reads: self.get(Counter::RandPageReads),
-            page_writes: self.get(Counter::PageWrites),
-            db_tuples: self.get(Counter::DbTuples),
-            ipc_crossings: self.get(Counter::IpcCrossings),
-            ipc_tuples: self.get(Counter::IpcTuples),
-            app_tuples: self.get(Counter::AppTuples),
-            app_spill_pages: self.get(Counter::AppSpillPages),
-            check_units: self.get(Counter::CheckUnits),
-            cache_probes: self.get(Counter::CacheProbes),
-            cache_hits: self.get(Counter::CacheHits),
-            index_node_reads: self.get(Counter::IndexNodeReads),
-            lock_waits: self.get(Counter::LockWaits),
-        }
-    }
-
-    /// Reset every counter to zero (between experiments).
-    pub fn reset(&self) {
-        for c in Counter::ALL {
-            self.counter(c).store(0, Ordering::Relaxed);
-        }
-    }
-}
-
-/// Identifies one metered counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Counter {
-    SeqPageReads,
-    RandPageReads,
-    PageWrites,
-    DbTuples,
-    IpcCrossings,
-    IpcTuples,
-    AppTuples,
-    AppSpillPages,
-    CheckUnits,
-    CacheProbes,
-    CacheHits,
-    IndexNodeReads,
-    LockWaits,
-}
-
-impl Counter {
-    pub const ALL: [Counter; 13] = [
-        Counter::SeqPageReads,
-        Counter::RandPageReads,
-        Counter::PageWrites,
-        Counter::DbTuples,
-        Counter::IpcCrossings,
-        Counter::IpcTuples,
-        Counter::AppTuples,
-        Counter::AppSpillPages,
-        Counter::CheckUnits,
-        Counter::CacheProbes,
-        Counter::CacheHits,
-        Counter::IndexNodeReads,
-        Counter::LockWaits,
-    ];
-}
-
-thread_local! {
-    /// Stack of per-transaction / per-request meters active on this thread.
-    static SCOPES: RefCell<Vec<Arc<CostMeter>>> = const { RefCell::new(Vec::new()) };
-}
-
-/// RAII guard that registers `meter` as an attribution target on the current
-/// thread: while the scope is alive, every [`CostMeter::add`] performed on
-/// this thread (against any meter) is mirrored into the scoped meter. Scopes
-/// nest — a dispatcher request scope can contain a transaction scope, and
-/// both receive the work done inside the inner scope.
-///
-/// The guard is `!Send` so a scope is always popped on the thread that
-/// pushed it.
-pub struct MeterScope {
-    meter: Arc<CostMeter>,
-    _not_send: PhantomData<*const ()>,
-}
-
-impl MeterScope {
-    pub fn enter(meter: Arc<CostMeter>) -> MeterScope {
-        SCOPES.with(|scopes| scopes.borrow_mut().push(Arc::clone(&meter)));
-        MeterScope { meter, _not_send: PhantomData }
-    }
-
-    /// The meter this scope feeds.
-    pub fn meter(&self) -> &Arc<CostMeter> {
-        &self.meter
-    }
-}
-
-impl Drop for MeterScope {
-    fn drop(&mut self) {
-        SCOPES.with(|scopes| {
-            let mut scopes = scopes.borrow_mut();
-            // Scopes are strictly nested (RAII, !Send), so ours is on top.
-            let popped = scopes.pop();
-            debug_assert!(popped.is_some_and(|p| Arc::ptr_eq(&p, &self.meter)));
-        });
-    }
-}
-
-/// An immutable point-in-time copy of the meter, with difference support.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MeterSnapshot {
-    pub seq_page_reads: u64,
-    pub rand_page_reads: u64,
-    pub page_writes: u64,
-    pub db_tuples: u64,
-    pub ipc_crossings: u64,
-    pub ipc_tuples: u64,
-    pub app_tuples: u64,
-    pub app_spill_pages: u64,
-    pub check_units: u64,
-    pub cache_probes: u64,
-    pub cache_hits: u64,
-    pub index_node_reads: u64,
-    pub lock_waits: u64,
-}
-
-impl MeterSnapshot {
-    /// Work performed between `earlier` and `self`.
-    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
-        MeterSnapshot {
-            seq_page_reads: self.seq_page_reads - earlier.seq_page_reads,
-            rand_page_reads: self.rand_page_reads - earlier.rand_page_reads,
-            page_writes: self.page_writes - earlier.page_writes,
-            db_tuples: self.db_tuples - earlier.db_tuples,
-            ipc_crossings: self.ipc_crossings - earlier.ipc_crossings,
-            ipc_tuples: self.ipc_tuples - earlier.ipc_tuples,
-            app_tuples: self.app_tuples - earlier.app_tuples,
-            app_spill_pages: self.app_spill_pages - earlier.app_spill_pages,
-            check_units: self.check_units - earlier.check_units,
-            cache_probes: self.cache_probes - earlier.cache_probes,
-            cache_hits: self.cache_hits - earlier.cache_hits,
-            index_node_reads: self.index_node_reads - earlier.index_node_reads,
-            lock_waits: self.lock_waits - earlier.lock_waits,
-        }
-    }
-
-    pub fn cache_hit_ratio(&self) -> f64 {
-        if self.cache_probes == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / self.cache_probes as f64
-        }
-    }
-}
-
-/// Cost constants in milliseconds per unit, calibrated to the paper's 1996
-/// environment. See DESIGN.md section 5.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct Calibration {
-    pub ms_seq_page_read: f64,
-    pub ms_rand_page_read: f64,
-    pub ms_page_write: f64,
-    pub ms_db_tuple: f64,
-    pub ms_ipc_crossing: f64,
-    pub ms_ipc_tuple: f64,
-    pub ms_app_tuple: f64,
-    pub ms_app_spill_page: f64,
-    pub ms_check_unit: f64,
-    pub ms_cache_probe: f64,
-}
-
-impl Default for Calibration {
-    fn default() -> Self {
-        Calibration::sparc20_1996()
-    }
-}
-
-impl Calibration {
-    /// Default calibration: a 1996 SPARCstation 20 class machine.
-    ///
-    /// * Seagate ST15230N-era disk: ~11 ms average access; sequential
-    ///   multi-page transfers amortize to ~1.5 ms/8 KB page.
-    /// * 60 MHz SuperSPARC: ~150 us of evaluation work per tuple in the
-    ///   engine (TPC-D expressions are arithmetic-heavy); interpreted
-    ///   ABAP per-tuple work is several times that.
-    /// * SQL interface crossing (parameterized OPEN/FETCH via IPC): ~0.5 ms.
-    /// * Batch-input consistency checking: the dominant load cost; one check
-    ///   unit is one application-level validation step (dialog simulation,
-    ///   dictionary validation, authority check) — SAP transactions cost
-    ///   on the order of seconds per record on this hardware.
-    pub fn sparc20_1996() -> Self {
-        Calibration {
-            ms_seq_page_read: 1.5,
-            ms_rand_page_read: 11.0,
-            ms_page_write: 2.0,
-            ms_db_tuple: 0.15,
-            ms_ipc_crossing: 0.5,
-            ms_ipc_tuple: 0.05,
-            ms_app_tuple: 0.5,
-            ms_app_spill_page: 3.0,
-            ms_check_unit: 150.0,
-            ms_cache_probe: 0.08,
-        }
-    }
-
-    /// Simulated seconds for a snapshot of work.
-    pub fn seconds(&self, m: &MeterSnapshot) -> f64 {
-        let ms = m.seq_page_reads as f64 * self.ms_seq_page_read
-            + m.rand_page_reads as f64 * self.ms_rand_page_read
-            + m.page_writes as f64 * self.ms_page_write
-            + m.db_tuples as f64 * self.ms_db_tuple
-            + m.ipc_crossings as f64 * self.ms_ipc_crossing
-            + m.ipc_tuples as f64 * self.ms_ipc_tuple
-            + m.app_tuples as f64 * self.ms_app_tuple
-            + m.app_spill_pages as f64 * self.ms_app_spill_page
-            + m.check_units as f64 * self.ms_check_unit
-            + m.cache_probes as f64 * self.ms_cache_probe;
-        ms / 1000.0
-    }
-}
-
-/// Pretty duration like the paper's tables ("2h 14m 56s", "5m 17s", "34s").
-pub fn fmt_duration(seconds: f64) -> String {
-    let total = seconds.round() as u64;
-    let d = total / 86_400;
-    let h = (total % 86_400) / 3600;
-    let m = (total % 3600) / 60;
-    let s = total % 60;
-    if seconds < 1.0 {
-        return format!("{:.2}s", seconds);
-    }
-    let mut out = String::new();
-    if d > 0 {
-        out.push_str(&format!("{d}d "));
-    }
-    if h > 0 || d > 0 {
-        out.push_str(&format!("{h}h "));
-    }
-    if m > 0 || h > 0 || d > 0 {
-        out.push_str(&format!("{m}m "));
-    }
-    out.push_str(&format!("{s}s"));
-    out
-}
-
-impl fmt::Display for MeterSnapshot {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "seq_io={} rand_io={} writes={} db_tuples={} ipc={} ipc_tuples={} app_tuples={} spill={} checks={} cache={}/{} lock_waits={}",
-            self.seq_page_reads,
-            self.rand_page_reads,
-            self.page_writes,
-            self.db_tuples,
-            self.ipc_crossings,
-            self.ipc_tuples,
-            self.app_tuples,
-            self.app_spill_pages,
-            self.check_units,
-            self.cache_hits,
-            self.cache_probes,
-            self.lock_waits,
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn meter_counts_and_resets() {
-        let m = CostMeter::new();
-        m.bump(Counter::SeqPageReads);
-        m.add(Counter::DbTuples, 10);
-        assert_eq!(m.get(Counter::SeqPageReads), 1);
-        assert_eq!(m.get(Counter::DbTuples), 10);
-        m.reset();
-        assert_eq!(m.snapshot(), MeterSnapshot::default());
-    }
-
-    #[test]
-    fn snapshot_difference() {
-        let m = CostMeter::new();
-        m.add(Counter::AppTuples, 5);
-        let a = m.snapshot();
-        m.add(Counter::AppTuples, 7);
-        let diff = m.snapshot().since(&a);
-        assert_eq!(diff.app_tuples, 7);
-        assert_eq!(diff.seq_page_reads, 0);
-    }
-
-    #[test]
-    fn calibration_converts_to_seconds() {
-        let cal = Calibration::sparc20_1996();
-        let snap = MeterSnapshot { rand_page_reads: 1000, ..Default::default() };
-        let s = cal.seconds(&snap);
-        assert!((s - 11.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn random_io_much_more_expensive_than_sequential() {
-        let cal = Calibration::default();
-        assert!(cal.ms_rand_page_read > 4.0 * cal.ms_seq_page_read);
-    }
-
-    #[test]
-    fn duration_formatting_matches_paper_style() {
-        assert_eq!(fmt_duration(317.0), "5m 17s");
-        assert_eq!(fmt_duration(34.0), "34s");
-        assert_eq!(fmt_duration(8096.0), "2h 14m 56s");
-        assert_eq!(fmt_duration(2_231_700.0), "25d 19h 55m 0s");
-        assert_eq!(fmt_duration(0.25), "0.25s");
-    }
-
-    #[test]
-    fn meter_scope_mirrors_work_and_nests() {
-        let global = CostMeter::new();
-        let outer = CostMeter::new();
-        let inner = CostMeter::new();
-        global.add(Counter::DbTuples, 1); // before any scope
-        {
-            let _o = MeterScope::enter(Arc::clone(&outer));
-            global.add(Counter::DbTuples, 10);
-            {
-                let _i = MeterScope::enter(Arc::clone(&inner));
-                global.add(Counter::DbTuples, 100);
-            }
-            global.add(Counter::DbTuples, 1000);
-        }
-        global.add(Counter::DbTuples, 10000); // after scopes closed
-        assert_eq!(global.get(Counter::DbTuples), 11111);
-        assert_eq!(outer.get(Counter::DbTuples), 1110);
-        assert_eq!(inner.get(Counter::DbTuples), 100);
-    }
-
-    #[test]
-    fn meter_scope_does_not_double_count_self() {
-        let meter = CostMeter::new();
-        let _s = MeterScope::enter(Arc::clone(&meter));
-        meter.add(Counter::AppTuples, 3);
-        assert_eq!(meter.get(Counter::AppTuples), 3);
-    }
-
-    #[test]
-    fn hit_ratio() {
-        let snap = MeterSnapshot { cache_probes: 100, cache_hits: 85, ..Default::default() };
-        assert!((snap.cache_hit_ratio() - 0.85).abs() < 1e-12);
-        assert_eq!(MeterSnapshot::default().cache_hit_ratio(), 0.0);
-    }
-}
+pub use trace::meter::{fmt_duration, Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};

@@ -626,9 +626,7 @@ mod tests {
         db.execute("CREATE TABLE b (y INTEGER)").unwrap();
         db.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
         db.execute("INSERT INTO b VALUES (2)").unwrap();
-        let r = db
-            .query("SELECT x, y FROM a LEFT OUTER JOIN b ON a.x = b.y ORDER BY x")
-            .unwrap();
+        let r = db.query("SELECT x, y FROM a LEFT OUTER JOIN b ON a.x = b.y ORDER BY x").unwrap();
         assert_eq!(r.rows.len(), 3);
         assert!(r.rows[0][1].is_null());
         assert_eq!(r.rows[1][1], Value::Int(2));
@@ -688,8 +686,7 @@ mod tests {
     fn views_expand() {
         let db = db();
         setup_items(&db);
-        db.execute("CREATE VIEW cheap AS SELECT id, price FROM items WHERE price < 10")
-            .unwrap();
+        db.execute("CREATE VIEW cheap AS SELECT id, price FROM items WHERE price < 10").unwrap();
         let r = db.query("SELECT COUNT(*) FROM cheap").unwrap();
         assert_eq!(r.scalar().unwrap(), Value::Int(10));
         // View with alias binding.

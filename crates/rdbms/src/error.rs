@@ -74,18 +74,12 @@ mod tests {
 
     #[test]
     fn display_includes_kind_and_message() {
-        assert_eq!(
-            DbError::parse("unexpected token").to_string(),
-            "parse error: unexpected token"
-        );
+        assert_eq!(DbError::parse("unexpected token").to_string(), "parse error: unexpected token");
         assert_eq!(
             DbError::catalog("no such table T").to_string(),
             "catalog error: no such table T"
         );
-        assert_eq!(
-            DbError::UnboundParameter(2).to_string(),
-            "parameter $2 is not bound"
-        );
+        assert_eq!(DbError::UnboundParameter(2).to_string(), "parameter $2 is not bound");
     }
 
     #[test]

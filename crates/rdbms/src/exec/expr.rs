@@ -84,7 +84,10 @@ pub enum BExpr {
     /// Column of the current row.
     Column(usize),
     /// Column of an enclosing row; depth 1 = immediate enclosing query.
-    Outer { depth: usize, index: usize },
+    Outer {
+        depth: usize,
+        index: usize,
+    },
     Literal(Value),
     Param(usize),
     Neg(Box<BExpr>),
@@ -204,27 +207,17 @@ impl BExpr {
             BExpr::Column(i) => Ok(row[*i].clone()),
             BExpr::Outer { depth, index } => ctx.outer_value(*depth, *index),
             BExpr::Literal(v) => Ok(v.clone()),
-            BExpr::Param(i) => ctx
-                .params
-                .get(*i)
-                .cloned()
-                .ok_or(DbError::UnboundParameter(*i)),
+            BExpr::Param(i) => ctx.params.get(*i).cloned().ok_or(DbError::UnboundParameter(*i)),
             BExpr::Neg(e) => match e.eval(row, ctx)? {
                 Value::Null => Ok(Value::Null),
                 Value::Int(v) => Ok(Value::Int(-v)),
                 Value::Decimal(d) => Ok(Value::Decimal(d.neg())),
-                other => Err(DbError::execution(format!(
-                    "cannot negate {}",
-                    other.type_name()
-                ))),
+                other => Err(DbError::execution(format!("cannot negate {}", other.type_name()))),
             },
             BExpr::Not(e) => match e.eval(row, ctx)? {
                 Value::Null => Ok(Value::Null),
                 Value::Bool(b) => Ok(Value::Bool(!b)),
-                other => Err(DbError::execution(format!(
-                    "NOT applied to {}",
-                    other.type_name()
-                ))),
+                other => Err(DbError::execution(format!("NOT applied to {}", other.type_name()))),
             },
             BExpr::Binary { left, op, right } => eval_binary(left, *op, right, row, ctx),
             BExpr::Between { expr, low, high, negated } => {
@@ -437,9 +430,7 @@ pub fn arith(l: Value, op: BinOp, r: Value) -> DbResult<Value> {
             BinOp::Sub => return Ok(Value::Int(a - b)),
             BinOp::Mul => return Ok(Value::Int(a * b)),
             BinOp::Div => {
-                return Decimal::from_int(*a)
-                    .div(Decimal::from_int(*b))
-                    .map(Value::Decimal)
+                return Decimal::from_int(*a).div(Decimal::from_int(*b)).map(Value::Decimal)
             }
             _ => {}
         }
@@ -457,10 +448,7 @@ pub fn arith(l: Value, op: BinOp, r: Value) -> DbResult<Value> {
 }
 
 fn eval_func(func: ScalarFunc, args: &[BExpr], row: &[Value], ctx: &ExecCtx) -> DbResult<Value> {
-    let vals: Vec<Value> = args
-        .iter()
-        .map(|a| a.eval(row, ctx))
-        .collect::<DbResult<_>>()?;
+    let vals: Vec<Value> = args.iter().map(|a| a.eval(row, ctx)).collect::<DbResult<_>>()?;
     if vals.iter().any(Value::is_null) {
         return Ok(Value::Null);
     }
@@ -487,11 +475,8 @@ fn eval_func(func: ScalarFunc, args: &[BExpr], row: &[Value], ctx: &ExecCtx) -> 
 
 fn eval_subquery(sq: &Arc<BoundSubquery>, row: &[Value], ctx: &ExecCtx) -> DbResult<Value> {
     // Uncorrelated: compute once per execution and cache.
-    let cached: Option<Arc<SubqueryResult>> = if !sq.correlated {
-        ctx.subquery_cache.lock().get(&sq.cache_id).cloned()
-    } else {
-        None
-    };
+    let cached: Option<Arc<SubqueryResult>> =
+        if !sq.correlated { ctx.subquery_cache.lock().get(&sq.cache_id).cloned() } else { None };
     let result: Arc<SubqueryResult> = match cached {
         Some(r) => r,
         None => {
@@ -524,9 +509,7 @@ fn eval_subquery(sq: &Arc<BoundSubquery>, row: &[Value], ctx: &ExecCtx) -> DbRes
             };
             let computed = Arc::new(computed);
             if !sq.correlated {
-                ctx.subquery_cache
-                    .lock()
-                    .insert(sq.cache_id, Arc::clone(&computed));
+                ctx.subquery_cache.lock().insert(sq.cache_id, Arc::clone(&computed));
             }
             computed
         }
@@ -641,12 +624,8 @@ mod tests {
         assert_eq!(arith(Value::Int(2), BinOp::Mul, Value::Int(3)).unwrap(), Value::Int(6));
         let d = arith(Value::Int(1), BinOp::Div, Value::Int(4)).unwrap();
         assert_eq!(d.as_decimal().unwrap().to_f64(), 0.25);
-        let d = arith(
-            Value::Decimal(Decimal::parse("1.5").unwrap()),
-            BinOp::Add,
-            Value::Int(1),
-        )
-        .unwrap();
+        let d = arith(Value::Decimal(Decimal::parse("1.5").unwrap()), BinOp::Add, Value::Int(1))
+            .unwrap();
         assert_eq!(d.to_string(), "2.5");
     }
 
@@ -712,10 +691,7 @@ mod tests {
         let params = [Value::Int(42)];
         let c = ctx(&params, &meter);
         assert_eq!(BExpr::Param(0).eval(&[], &c).unwrap(), Value::Int(42));
-        assert!(matches!(
-            BExpr::Param(1).eval(&[], &c),
-            Err(DbError::UnboundParameter(1))
-        ));
+        assert!(matches!(BExpr::Param(1).eval(&[], &c), Err(DbError::UnboundParameter(1))));
     }
 
     #[test]
@@ -791,14 +767,8 @@ mod tests {
         // Two levels deep.
         let inner_row = vec![Value::Int(5)];
         let grand = child.push_outer(&inner_row);
-        assert_eq!(
-            BExpr::Outer { depth: 2, index: 0 }.eval(&[], &grand).unwrap(),
-            Value::Int(99)
-        );
-        assert_eq!(
-            BExpr::Outer { depth: 1, index: 0 }.eval(&[], &grand).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(BExpr::Outer { depth: 2, index: 0 }.eval(&[], &grand).unwrap(), Value::Int(99));
+        assert_eq!(BExpr::Outer { depth: 1, index: 0 }.eval(&[], &grand).unwrap(), Value::Int(5));
     }
 
     #[test]

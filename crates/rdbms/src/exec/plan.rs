@@ -43,7 +43,9 @@ pub enum Plan {
         residual: Option<BExpr>,
     },
     /// Literal rows (SELECT without FROM, INSERT source).
-    Values { rows: Vec<Vec<BExpr>> },
+    Values {
+        rows: Vec<Vec<BExpr>>,
+    },
     Filter {
         input: Box<Plan>,
         pred: BExpr,
@@ -162,7 +164,51 @@ impl Plan {
     }
 
     /// Execute to completion.
+    ///
+    /// When a [`trace::TraceSession`] is active on the calling thread,
+    /// every plan node opens a span named like its EXPLAIN line and records
+    /// its output cardinality, so a query execution yields an
+    /// `EXPLAIN ANALYZE`-style tree of per-node work deltas. Without a
+    /// session the instrumentation is a single thread-local check.
     pub fn execute(&self, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
+        if !trace::enabled() {
+            return self.execute_node(ctx);
+        }
+        let span = trace::span(&self.node_label());
+        let rows = self.execute_node(ctx)?;
+        span.attr("rows_out", rows.len());
+        Ok(rows)
+    }
+
+    /// Span name for this node: operator plus its salient argument,
+    /// mirroring the first line [`Plan::describe`] would print for it.
+    fn node_label(&self) -> String {
+        match self {
+            Plan::SeqScan { table, filter } => format!(
+                "SeqScan {}{}",
+                table.name,
+                if filter.is_some() { " (filtered)" } else { "" }
+            ),
+            Plan::IndexScan { table, index, .. } => {
+                format!("IndexScan {} via {}", table.name, index.name)
+            }
+            Plan::Values { rows } => format!("Values ({} rows)", rows.len()),
+            Plan::Filter { .. } => "Filter".to_string(),
+            Plan::Project { exprs, .. } => format!("Project ({} cols)", exprs.len()),
+            Plan::NLJoin { kind, .. } => format!("NLJoin {kind:?}"),
+            Plan::HashJoin { kind, left_keys, .. } => {
+                format!("HashJoin {kind:?} ({} keys)", left_keys.len())
+            }
+            Plan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            Plan::Aggregate { groups, aggs, .. } => {
+                format!("Aggregate ({} groups, {} aggs)", groups.len(), aggs.len())
+            }
+            Plan::Distinct { .. } => "Distinct".to_string(),
+            Plan::Limit { n, .. } => format!("Limit {n}"),
+        }
+    }
+
+    fn execute_node(&self, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
         match self {
             Plan::SeqScan { table, filter } => {
                 let mut out = Vec::new();
@@ -212,10 +258,8 @@ impl Plan {
             Plan::Values { rows } => {
                 let mut out = Vec::with_capacity(rows.len());
                 for exprs in rows {
-                    let row: Row = exprs
-                        .iter()
-                        .map(|e| e.eval(&[], ctx))
-                        .collect::<DbResult<_>>()?;
+                    let row: Row =
+                        exprs.iter().map(|e| e.eval(&[], ctx)).collect::<DbResult<_>>()?;
                     out.push(row);
                 }
                 Ok(out)
@@ -234,10 +278,8 @@ impl Plan {
                 let rows = input.execute(ctx)?;
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
-                    let projected: Row = exprs
-                        .iter()
-                        .map(|e| e.eval(&row, ctx))
-                        .collect::<DbResult<_>>()?;
+                    let projected: Row =
+                        exprs.iter().map(|e| e.eval(&row, ctx)).collect::<DbResult<_>>()?;
                     out.push(projected);
                 }
                 Ok(out)
@@ -245,11 +287,8 @@ impl Plan {
             Plan::NLJoin { left, right, kind, on, right_correlated, right_width } => {
                 let left_rows = left.execute(ctx)?;
                 // Uncorrelated inner: materialize once.
-                let materialized_right: Option<Vec<Row>> = if *right_correlated {
-                    None
-                } else {
-                    Some(right.execute(ctx)?)
-                };
+                let materialized_right: Option<Vec<Row>> =
+                    if *right_correlated { None } else { Some(right.execute(ctx)?) };
                 let mut out = Vec::new();
                 for lrow in &left_rows {
                     let right_rows: Vec<Row> = match &materialized_right {
@@ -288,10 +327,8 @@ impl Plan {
                     HashMap::with_capacity(build_rows.len());
                 for (i, row) in build_rows.iter().enumerate() {
                     ctx.meter.bump(Counter::DbTuples);
-                    let key: Row = left_keys
-                        .iter()
-                        .map(|e| e.eval(row, ctx))
-                        .collect::<DbResult<_>>()?;
+                    let key: Row =
+                        left_keys.iter().map(|e| e.eval(row, ctx)).collect::<DbResult<_>>()?;
                     if key.iter().any(Value::is_null) {
                         continue; // null keys never join
                     }
@@ -301,10 +338,8 @@ impl Plan {
                 let mut out = Vec::new();
                 for prow in &probe_rows {
                     ctx.meter.bump(Counter::DbTuples);
-                    let key: Row = right_keys
-                        .iter()
-                        .map(|e| e.eval(prow, ctx))
-                        .collect::<DbResult<_>>()?;
+                    let key: Row =
+                        right_keys.iter().map(|e| e.eval(prow, ctx)).collect::<DbResult<_>>()?;
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
@@ -377,10 +412,7 @@ fn eval_bound(bound: &Option<IndexKeyBound>, ctx: &ExecCtx) -> DbResult<Option<E
                 }
                 vals.push(v);
             }
-            Ok(Some(EvaluatedBound::Key {
-                bytes: encode_key(&vals),
-                inclusive: b.inclusive,
-            }))
+            Ok(Some(EvaluatedBound::Key { bytes: encode_key(&vals), inclusive: b.inclusive }))
         }
     }
 }
@@ -402,10 +434,8 @@ fn as_bound(b: &EvaluatedBound) -> Bound<&[u8]> {
 pub fn sort_rows(rows: Vec<Row>, keys: &[(BExpr, bool)], ctx: &ExecCtx) -> DbResult<Vec<Row>> {
     let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
     for row in rows {
-        let key: Vec<Value> = keys
-            .iter()
-            .map(|(e, _)| e.eval(&row, ctx))
-            .collect::<DbResult<_>>()?;
+        let key: Vec<Value> =
+            keys.iter().map(|(e, _)| e.eval(&row, ctx)).collect::<DbResult<_>>()?;
         decorated.push((key, row));
     }
     decorated.sort_by(|(a, _), (b, _)| {
@@ -521,10 +551,7 @@ fn aggregate(
     // Decorate with group keys and sort (pipelined sort+group).
     let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
     for row in rows {
-        let key: Vec<Value> = groups
-            .iter()
-            .map(|e| e.eval(&row, ctx))
-            .collect::<DbResult<_>>()?;
+        let key: Vec<Value> = groups.iter().map(|e| e.eval(&row, ctx)).collect::<DbResult<_>>()?;
         decorated.push((key, row));
     }
     decorated.sort_by(|(a, _), (b, _)| {
@@ -542,8 +569,7 @@ fn aggregate(
     for (key, row) in decorated {
         let same = match &current_key {
             Some(k) => {
-                k.len() == key.len()
-                    && k.iter().zip(&key).all(|(a, b)| a.total_cmp(b).is_eq())
+                k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.total_cmp(b).is_eq())
             }
             None => false,
         };

@@ -142,15 +142,7 @@ impl BTree {
         let root = pager.allocate();
         let node = Node::Leaf { next: NO_PAGE, entries: Vec::new() };
         Self::store(&pager, root, &node)?;
-        Ok(BTree {
-            pager,
-            root,
-            unique,
-            entry_count: 0,
-            entry_bytes: 0,
-            node_pages: 1,
-            height: 1,
-        })
+        Ok(BTree { pager, root, unique, entry_count: 0, entry_bytes: 0, node_pages: 1, height: 1 })
     }
 
     fn store(pager: &Pager, pid: PageId, node: &Node) -> DbResult<()> {
@@ -218,7 +210,11 @@ impl BTree {
                 let right_pid = self.pager.allocate();
                 self.node_pages += 1;
                 Self::store(&self.pager, right_pid, &Node::Leaf { next, entries: right_entries })?;
-                Self::store(&self.pager, pid, &Node::Leaf { next: right_pid, entries: left_entries })?;
+                Self::store(
+                    &self.pager,
+                    pid,
+                    &Node::Leaf { next: right_pid, entries: left_entries },
+                )?;
                 Ok(InsertResult::Split { sep, right: right_pid })
             }
             Node::Internal { mut separators, mut children } => {
@@ -497,9 +493,7 @@ mod tests {
         }
         let lo = key(100);
         let hi = key(200);
-        let got = t
-            .range_scan(Bound::Included(&lo), Bound::Excluded(&hi))
-            .unwrap();
+        let got = t.range_scan(Bound::Included(&lo), Bound::Excluded(&hi)).unwrap();
         assert_eq!(got.len(), 100);
         assert_eq!(got[0].1, Rid::new(100, 0));
         assert_eq!(got.last().unwrap().1, Rid::new(199, 0));
@@ -540,9 +534,7 @@ mod tests {
         }
         let prefix = encode_key(&[Value::Int(5)]);
         let upper = increment_bytes(&prefix).unwrap();
-        let got = t
-            .range_scan(Bound::Included(&prefix), Bound::Excluded(&upper))
-            .unwrap();
+        let got = t.range_scan(Bound::Included(&prefix), Bound::Excluded(&upper)).unwrap();
         assert_eq!(got.len(), 10);
         assert!(got.iter().all(|(_, r)| r.page == 5));
     }

@@ -30,6 +30,6 @@ pub mod types;
 pub use clock::{Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
 pub use db::{Database, DbConfig, ExecOutcome, Prepared, QueryResult};
 pub use error::{DbError, DbResult};
-pub use txn::{LockManager, LockMode, Txn, TxnId, TxnStats};
 pub use schema::{Column, Row, Schema};
+pub use txn::{LockManager, LockMode, Txn, TxnId, TxnStats};
 pub use types::{DataType, Date, Decimal, Value};

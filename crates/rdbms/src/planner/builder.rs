@@ -8,9 +8,7 @@ use crate::planner::sarg::{extract_sargs, match_index, IndexAccess, Sarg};
 use crate::planner::selectivity::conjunct_selectivity;
 use crate::planner::PlannerConfig;
 use crate::schema::{Column, Schema};
-use crate::sql::ast::{
-    AggFunc, BinOp, Expr, JoinKind, SelectItem, SelectStmt, TableRef,
-};
+use crate::sql::ast::{AggFunc, BinOp, Expr, JoinKind, SelectItem, SelectStmt, TableRef};
 use crate::types::{DataType, Value};
 use std::cell::Cell;
 use std::collections::HashSet;
@@ -134,14 +132,7 @@ impl<'a> Planner<'a> {
                     let ndv = join_col_ndv(&rels[rel_a], &col_a)
                         .max(join_col_ndv(&rels[rel_b], &col_b))
                         .max(1.0);
-                    equi_preds.push(EquiPred {
-                        rel_a,
-                        col_a,
-                        rel_b,
-                        col_b,
-                        consumed: false,
-                        ndv,
-                    })
+                    equi_preds.push(EquiPred { rel_a, col_a, rel_b, col_b, consumed: false, ndv })
                 }
                 Classified::Post => post_preds.push(c),
             }
@@ -303,7 +294,8 @@ impl<'a> Planner<'a> {
         if !stmt.order_by.is_empty() {
             let mut keys: Vec<(BExpr, bool)> = Vec::new();
             for item in &stmt.order_by {
-                let key = self.resolve_order_key(&item.expr, &proj_names, &schema, outer, used_outer)?;
+                let key =
+                    self.resolve_order_key(&item.expr, &proj_names, &schema, outer, used_outer)?;
                 keys.push((key, item.desc));
             }
             plan = Plan::Sort { input: Box::new(plan), keys };
@@ -510,9 +502,7 @@ impl<'a> Planner<'a> {
     fn binds_fully(&self, e: &Expr, schema: &Schema) -> bool {
         let refs = e.column_refs();
         !refs.is_empty()
-            && refs
-                .iter()
-                .all(|(q, n)| schema.try_resolve(q.as_deref(), n).is_some())
+            && refs.iter().all(|(q, n)| schema.try_resolve(q.as_deref(), n).is_some())
             && !has_subquery(e)
     }
 
@@ -586,9 +576,10 @@ impl<'a> Planner<'a> {
         match &rel.source {
             RelSource::Derived(_) => {
                 // Take the plan out; apply predicates as a filter.
-                let RelSource::Derived(plan) =
-                    std::mem::replace(&mut rel.source, RelSource::Derived(Plan::Values { rows: vec![] }))
-                else {
+                let RelSource::Derived(plan) = std::mem::replace(
+                    &mut rel.source,
+                    RelSource::Derived(Plan::Values { rows: vec![] }),
+                ) else {
                     unreachable!()
                 };
                 let mut plan = plan;
@@ -697,7 +688,12 @@ impl<'a> Planner<'a> {
         }
     }
 
-    fn access_selectivity(&self, access: &IndexAccess, stats: &crate::catalog::TableStats, schema: &Schema) -> f64 {
+    fn access_selectivity(
+        &self,
+        access: &IndexAccess,
+        stats: &crate::catalog::TableStats,
+        schema: &Schema,
+    ) -> f64 {
         let resolve = |q: Option<&str>, n: &str| schema.try_resolve(q, n);
         let mut sel = 1.0;
         for s in &access.eq_sargs {
@@ -875,7 +871,8 @@ impl<'a> Planner<'a> {
                 }
             };
             let next = remaining.remove(ri);
-            current = self.make_join(current, next, est, pred_idxs, equi_preds, outer, used_outer)?;
+            current =
+                self.make_join(current, next, est, pred_idxs, equi_preds, outer, used_outer)?;
         }
         Ok(current)
     }
@@ -930,11 +927,7 @@ impl<'a> Planner<'a> {
             p.consumed = true;
             // Which side does col_a live on?
             let a_on_build = self.binds_fully(&p.col_a, &build.schema);
-            let (bk, pk) = if a_on_build {
-                (&p.col_a, &p.col_b)
-            } else {
-                (&p.col_b, &p.col_a)
-            };
+            let (bk, pk) = if a_on_build { (&p.col_a, &p.col_b) } else { (&p.col_b, &p.col_a) };
             left_keys.push(self.bind_expr(bk, &build.schema, outer, used_outer)?);
             right_keys.push(self.bind_expr(pk, &probe.schema, outer, used_outer)?);
         }
@@ -1032,8 +1025,8 @@ impl<'a> Planner<'a> {
                     return Err(DbError::analysis("* not allowed with GROUP BY/aggregates"));
                 }
                 SelectItem::Expr { expr, alias } => {
-                    let bound =
-                        self.bind_post_agg(expr, group_by, agg_asts, agg_schema, outer, used_outer)?;
+                    let bound = self
+                        .bind_post_agg(expr, group_by, agg_asts, agg_schema, outer, used_outer)?;
                     let (name, qual, ty) = match alias {
                         Some(a) => (a.clone(), None, self.infer_type(expr, agg_schema)),
                         None => self.describe_output(expr, agg_schema, exprs.len()),
@@ -1074,7 +1067,9 @@ impl<'a> Planner<'a> {
             Expr::Column { qualifier, name } => {
                 // A bare column not in GROUP BY is an error — unless it
                 // names an outer scope (correlated HAVING).
-                if let Some(b) = self.try_bind_outer(qualifier.as_deref(), name, outer, used_outer)? {
+                if let Some(b) =
+                    self.try_bind_outer(qualifier.as_deref(), name, outer, used_outer)?
+                {
                     return Ok(b);
                 }
                 Err(DbError::analysis(format!(
@@ -1108,7 +1103,9 @@ impl<'a> Planner<'a> {
                 expr: rec(expr, used_outer)?.boxed(),
                 list: list
                     .iter()
-                    .map(|x| self.bind_post_agg(x, group_by, agg_asts, agg_schema, outer, used_outer))
+                    .map(|x| {
+                        self.bind_post_agg(x, group_by, agg_asts, agg_schema, outer, used_outer)
+                    })
                     .collect::<DbResult<_>>()?,
                 negated: *negated,
             }),
@@ -1117,17 +1114,20 @@ impl<'a> Planner<'a> {
                 pattern: rec(pattern, used_outer)?.boxed(),
                 negated: *negated,
             }),
-            Expr::IsNull { expr, negated } => Ok(BExpr::IsNull {
-                expr: rec(expr, used_outer)?.boxed(),
-                negated: *negated,
-            }),
+            Expr::IsNull { expr, negated } => {
+                Ok(BExpr::IsNull { expr: rec(expr, used_outer)?.boxed(), negated: *negated })
+            }
             Expr::Case { branches, else_expr } => Ok(BExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, r)| {
                         Ok((
-                            self.bind_post_agg(c, group_by, agg_asts, agg_schema, outer, used_outer)?,
-                            self.bind_post_agg(r, group_by, agg_asts, agg_schema, outer, used_outer)?,
+                            self.bind_post_agg(
+                                c, group_by, agg_asts, agg_schema, outer, used_outer,
+                            )?,
+                            self.bind_post_agg(
+                                r, group_by, agg_asts, agg_schema, outer, used_outer,
+                            )?,
                         ))
                     })
                     .collect::<DbResult<_>>()?,
@@ -1136,10 +1136,9 @@ impl<'a> Planner<'a> {
                     None => None,
                 },
             }),
-            Expr::Extract { unit, expr } => Ok(BExpr::Extract {
-                unit: *unit,
-                expr: rec(expr, used_outer)?.boxed(),
-            }),
+            Expr::Extract { unit, expr } => {
+                Ok(BExpr::Extract { unit: *unit, expr: rec(expr, used_outer)?.boxed() })
+            }
             Expr::IntervalAdd { expr, amount, unit } => Ok(BExpr::IntervalAdd {
                 expr: rec(expr, used_outer)?.boxed(),
                 amount: *amount,
@@ -1149,9 +1148,7 @@ impl<'a> Planner<'a> {
                 let (func, arity) = ScalarFunc::from_name(name)
                     .ok_or_else(|| DbError::analysis(format!("unknown function '{name}'")))?;
                 if args.len() != arity {
-                    return Err(DbError::analysis(format!(
-                        "{name} expects {arity} arguments"
-                    )));
+                    return Err(DbError::analysis(format!("{name} expects {arity} arguments")));
                 }
                 Ok(BExpr::Func {
                     func,
@@ -1225,7 +1222,9 @@ impl<'a> Planner<'a> {
             Expr::Agg { func: AggFunc::Count, .. } => DataType::Int,
             Expr::Agg { .. } => DataType::Decimal { precision: 18, scale: 6 },
             Expr::Binary { op, .. } if op.is_comparison() => DataType::Bool,
-            Expr::Binary { .. } | Expr::Unary { .. } => DataType::Decimal { precision: 18, scale: 6 },
+            Expr::Binary { .. } | Expr::Unary { .. } => {
+                DataType::Decimal { precision: 18, scale: 6 }
+            }
             Expr::Extract { .. } => DataType::Int,
             Expr::IntervalAdd { .. } => DataType::Date,
             Expr::Case { branches, .. } => branches
@@ -1283,7 +1282,9 @@ impl<'a> Planner<'a> {
                 if let Some(idx) = current.resolve_opt(qualifier.as_deref(), name)? {
                     return Ok(BExpr::Column(idx));
                 }
-                if let Some(b) = self.try_bind_outer(qualifier.as_deref(), name, outer, used_outer)? {
+                if let Some(b) =
+                    self.try_bind_outer(qualifier.as_deref(), name, outer, used_outer)?
+                {
                     return Ok(b);
                 }
                 let full = match qualifier {
@@ -1392,9 +1393,9 @@ impl<'a> Planner<'a> {
                     used_outer,
                 )
             }
-            Expr::Agg { .. } => Err(DbError::analysis(
-                "aggregate function not allowed in this context",
-            )),
+            Expr::Agg { .. } => {
+                Err(DbError::analysis("aggregate function not allowed in this context"))
+            }
         }
     }
 
@@ -1435,19 +1436,13 @@ impl<'a> Planner<'a> {
         let kind = match tag {
             SubKindTag::Scalar => SubqueryKind::Scalar,
             SubKindTag::Exists(negated) => SubqueryKind::Exists { negated },
-            SubKindTag::In(negated) => SubqueryKind::In {
-                lhs: lhs.expect("In subquery has lhs").boxed(),
-                negated,
-            },
+            SubKindTag::In(negated) => {
+                SubqueryKind::In { lhs: lhs.expect("In subquery has lhs").boxed(), negated }
+            }
         };
         let cache_id = self.next_cache_id.get();
         self.next_cache_id.set(cache_id + 1);
-        Ok(BExpr::Subquery(Arc::new(BoundSubquery {
-            plan: pq.plan,
-            kind,
-            correlated,
-            cache_id,
-        })))
+        Ok(BExpr::Subquery(Arc::new(BoundSubquery { plan: pq.plan, kind, correlated, cache_id })))
     }
 }
 
@@ -1505,10 +1500,7 @@ fn schema_from(cols: Vec<Column>, quals: Vec<Option<String>>) -> Schema {
 pub fn has_subquery(e: &Expr) -> bool {
     let mut found = false;
     e.visit(&mut |node| {
-        if matches!(
-            node,
-            Expr::ScalarSubquery(_) | Expr::Exists { .. } | Expr::InSubquery { .. }
-        ) {
+        if matches!(node, Expr::ScalarSubquery(_) | Expr::Exists { .. } | Expr::InSubquery { .. }) {
             found = true;
         }
     });

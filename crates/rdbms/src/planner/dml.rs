@@ -105,7 +105,7 @@ mod tests {
         assert_eq!(n, 1);
         let work = db.snapshot();
         // A scan would touch ~5000 tuples; the probe touches a handful.
-        assert!(work.db_tuples < 50, "index-assisted delete, got {} tuples", work.db_tuples);
+        assert!(work.db_tuples() < 50, "index-assisted delete, got {} tuples", work.db_tuples());
 
         // Range delete via the same machinery.
         let n = db.execute("DELETE FROM t WHERE k BETWEEN 100 AND 199").unwrap().count().unwrap();

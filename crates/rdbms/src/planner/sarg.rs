@@ -147,14 +147,12 @@ pub fn match_index(index_columns: &[usize], sargs: &[Sarg]) -> Option<IndexAcces
         // Otherwise take range sargs on this column and stop.
         for s in sargs.iter().filter(|s| s.column == col) {
             match s.op {
-                BinOp::Gt | BinOp::GtEq
-                    if lower.is_none() => {
-                        lower = Some(s.clone());
-                    }
-                BinOp::Lt | BinOp::LtEq
-                    if upper.is_none() => {
-                        upper = Some(s.clone());
-                    }
+                BinOp::Gt | BinOp::GtEq if lower.is_none() => {
+                    lower = Some(s.clone());
+                }
+                BinOp::Lt | BinOp::LtEq if upper.is_none() => {
+                    upper = Some(s.clone());
+                }
                 _ => {}
             }
         }

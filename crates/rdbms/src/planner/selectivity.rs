@@ -210,14 +210,8 @@ mod tests {
     #[test]
     fn missing_stats_fall_back_to_defaults() {
         let cfg = PlannerConfig::default();
-        assert_eq!(
-            cmp_selectivity(BinOp::Eq, &Value::Int(5), None, &cfg),
-            cfg.default_eq_sel
-        );
-        assert_eq!(
-            cmp_selectivity(BinOp::Lt, &Value::Int(5), None, &cfg),
-            cfg.default_range_sel
-        );
+        assert_eq!(cmp_selectivity(BinOp::Eq, &Value::Int(5), None, &cfg), cfg.default_eq_sel);
+        assert_eq!(cmp_selectivity(BinOp::Lt, &Value::Int(5), None, &cfg), cfg.default_range_sel);
     }
 
     #[test]

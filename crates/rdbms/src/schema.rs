@@ -80,10 +80,7 @@ impl Schema {
     /// Re-qualify every column (e.g. for `FROM (subquery) AS alias`).
     pub fn with_qualifier(&self, qualifier: &str) -> Schema {
         let q = Some(qualifier.to_ascii_uppercase());
-        Schema {
-            columns: self.columns.clone(),
-            qualifiers: vec![q; self.columns.len()],
-        }
+        Schema { columns: self.columns.clone(), qualifiers: vec![q; self.columns.len()] }
     }
 
     /// Resolve a possibly-qualified column reference to an index.
@@ -148,10 +145,7 @@ impl Schema {
 
     /// Fixed-width estimate of a row in bytes (planning only).
     pub fn estimated_row_width(&self) -> usize {
-        self.columns
-            .iter()
-            .map(|c| c.ty.fixed_width().unwrap_or(32) + 1)
-            .sum()
+        self.columns.iter().map(|c| c.ty.fixed_width().unwrap_or(32) + 1).sum()
     }
 }
 
@@ -189,16 +183,14 @@ pub fn coerce_row(schema: &Schema, row: &[Value]) -> DbResult<Row> {
     for (v, c) in row.iter().zip(schema.columns()) {
         if v.is_null() {
             if !c.nullable {
-                return Err(DbError::constraint(format!(
-                    "column {} is NOT NULL",
-                    c.name
-                )));
+                return Err(DbError::constraint(format!("column {} is NOT NULL", c.name)));
             }
             out.push(Value::Null);
         } else {
-            out.push(v.coerce_to(&c.ty).map_err(|e| {
-                DbError::execution(format!("column {}: {e}", c.name))
-            })?);
+            out.push(
+                v.coerce_to(&c.ty)
+                    .map_err(|e| DbError::execution(format!("column {}: {e}", c.name)))?,
+            );
         }
     }
     Ok(out)

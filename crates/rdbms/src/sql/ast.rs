@@ -105,12 +105,7 @@ pub enum TableRef {
     /// Base table or view, optionally aliased.
     Named { name: String, alias: Option<String> },
     /// Explicit `a JOIN b ON cond`.
-    Join {
-        left: Box<TableRef>,
-        right: Box<TableRef>,
-        kind: JoinKind,
-        on: Expr,
-    },
+    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Expr },
     /// Derived table `(SELECT ...) AS alias`.
     Subquery { query: Box<SelectStmt>, alias: String },
 }
@@ -145,10 +140,7 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(&self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
-        )
+        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
     }
 }
 
@@ -287,10 +279,7 @@ pub enum Expr {
 impl Expr {
     pub fn col(name: &str) -> Expr {
         match name.split_once('.') {
-            Some((q, n)) => Expr::Column {
-                qualifier: Some(q.to_string()),
-                name: n.to_string(),
-            },
+            Some((q, n)) => Expr::Column { qualifier: Some(q.to_string()), name: n.to_string() },
             None => Expr::Column { qualifier: None, name: name.to_string() },
         }
     }

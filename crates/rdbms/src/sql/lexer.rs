@@ -89,9 +89,10 @@ pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
                     } else {
                         // Keep multi-byte UTF-8 intact.
                         let ch_len = utf8_len(bytes[i]);
-                        s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
-                            DbError::parse("invalid UTF-8 in string literal")
-                        })?);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| DbError::parse("invalid UTF-8 in string literal"))?,
+                        );
                         i += ch_len;
                     }
                 }
@@ -102,7 +103,10 @@ pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
                 {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -113,9 +117,7 @@ pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Word(sql[start..i].to_ascii_uppercase()));

@@ -12,10 +12,7 @@ pub fn parse_statement(sql: &str) -> DbResult<Statement> {
     let stmt = p.statement()?;
     p.eat(&Token::Semicolon);
     if !p.at_end() {
-        return Err(DbError::parse(format!(
-            "unexpected trailing input at '{}'",
-            p.peek_desc()
-        )));
+        return Err(DbError::parse(format!("unexpected trailing input at '{}'", p.peek_desc())));
     }
     Ok(stmt)
 }
@@ -273,11 +270,7 @@ impl Parser {
     fn data_type(&mut self) -> DbResult<DataType> {
         let word = match self.next() {
             Some(Token::Word(w)) => w,
-            other => {
-                return Err(DbError::parse(format!(
-                    "expected type name, found {other:?}"
-                )))
-            }
+            other => return Err(DbError::parse(format!("expected type name, found {other:?}"))),
         };
         match word.as_str() {
             "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Ok(DataType::Int),
@@ -317,9 +310,9 @@ impl Parser {
 
     fn unsigned_int(&mut self) -> DbResult<u64> {
         match self.next() {
-            Some(Token::Number(n)) if !n.contains('.') => n
-                .parse()
-                .map_err(|_| DbError::parse(format!("invalid integer '{n}'"))),
+            Some(Token::Number(n)) if !n.contains('.') => {
+                n.parse().map_err(|_| DbError::parse(format!("invalid integer '{n}'")))
+            }
             other => Err(DbError::parse(format!("expected integer, found {other:?}"))),
         }
     }
@@ -434,12 +427,7 @@ impl Parser {
             let right = self.table_factor()?;
             self.expect_kw("ON")?;
             let on = self.expr()?;
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
         Ok(left)
     }
@@ -538,11 +526,7 @@ impl Parser {
             if self.at_kw("SELECT") {
                 let q = self.select_stmt()?;
                 self.expect(&Token::RParen)?;
-                return Ok(Expr::InSubquery {
-                    expr: Box::new(left),
-                    query: Box::new(q),
-                    negated,
-                });
+                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated });
             }
             let mut list = vec![self.expr()?];
             while self.eat(&Token::Comma) {
@@ -553,11 +537,7 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let pattern = self.additive()?;
-            return Ok(Expr::Like {
-                expr: Box::new(left),
-                pattern: Box::new(pattern),
-                negated,
-            });
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
         }
         if negated {
             return Err(DbError::parse("expected BETWEEN, IN or LIKE after NOT"));
@@ -736,11 +716,8 @@ impl Parser {
                 if branches.is_empty() {
                     return Err(DbError::parse("CASE requires at least one WHEN"));
                 }
-                let else_expr = if self.eat_kw("ELSE") {
-                    Some(Box::new(self.expr()?))
-                } else {
-                    None
-                };
+                let else_expr =
+                    if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
                 self.expect_kw("END")?;
                 Ok(Expr::Case { branches, else_expr })
             }
@@ -777,9 +754,7 @@ impl Parser {
             }
             _ => {
                 if is_reserved(&w) {
-                    return Err(DbError::parse(format!(
-                        "reserved word '{w}' in expression"
-                    )));
+                    return Err(DbError::parse(format!("reserved word '{w}' in expression")));
                 }
                 self.column_or_func(w)
             }
@@ -940,7 +915,9 @@ mod tests {
         assert_eq!(q.group_by.len(), 1);
         assert!(q.having.is_some());
         match &q.projections[2] {
-            SelectItem::Expr { expr: Expr::Agg { func: AggFunc::Count, arg: None, .. }, .. } => {}
+            SelectItem::Expr {
+                expr: Expr::Agg { func: AggFunc::Count, arg: None, .. }, ..
+            } => {}
             other => panic!("{other:?}"),
         }
         match &q.projections[4] {
@@ -951,10 +928,8 @@ mod tests {
 
     #[test]
     fn date_and_interval() {
-        let q = parse_query(
-            "SELECT * FROM l WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * FROM l WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY")
+            .unwrap();
         let w = q.where_clause.unwrap();
         match w {
             Expr::Binary { right, .. } => match *right {
@@ -986,17 +961,16 @@ mod tests {
         .unwrap();
         let conjuncts = q.where_clause.unwrap().split_conjuncts();
         assert_eq!(conjuncts.len(), 3);
-        assert!(matches!(&conjuncts[0], Expr::Binary { right, .. } if matches!(**right, Expr::ScalarSubquery(_))));
+        assert!(
+            matches!(&conjuncts[0], Expr::Binary { right, .. } if matches!(**right, Expr::ScalarSubquery(_)))
+        );
         assert!(matches!(&conjuncts[1], Expr::InSubquery { negated: false, .. }));
         assert!(matches!(&conjuncts[2], Expr::Exists { negated: true, .. }));
     }
 
     #[test]
     fn case_when() {
-        let q = parse_query(
-            "SELECT SUM(CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END) FROM t",
-        )
-        .unwrap();
+        let q = parse_query("SELECT SUM(CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END) FROM t").unwrap();
         match &q.projections[0] {
             SelectItem::Expr { expr: Expr::Agg { arg: Some(a), .. }, .. } => {
                 assert!(matches!(**a, Expr::Case { .. }));
@@ -1053,10 +1027,7 @@ mod tests {
             parse_statement("CREATE VIEW v AS SELECT a FROM t").unwrap(),
             Statement::CreateView { .. }
         ));
-        assert!(matches!(
-            parse_statement("DROP INDEX i").unwrap(),
-            Statement::DropIndex { .. }
-        ));
+        assert!(matches!(parse_statement("DROP INDEX i").unwrap(), Statement::DropIndex { .. }));
     }
 
     #[test]
@@ -1106,10 +1077,7 @@ mod tests {
         }
         // OR binds weaker than AND
         let q = parse_query("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3").unwrap();
-        assert!(matches!(
-            q.where_clause.unwrap(),
-            Expr::Binary { op: BinOp::Or, .. }
-        ));
+        assert!(matches!(q.where_clause.unwrap(), Expr::Binary { op: BinOp::Or, .. }));
     }
 
     #[test]

@@ -298,11 +298,7 @@ mod tests {
             for b in &vals {
                 let ka = encode_key(std::slice::from_ref(a));
                 let kb = encode_key(std::slice::from_ref(b));
-                assert_eq!(
-                    ka.cmp(&kb),
-                    a.total_cmp(b),
-                    "key order mismatch for {a:?} vs {b:?}"
-                );
+                assert_eq!(ka.cmp(&kb), a.total_cmp(b), "key order mismatch for {a:?} vs {b:?}");
             }
         }
     }

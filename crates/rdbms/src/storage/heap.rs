@@ -62,9 +62,8 @@ impl HeapFile {
     /// Fetch one row by RID. `pattern` lets index scans charge random I/O
     /// while a clustered-order sweep can charge sequential.
     pub fn get(&self, rid: Rid, pattern: AccessPattern) -> DbResult<Option<Row>> {
-        let bytes = self
-            .pager
-            .read(rid.page, pattern, |page| page.get(rid.slot).map(|b| b.to_vec()))?;
+        let bytes =
+            self.pager.read(rid.page, pattern, |page| page.get(rid.slot).map(|b| b.to_vec()))?;
         match bytes {
             Some(b) => Ok(Some(decode_row(&b)?)),
             None => Ok(None),
@@ -80,9 +79,7 @@ impl HeapFile {
                     page.delete(rid.slot)?;
                     Ok::<usize, DbError>(l)
                 }
-                None => Err(DbError::storage(format!(
-                    "delete of dead or missing rid {rid:?}"
-                ))),
+                None => Err(DbError::storage(format!("delete of dead or missing rid {rid:?}"))),
             }
         })??;
         let mut st = self.state.write();
@@ -98,7 +95,9 @@ impl HeapFile {
         let (updated, old_len) = self.pager.write(rid.page, AccessPattern::Random, |page| {
             let old = page.get(rid.slot).map(|b| b.len());
             match old {
-                Some(l) => Ok::<(bool, usize), DbError>((page.update_in_place(rid.slot, &bytes)?, l)),
+                Some(l) => {
+                    Ok::<(bool, usize), DbError>((page.update_in_place(rid.slot, &bytes)?, l))
+                }
                 None => Err(DbError::storage(format!("update of dead rid {rid:?}"))),
             }
         })??;
@@ -219,10 +218,7 @@ mod tests {
             h.insert(&row(i)).unwrap();
         }
         assert!(h.page_count() > 1, "2000 rows must span pages");
-        let scanned: Vec<i64> = h
-            .scan()
-            .map(|r| r.unwrap().1[0].as_int().unwrap())
-            .collect();
+        let scanned: Vec<i64> = h.scan().map(|r| r.unwrap().1[0].as_int().unwrap()).collect();
         assert_eq!(scanned, (0..n).collect::<Vec<_>>());
         assert_eq!(h.live_rows(), n as u64);
     }
@@ -249,19 +245,13 @@ mod tests {
         // Shorter: stays in place.
         let r2 = h.update(rid, &vec![Value::str("tiny")]).unwrap();
         assert_eq!(r2, rid);
-        assert_eq!(
-            h.get(rid, AccessPattern::Random).unwrap().unwrap()[0],
-            Value::str("tiny")
-        );
+        assert_eq!(h.get(rid, AccessPattern::Random).unwrap().unwrap()[0], Value::str("tiny"));
         // Longer: relocates.
         let long = "x".repeat(200);
         let r3 = h.update(r2, &vec![Value::str(long.clone())]).unwrap();
         assert_ne!(r3, r2);
         assert!(h.get(r2, AccessPattern::Random).unwrap().is_none());
-        assert_eq!(
-            h.get(r3, AccessPattern::Random).unwrap().unwrap()[0],
-            Value::str(long)
-        );
+        assert_eq!(h.get(r3, AccessPattern::Random).unwrap().unwrap()[0], Value::str(long));
         assert_eq!(h.live_rows(), 1);
     }
 

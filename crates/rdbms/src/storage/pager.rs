@@ -70,7 +70,13 @@ impl PagerInner {
     }
 
     /// Make `pid` resident, charging I/O if it was not.
-    fn ensure_resident(&mut self, pid: PageId, pattern: AccessPattern, meter: &CostMeter, charge_read: bool) {
+    fn ensure_resident(
+        &mut self,
+        pid: PageId,
+        pattern: AccessPattern,
+        meter: &CostMeter,
+        charge_read: bool,
+    ) {
         if self.resident.contains_key(&pid) {
             self.touch(pid);
             return;
@@ -157,7 +163,12 @@ impl Pager {
     }
 
     /// Read access to a page.
-    pub fn read<R>(&self, pid: PageId, pattern: AccessPattern, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
+    pub fn read<R>(
+        &self,
+        pid: PageId,
+        pattern: AccessPattern,
+        f: impl FnOnce(&Page) -> R,
+    ) -> DbResult<R> {
         let mut g = self.inner.lock();
         if pid as usize >= g.pages.len() {
             return Err(DbError::storage(format!("page {pid} does not exist")));
@@ -167,7 +178,12 @@ impl Pager {
     }
 
     /// Write access to a page; marks it dirty.
-    pub fn write<R>(&self, pid: PageId, pattern: AccessPattern, f: impl FnOnce(&mut Page) -> R) -> DbResult<R> {
+    pub fn write<R>(
+        &self,
+        pid: PageId,
+        pattern: AccessPattern,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> DbResult<R> {
         let mut g = self.inner.lock();
         if pid as usize >= g.pages.len() {
             return Err(DbError::storage(format!("page {pid} does not exist")));
@@ -217,7 +233,8 @@ mod tests {
             page.insert(b"abc").unwrap();
         })
         .unwrap();
-        let got = p.read(pid, AccessPattern::Random, |page| page.get(0).map(|b| b.to_vec())).unwrap();
+        let got =
+            p.read(pid, AccessPattern::Random, |page| page.get(0).map(|b| b.to_vec())).unwrap();
         assert_eq!(got, Some(b"abc".to_vec()));
     }
 

@@ -217,7 +217,14 @@ pub struct Txn<'db> {
 
 impl<'db> Txn<'db> {
     pub(crate) fn new(db: &'db Database, id: TxnId) -> Self {
-        Txn { db, id, meter: CostMeter::new(), undo: Vec::new(), lock_wait: Duration::ZERO, done: false }
+        Txn {
+            db,
+            id,
+            meter: CostMeter::new(),
+            undo: Vec::new(),
+            lock_wait: Duration::ZERO,
+            done: false,
+        }
     }
 
     pub fn id(&self) -> TxnId {
@@ -529,15 +536,12 @@ mod tests {
         db.execute("CREATE TABLE base (a INTEGER)").unwrap();
         db.execute("CREATE TABLE other (b INTEGER)").unwrap();
         db.execute("CREATE VIEW v AS SELECT a FROM base").unwrap();
-        let stmt = parse_statement(
-            "SELECT * FROM v WHERE a > (SELECT MAX(b) FROM other)",
-        )
-        .unwrap();
+        let stmt = parse_statement("SELECT * FROM v WHERE a > (SELECT MAX(b) FROM other)").unwrap();
         let (reads, writes) = referenced_tables(&stmt, db.catalog());
         assert!(reads.contains("BASE") && reads.contains("OTHER") && reads.contains("V"));
         assert!(writes.is_empty());
-        let stmt = parse_statement("UPDATE base SET a = 1 WHERE a IN (SELECT b FROM other)")
-            .unwrap();
+        let stmt =
+            parse_statement("UPDATE base SET a = 1 WHERE a IN (SELECT b FROM other)").unwrap();
         let (reads, writes) = referenced_tables(&stmt, db.catalog());
         assert_eq!(writes.iter().collect::<Vec<_>>(), vec!["BASE"]);
         assert!(reads.contains("OTHER"));

@@ -129,14 +129,12 @@ impl Decimal {
     pub fn rescale(&self, scale: u8) -> Self {
         match scale.cmp(&self.scale) {
             Ordering::Equal => *self,
-            Ordering::Greater => Decimal {
-                mantissa: self.mantissa * POW10[(scale - self.scale) as usize],
-                scale,
-            },
-            Ordering::Less => Decimal {
-                mantissa: self.mantissa / POW10[(self.scale - scale) as usize],
-                scale,
-            },
+            Ordering::Greater => {
+                Decimal { mantissa: self.mantissa * POW10[(scale - self.scale) as usize], scale }
+            }
+            Ordering::Less => {
+                Decimal { mantissa: self.mantissa / POW10[(self.scale - scale) as usize], scale }
+            }
         }
     }
 
@@ -158,10 +156,8 @@ impl Decimal {
     /// Multiplication keeps combined scale, clamped to `MAX_SCALE` to keep
     /// chained TPC-D expressions (price * (1-disc) * (1+tax)) in range.
     pub fn mul(self, other: Decimal) -> Decimal {
-        let raw = Decimal {
-            mantissa: self.mantissa * other.mantissa,
-            scale: self.scale + other.scale,
-        };
+        let raw =
+            Decimal { mantissa: self.mantissa * other.mantissa, scale: self.scale + other.scale };
         if raw.scale > Self::MAX_SCALE {
             raw.rescale(Self::MAX_SCALE)
         } else {
@@ -326,9 +322,7 @@ impl Date {
     /// Construct from a calendar date; validates the components.
     pub fn from_ymd(year: i32, month: u32, day: u32) -> DbResult<Self> {
         if !(1..=12).contains(&month) || day == 0 || day > Self::days_in_month(year, month) {
-            return Err(DbError::parse(format!(
-                "invalid date {year:04}-{month:02}-{day:02}"
-            )));
+            return Err(DbError::parse(format!("invalid date {year:04}-{month:02}-{day:02}")));
         }
         // Days from civil algorithm (Howard Hinnant's days_from_civil).
         let y = if month <= 2 { year - 1 } else { year } as i64;
@@ -393,15 +387,12 @@ impl Date {
         if parts.len() != 3 {
             return Err(DbError::parse(format!("invalid date literal '{s}'")));
         }
-        let year: i32 = parts[0]
-            .parse()
-            .map_err(|_| DbError::parse(format!("invalid date literal '{s}'")))?;
-        let month: u32 = parts[1]
-            .parse()
-            .map_err(|_| DbError::parse(format!("invalid date literal '{s}'")))?;
-        let day: u32 = parts[2]
-            .parse()
-            .map_err(|_| DbError::parse(format!("invalid date literal '{s}'")))?;
+        let year: i32 =
+            parts[0].parse().map_err(|_| DbError::parse(format!("invalid date literal '{s}'")))?;
+        let month: u32 =
+            parts[1].parse().map_err(|_| DbError::parse(format!("invalid date literal '{s}'")))?;
+        let day: u32 =
+            parts[2].parse().map_err(|_| DbError::parse(format!("invalid date literal '{s}'")))?;
         Date::from_ymd(year, month, day)
     }
 }
@@ -460,10 +451,9 @@ impl Value {
         match self {
             Value::Int(v) => Ok(*v),
             Value::Decimal(d) => Ok(d.trunc_i64()),
-            other => Err(DbError::execution(format!(
-                "expected INTEGER, found {}",
-                other.type_name()
-            ))),
+            other => {
+                Err(DbError::execution(format!("expected INTEGER, found {}", other.type_name())))
+            }
         }
     }
 
@@ -471,40 +461,34 @@ impl Value {
         match self {
             Value::Int(v) => Ok(Decimal::from_int(*v)),
             Value::Decimal(d) => Ok(*d),
-            other => Err(DbError::execution(format!(
-                "expected numeric, found {}",
-                other.type_name()
-            ))),
+            other => {
+                Err(DbError::execution(format!("expected numeric, found {}", other.type_name())))
+            }
         }
     }
 
     pub fn as_str(&self) -> DbResult<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(DbError::execution(format!(
-                "expected STRING, found {}",
-                other.type_name()
-            ))),
+            other => {
+                Err(DbError::execution(format!("expected STRING, found {}", other.type_name())))
+            }
         }
     }
 
     pub fn as_date(&self) -> DbResult<Date> {
         match self {
             Value::Date(d) => Ok(*d),
-            other => Err(DbError::execution(format!(
-                "expected DATE, found {}",
-                other.type_name()
-            ))),
+            other => Err(DbError::execution(format!("expected DATE, found {}", other.type_name()))),
         }
     }
 
     pub fn as_bool(&self) -> DbResult<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(DbError::execution(format!(
-                "expected BOOLEAN, found {}",
-                other.type_name()
-            ))),
+            other => {
+                Err(DbError::execution(format!("expected BOOLEAN, found {}", other.type_name())))
+            }
         }
     }
 
@@ -594,9 +578,7 @@ impl Value {
                     if s[n..].trim().is_empty() {
                         Ok(Value::Str(s[..n].to_string()))
                     } else {
-                        Err(DbError::execution(format!(
-                            "value '{s}' too long for CHAR({n})"
-                        )))
+                        Err(DbError::execution(format!("value '{s}' too long for CHAR({n})")))
                     }
                 } else {
                     Ok(Value::Str(format!("{s:<n$}")))
@@ -604,9 +586,7 @@ impl Value {
             }
             (Value::Str(s), DataType::VarChar(n)) => {
                 if s.len() > *n as usize {
-                    Err(DbError::execution(format!(
-                        "value too long for VARCHAR({n})"
-                    )))
+                    Err(DbError::execution(format!("value too long for VARCHAR({n})")))
                 } else {
                     Ok(Value::Str(s.clone()))
                 }
@@ -614,10 +594,7 @@ impl Value {
             (Value::Date(d), DataType::Date) => Ok(Value::Date(*d)),
             (Value::Str(s), DataType::Date) => Ok(Value::Date(Date::parse(s)?)),
             (Value::Bool(b), DataType::Bool) => Ok(Value::Bool(*b)),
-            (v, t) => Err(DbError::execution(format!(
-                "cannot coerce {} to {t}",
-                v.type_name()
-            ))),
+            (v, t) => Err(DbError::execution(format!("cannot coerce {} to {t}", v.type_name()))),
         }
     }
 }
@@ -812,9 +789,7 @@ mod tests {
 
     #[test]
     fn coerce_numeric_rescales() {
-        let v = Value::Int(7)
-            .coerce_to(&DataType::Decimal { precision: 10, scale: 2 })
-            .unwrap();
+        let v = Value::Int(7).coerce_to(&DataType::Decimal { precision: 10, scale: 2 }).unwrap();
         assert_eq!(v.to_string(), "7.00");
         let w = Value::Decimal(Decimal::parse("7.999").unwrap())
             .coerce_to(&DataType::Decimal { precision: 10, scale: 2 })

@@ -12,8 +12,7 @@ use std::ops::Bound;
 // ---------------------------------------------------------------------------
 
 fn arb_decimal() -> impl Strategy<Value = Decimal> {
-    (-1_000_000_000_000i128..1_000_000_000_000i128, 0u8..7u8)
-        .prop_map(|(m, s)| Decimal::new(m, s))
+    (-1_000_000_000_000i128..1_000_000_000_000i128, 0u8..7u8).prop_map(|(m, s)| Decimal::new(m, s))
 }
 
 fn arb_date() -> impl Strategy<Value = Date> {

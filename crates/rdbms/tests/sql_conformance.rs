@@ -21,21 +21,14 @@ fn setup(db: &Database) {
         (4, "'SALES'", "700.00", "DATE '1993-11-30'", "3"),
         (5, "NULL", "600.00", "DATE '1994-07-04'", "3"),
     ] {
-        db.execute(&format!(
-            "INSERT INTO emp VALUES ({id}, {dept}, {salary}, {hired}, {boss})"
-        ))
-        .unwrap();
+        db.execute(&format!("INSERT INTO emp VALUES ({id}, {dept}, {salary}, {hired}, {boss})"))
+            .unwrap();
     }
     db.execute("ANALYZE emp").unwrap();
 }
 
 fn ints(db: &Database, sql: &str) -> Vec<i64> {
-    db.query(sql)
-        .unwrap()
-        .rows
-        .iter()
-        .map(|r| r[0].as_int().unwrap())
-        .collect()
+    db.query(sql).unwrap().rows.iter().map(|r| r[0].as_int().unwrap()).collect()
 }
 
 #[test]
@@ -46,19 +39,14 @@ fn where_null_comparisons_filter_out() {
     assert_eq!(ints(&d, "SELECT id FROM emp WHERE dept = 'ENG' ORDER BY id"), vec![1, 2]);
     assert_eq!(ints(&d, "SELECT id FROM emp WHERE dept <> 'ENG' ORDER BY id"), vec![3, 4]);
     assert_eq!(ints(&d, "SELECT id FROM emp WHERE dept IS NULL"), vec![5]);
-    assert_eq!(
-        ints(&d, "SELECT id FROM emp WHERE dept IS NOT NULL ORDER BY id"),
-        vec![1, 2, 3, 4]
-    );
+    assert_eq!(ints(&d, "SELECT id FROM emp WHERE dept IS NOT NULL ORDER BY id"), vec![1, 2, 3, 4]);
 }
 
 #[test]
 fn group_by_groups_nulls_together() {
     let d = db();
     setup(&d);
-    let r = d
-        .query("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
-        .unwrap();
+    let r = d.query("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept").unwrap();
     assert_eq!(r.rows.len(), 3, "ENG, SALES, and the NULL group");
     // NULLs sort first under total order.
     assert!(r.rows[0][0].is_null());
@@ -139,9 +127,7 @@ fn in_list_and_like() {
 fn case_without_else_yields_null() {
     let d = db();
     setup(&d);
-    let r = d
-        .query("SELECT SUM(CASE WHEN dept = 'ENG' THEN salary END) FROM emp")
-        .unwrap();
+    let r = d.query("SELECT SUM(CASE WHEN dept = 'ENG' THEN salary END) FROM emp").unwrap();
     assert_eq!(r.rows[0][0].as_decimal().unwrap().to_f64(), 1800.0);
 }
 
@@ -155,11 +141,8 @@ fn self_join() {
              WHERE e.boss = b.id ORDER BY e.id",
         )
         .unwrap();
-    let pairs: Vec<(i64, i64)> = r
-        .rows
-        .iter()
-        .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
-        .collect();
+    let pairs: Vec<(i64, i64)> =
+        r.rows.iter().map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap())).collect();
     assert_eq!(pairs, vec![(2, 1), (3, 1), (4, 3), (5, 3)]);
 }
 
@@ -180,9 +163,7 @@ fn correlated_subquery_salary_above_dept_average() {
 fn scalar_subquery_empty_is_null() {
     let d = db();
     setup(&d);
-    let r = d
-        .query("SELECT (SELECT salary FROM emp WHERE id = 99) FROM emp WHERE id = 1")
-        .unwrap();
+    let r = d.query("SELECT (SELECT salary FROM emp WHERE id = 99) FROM emp WHERE id = 1").unwrap();
     assert!(r.rows[0][0].is_null());
 }
 
@@ -329,22 +310,13 @@ fn update_moves_index_entries() {
 fn multi_key_order_by_mixed_directions() {
     let d = db();
     setup(&d);
-    let r = d
-        .query("SELECT dept, id FROM emp WHERE dept IS NOT NULL ORDER BY dept, id DESC")
-        .unwrap();
-    let got: Vec<(String, i64)> = r
-        .rows
-        .iter()
-        .map(|row| (row[0].to_string(), row[1].as_int().unwrap()))
-        .collect();
+    let r =
+        d.query("SELECT dept, id FROM emp WHERE dept IS NOT NULL ORDER BY dept, id DESC").unwrap();
+    let got: Vec<(String, i64)> =
+        r.rows.iter().map(|row| (row[0].to_string(), row[1].as_int().unwrap())).collect();
     assert_eq!(
         got,
-        vec![
-            ("ENG".into(), 2),
-            ("ENG".into(), 1),
-            ("SALES".into(), 4),
-            ("SALES".into(), 3)
-        ]
+        vec![("ENG".into(), 2), ("ENG".into(), 1), ("SALES".into(), 4), ("SALES".into(), 3)]
     );
 }
 
@@ -372,26 +344,20 @@ fn aggregates_in_where_are_rejected() {
 fn unknown_function_is_an_analysis_error() {
     let d = db();
     setup(&d);
-    assert!(matches!(
-        d.query("SELECT FROBNICATE(dept) FROM emp"),
-        Err(DbError::Analysis(_))
-    ));
+    assert!(matches!(d.query("SELECT FROBNICATE(dept) FROM emp"), Err(DbError::Analysis(_))));
 }
 
 #[test]
 fn substr_and_string_functions() {
     let d = db();
     let r = d
-        .query("SELECT SUBSTR('PROMO BURNISHED', 1, 5), UPPER('abc'), LOWER('ABC'), LENGTH('abcd  ')")
+        .query(
+            "SELECT SUBSTR('PROMO BURNISHED', 1, 5), UPPER('abc'), LOWER('ABC'), LENGTH('abcd  ')",
+        )
         .unwrap();
     assert_eq!(
         r.rows[0],
-        vec![
-            Value::str("PROMO"),
-            Value::str("ABC"),
-            Value::str("abc"),
-            Value::Int(4)
-        ]
+        vec![Value::str("PROMO"), Value::str("ABC"), Value::str("abc"), Value::Int(4)]
     );
 }
 
@@ -411,10 +377,7 @@ fn three_way_join_with_filters_on_each() {
              ORDER BY a.x, c.y",
         )
         .unwrap();
-    let got: Vec<(i64, i64)> = r
-        .rows
-        .iter()
-        .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
-        .collect();
+    let got: Vec<(i64, i64)> =
+        r.rows.iter().map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap())).collect();
     assert_eq!(got, vec![(1, 10), (3, 10), (3, 30)]);
 }

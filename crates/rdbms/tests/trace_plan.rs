@@ -1,0 +1,89 @@
+//! The executor's span instrumentation: running a query under a
+//! `trace::TraceSession` must yield an EXPLAIN-ANALYZE span tree whose
+//! structure matches the plan and whose per-node exclusive times sum to the
+//! query total.
+
+use rdbms::Database;
+use trace::{Calibration, TraceSession};
+
+fn sample_db() -> Database {
+    let db = Database::with_defaults();
+    db.execute(
+        "CREATE TABLE orders (o_id INTEGER NOT NULL, o_cust INTEGER, o_total DECIMAL(10,2), \
+         PRIMARY KEY (o_id))",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE lines (l_order INTEGER NOT NULL, l_no INTEGER NOT NULL, l_qty INTEGER, \
+         PRIMARY KEY (l_order, l_no))",
+    )
+    .unwrap();
+    for o in 0..50 {
+        db.execute(&format!("INSERT INTO orders VALUES ({o}, {}, {}.25)", o % 7, o * 3)).unwrap();
+        for l in 0..4 {
+            db.execute(&format!("INSERT INTO lines VALUES ({o}, {l}, {})", (o + l) % 9)).unwrap();
+        }
+    }
+    db.execute("ANALYZE orders").unwrap();
+    db.execute("ANALYZE lines").unwrap();
+    db
+}
+
+#[test]
+fn traced_query_produces_a_plan_span_tree() {
+    let db = sample_db();
+    let sql = "SELECT o_cust, SUM(l_qty) FROM orders, lines WHERE o_id = l_order \
+               AND o_total > 10 GROUP BY o_cust ORDER BY o_cust";
+    let session = TraceSession::start(Calibration::default());
+    let result = db.query(sql).unwrap();
+    let trace = session.finish();
+
+    // One root span (the topmost plan node), covering all session work
+    // since nothing else ran on the thread.
+    let root = trace.root().expect("single root span");
+    assert!(root.span_count() >= 4, "expected scan/join/agg/sort spans, got:\n{}", trace.render());
+
+    // The root's rows_out attribute is the query's result cardinality.
+    assert_eq!(root.attr("rows_out"), Some(result.rows.len().to_string().as_str()));
+
+    // Scans on both tables appear somewhere in the tree.
+    let names: Vec<&str> = collect_names(root);
+    assert!(names.iter().any(|n| n.contains("ORDERS")), "no scan span for orders: {names:?}");
+    assert!(names.iter().any(|n| n.contains("LINES")), "no scan span for lines: {names:?}");
+    assert!(names.iter().any(|n| n.starts_with("Aggregate")), "no aggregate span: {names:?}");
+    assert!(names.iter().any(|n| n.starts_with("Sort")), "no sort span: {names:?}");
+
+    // Exclusive per-node times sum to the root's inclusive time, and the
+    // root accounts for every unit of metered work in the session.
+    let root_ms = trace.calibration.millis(&root.work);
+    assert!((trace.self_ms_total() - root_ms).abs() < 1e-9);
+    assert_eq!(root.work, trace.total, "work outside the root span");
+}
+
+#[test]
+fn untraced_queries_meter_identically() {
+    // The instrumentation must not change what gets metered.
+    let sql = "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust";
+    let db_a = sample_db();
+    let before = db_a.snapshot();
+    db_a.query(sql).unwrap();
+    let untraced = db_a.snapshot().since(&before);
+
+    let db_b = sample_db();
+    let before = db_b.snapshot();
+    let session = TraceSession::start(Calibration::default());
+    db_b.query(sql).unwrap();
+    let trace = session.finish();
+    let traced = db_b.snapshot().since(&before);
+
+    assert_eq!(untraced, traced);
+    assert_eq!(trace.total, traced);
+}
+
+fn collect_names(root: &trace::SpanRecord) -> Vec<&str> {
+    let mut out = vec![root.name.as_str()];
+    for c in &root.children {
+        out.extend(collect_names(c));
+    }
+    out
+}

@@ -10,8 +10,7 @@ use std::time::Duration;
 
 fn db_with_counter() -> Database {
     let db = Database::with_defaults();
-    db.execute("CREATE TABLE counters (id INTEGER NOT NULL, v INTEGER, PRIMARY KEY (id))")
-        .unwrap();
+    db.execute("CREATE TABLE counters (id INTEGER NOT NULL, v INTEGER, PRIMARY KEY (id))").unwrap();
     db.execute("INSERT INTO counters VALUES (1, 0)").unwrap();
     db
 }
@@ -174,8 +173,8 @@ fn lock_waits_are_metered_per_transaction() {
         };
         let holder_stats = holder.join().unwrap();
         let waiter_stats = waiter.join().unwrap();
-        assert_eq!(holder_stats.work.lock_waits, 0);
-        assert_eq!(waiter_stats.work.lock_waits, 1);
+        assert_eq!(holder_stats.work.lock_waits(), 0);
+        assert_eq!(waiter_stats.work.lock_waits(), 1);
         assert!(!waiter_stats.lock_wait.is_zero());
         waiter_stats.lock_wait
     });

@@ -108,9 +108,8 @@ impl DbGen {
             .map(|k| {
                 let mfgr_n = rng.gen_range(1..=5);
                 let brand_n = mfgr_n * 10 + rng.gen_range(1..=5);
-                let name: Vec<&str> = (0..5)
-                    .map(|_| COLORS[rng.gen_range(0..COLORS.len())])
-                    .collect();
+                let name: Vec<&str> =
+                    (0..5).map(|_| COLORS[rng.gen_range(0..COLORS.len())]).collect();
                 let type_ = format!(
                     "{} {} {}",
                     TYPE_SYLL_1[rng.gen_range(0..TYPE_SYLL_1.len())],
@@ -241,9 +240,8 @@ impl DbGen {
                     all_f = false;
                 }
                 let one = Decimal::from_int(1);
-                totalprice = totalprice.add(
-                    extendedprice.mul(one.sub(discount)).mul(one.add(tax)).rescale(2),
-                );
+                totalprice = totalprice
+                    .add(extendedprice.mul(one.sub(discount)).mul(one.add(tax)).rescale(2));
                 lineitems.push(LineItem {
                     orderkey,
                     partkey,
@@ -331,11 +329,7 @@ fn v_string(rng: &mut StdRng, min: usize, max: usize) -> String {
     let len = rng.gen_range(min..=max);
     let mut s = String::with_capacity(len);
     for i in 0..len {
-        let c = if i % 6 == 5 {
-            ' '
-        } else {
-            (b'a' + rng.gen_range(0..26u8)) as char
-        };
+        let c = if i % 6 == 5 { ' ' } else { (b'a' + rng.gen_range(0..26u8)) as char };
         s.push(c);
     }
     s.trim_end().to_string()
@@ -382,10 +376,7 @@ mod tests {
         let a = g.parts();
         let b = g.parts();
         assert_eq!(a.len(), b.len());
-        assert!(a
-            .iter()
-            .zip(&b)
-            .all(|(x, y)| x.name == y.name && x.retailprice == y.retailprice));
+        assert!(a.iter().zip(&b).all(|(x, y)| x.name == y.name && x.retailprice == y.retailprice));
         let (o1, l1) = g.orders_and_lineitems();
         let (o2, l2) = g.orders_and_lineitems();
         assert_eq!(o1.len(), o2.len());
@@ -430,9 +421,7 @@ mod tests {
         let (_, lineitems) = small().orders_and_lineitems();
         assert!(lineitems.iter().all(|l| l.shipdate < l.receiptdate));
         // Return flags consistent with spec: N => O status.
-        assert!(lineitems
-            .iter()
-            .all(|l| (l.returnflag == "N") == (l.linestatus == "O")));
+        assert!(lineitems.iter().all(|l| (l.returnflag == "N") == (l.linestatus == "O")));
     }
 
     #[test]
@@ -455,12 +444,12 @@ mod tests {
         let (orders, lineitems) = g.orders_and_lineitems();
         let o = &orders[0];
         let one = Decimal::from_int(1);
-        let expected = lineitems
-            .iter()
-            .filter(|l| l.orderkey == o.orderkey)
-            .fold(Decimal::zero(), |acc, l| {
+        let expected = lineitems.iter().filter(|l| l.orderkey == o.orderkey).fold(
+            Decimal::zero(),
+            |acc, l| {
                 acc.add(l.extendedprice.mul(one.sub(l.discount)).mul(one.add(l.tax)).rescale(2))
-            });
+            },
+        );
         assert_eq!(o.totalprice, expected);
     }
 

@@ -39,11 +39,7 @@ impl PowerResult {
 
     /// Total over Q1..Q17 only ("Total (quer.)" row of Tables 4/5).
     pub fn total_queries(&self) -> f64 {
-        self.steps
-            .iter()
-            .filter(|s| s.step.starts_with('Q'))
-            .map(|s| s.seconds)
-            .sum()
+        self.steps.iter().filter(|s| s.step.starts_with('Q')).map(|s| s.seconds).sum()
     }
 
     /// Total over all steps ("Total (all)" row).
@@ -57,7 +53,9 @@ pub fn run_query(db: &Database, n: usize, params: &QueryParams) -> DbResult<Quer
     let stmts = queries::sql(n, params);
     let mut last: Option<QueryResult> = None;
     for stmt in &stmts {
-        if let rdbms::ExecOutcome::Rows(r) = db.execute(stmt)? { last = Some(r) }
+        if let rdbms::ExecOutcome::Rows(r) = db.execute(stmt)? {
+            last = Some(r)
+        }
     }
     last.ok_or_else(|| rdbms::DbError::execution(format!("Q{n} produced no result set")))
 }

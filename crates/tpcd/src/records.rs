@@ -42,11 +42,46 @@ pub const NATIONS: [(&str, usize); 25] = [
 /// Part name vocabulary (a subset of the spec's 92 colors — P_NAME is a
 /// concatenation of five of these; Q9 greps for '%green%').
 pub const COLORS: [&str; 40] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
-    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
-    "indian", "ivory", "khaki", "lace",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
 ];
 
 pub const TYPE_SYLL_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
@@ -54,8 +89,7 @@ pub const TYPE_SYLL_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED
 pub const TYPE_SYLL_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
 pub const CONTAINER_SYLL_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
-pub const CONTAINER_SYLL_2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_SYLL_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 
@@ -68,11 +102,38 @@ pub const SHIP_INSTRUCTS: [&str; 4] =
 
 /// Nonsense-text vocabulary for comments (spec's TEXT grammar, abridged).
 pub const WORDS: [&str; 32] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
-    "beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes", "courts",
-    "dolphins", "multipliers", "sauternes", "warthogs", "frets", "dinos", "attainments",
-    "somas", "braids", "hockey", "players", "frays", "warhorses", "dugouts", "notornis",
-    "epitaphs", "pearls",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warthogs",
+    "frets",
+    "dinos",
+    "attainments",
+    "somas",
+    "braids",
+    "hockey",
+    "players",
+    "frays",
+    "warhorses",
+    "dugouts",
+    "notornis",
+    "epitaphs",
+    "pearls",
 ];
 
 /// Population start/end dates (spec 4.2.3): orders span 1992-01-01 through

@@ -119,11 +119,7 @@ pub fn create_schema(db: &Database) -> DbResult<()> {
 
 /// Row conversions used by both the direct loader and the SAP loader.
 pub fn region_row(r: &Region) -> Vec<Value> {
-    vec![
-        Value::Int(r.regionkey),
-        Value::str(&r.name),
-        Value::str(&r.comment),
-    ]
+    vec![Value::Int(r.regionkey), Value::str(&r.name), Value::str(&r.comment)]
 }
 
 pub fn nation_row(n: &Nation) -> Vec<Value> {
@@ -255,9 +251,9 @@ pub fn load(db: &Database, gen: &DbGen) -> DbResult<()> {
 /// Data + index bytes for each table plus totals — Table 2's left half.
 pub fn table_sizes(db: &Database) -> DbResult<Vec<(String, u64, u64)>> {
     let mut out = Vec::new();
-    for name in [
-        "REGION", "NATION", "SUPPLIER", "PART", "PARTSUPP", "CUSTOMER", "ORDERS", "LINEITEM",
-    ] {
+    for name in
+        ["REGION", "NATION", "SUPPLIER", "PART", "PARTSUPP", "CUSTOMER", "ORDERS", "LINEITEM"]
+    {
         let t = db.catalog().table(name)?;
         let (data, index) = db.catalog().table_sizes(&t);
         out.push((name.to_string(), data, index));
@@ -274,13 +270,8 @@ mod tests {
         let db = Database::with_defaults();
         let gen = DbGen::new(0.001);
         load(&db, &gen).unwrap();
-        let n: i64 = db
-            .query("SELECT COUNT(*) FROM lineitem")
-            .unwrap()
-            .scalar()
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let n: i64 =
+            db.query("SELECT COUNT(*) FROM lineitem").unwrap().scalar().unwrap().as_int().unwrap();
         assert!(n > 1000, "lineitems loaded, got {n}");
         let r = db.query("SELECT COUNT(*) FROM nation").unwrap();
         assert_eq!(r.scalar().unwrap(), Value::Int(25));

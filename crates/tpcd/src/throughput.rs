@@ -33,6 +33,7 @@ use rdbms::txn::referenced_tables;
 use rdbms::{Counter, Database};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+use trace::Histogram;
 
 /// A workload the throughput driver can execute: one of the paper's three
 /// configurations (isolated RDBMS, SAP R/3 Native SQL, SAP R/3 Open SQL).
@@ -112,6 +113,9 @@ pub struct StreamResult {
     pub lock_wait_seconds: f64,
     /// Virtual second this stream finished its last unit.
     pub finished_at: f64,
+    /// Distribution of unit response times (lock wait + execution) in
+    /// simulated microseconds.
+    pub latency_us: Histogram,
 }
 
 /// Full throughput-test result.
@@ -209,12 +213,12 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
                 busy_seconds: 0.0,
                 lock_wait_seconds: 0.0,
                 finished_at: 0.0,
+                latency_us: Histogram::default(),
             },
         });
     }
-    let update_units: Vec<Unit> = (1..=config.query_streams as u64)
-        .flat_map(|p| [Unit::Uf1(p), Unit::Uf2(p)])
-        .collect();
+    let update_units: Vec<Unit> =
+        (1..=config.query_streams as u64).flat_map(|p| [Unit::Uf1(p), Unit::Uf2(p)]).collect();
     streams.push(StreamState {
         units: update_units,
         next: 0,
@@ -225,6 +229,7 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
             busy_seconds: 0.0,
             lock_wait_seconds: 0.0,
             finished_at: 0.0,
+            latency_us: Histogram::default(),
         },
     });
 
@@ -243,11 +248,7 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
         stream.next += 1;
 
         let (label, reads, writes): (String, BTreeSet<String>, BTreeSet<String>) = match unit {
-            Unit::Query(n) => (
-                format!("Q{n}"),
-                workload.query_tables(*n, params),
-                BTreeSet::new(),
-            ),
+            Unit::Query(n) => (format!("Q{n}"), workload.query_tables(*n, params), BTreeSet::new()),
             Unit::Uf1(p) => (format!("UF1({p})"), BTreeSet::new(), update_tables.clone()),
             Unit::Uf2(p) => (format!("UF2({p})"), BTreeSet::new(), update_tables.clone()),
         };
@@ -287,16 +288,10 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
             iv.last_x_end = iv.last_x_end.max(end);
         }
 
-        stream.result.units.push(UnitResult {
-            unit: label,
-            start,
-            lock_wait,
-            seconds,
-            rows,
-            work,
-        });
+        stream.result.units.push(UnitResult { unit: label, start, lock_wait, seconds, rows, work });
         stream.result.busy_seconds += seconds;
         stream.result.lock_wait_seconds += lock_wait;
+        stream.result.latency_us.record(((lock_wait + seconds) * 1e6) as u64);
         stream.vtime = end;
         stream.result.finished_at = end;
     }
@@ -427,6 +422,10 @@ mod tests {
         }
         assert!(a.elapsed_seconds > 0.0);
         assert!(a.qthd > 0.0);
+        for s in &a.streams {
+            assert_eq!(s.latency_us.count(), s.units.len() as u64);
+            assert!(s.latency_us.p99() >= s.latency_us.p50());
+        }
         // Determinism: identical simulated timings, work, and row counts.
         assert_eq!(a.elapsed_seconds.to_bits(), b.elapsed_seconds.to_bits());
         assert_eq!(a.qthd.to_bits(), b.qthd.to_bits());
@@ -455,9 +454,6 @@ mod tests {
         // Queries read ORDERS/LINEITEM while the update stream writes
         // them: somebody must have waited.
         assert!(result.total_lock_wait() > 0.0, "lock interference modeled");
-        assert!(
-            db.snapshot().lock_waits > 0,
-            "waits are metered on the global meter"
-        );
+        assert!(db.snapshot().lock_waits() > 0, "waits are metered on the global meter");
     }
 }

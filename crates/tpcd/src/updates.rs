@@ -30,14 +30,10 @@ pub fn uf2(db: &Database, gen: &DbGen, stream: u64) -> DbResult<u64> {
     let lo = orders.iter().map(|o| o.orderkey).min().unwrap_or(0);
     let hi = orders.iter().map(|o| o.orderkey).max().unwrap_or(-1);
     let d1 = db
-        .execute(&format!(
-            "DELETE FROM lineitem WHERE l_orderkey BETWEEN {lo} AND {hi}"
-        ))?
+        .execute(&format!("DELETE FROM lineitem WHERE l_orderkey BETWEEN {lo} AND {hi}"))?
         .count()?;
     let d2 = db
-        .execute(&format!(
-            "DELETE FROM orders WHERE o_orderkey BETWEEN {lo} AND {hi}"
-        ))?
+        .execute(&format!("DELETE FROM orders WHERE o_orderkey BETWEEN {lo} AND {hi}"))?
         .count()?;
     Ok(d1 + d2)
 }
@@ -87,32 +83,17 @@ mod tests {
         let db = Database::with_defaults();
         let gen = DbGen::new(0.001);
         load(&db, &gen).unwrap();
-        let before_orders: i64 = db
-            .query("SELECT COUNT(*) FROM orders")
-            .unwrap()
-            .scalar()
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let before_orders: i64 =
+            db.query("SELECT COUNT(*) FROM orders").unwrap().scalar().unwrap().as_int().unwrap();
         let inserted = uf1(&db, &gen, 1).unwrap();
         assert!(inserted > 0);
-        let mid: i64 = db
-            .query("SELECT COUNT(*) FROM orders")
-            .unwrap()
-            .scalar()
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let mid: i64 =
+            db.query("SELECT COUNT(*) FROM orders").unwrap().scalar().unwrap().as_int().unwrap();
         assert!(mid > before_orders);
         let deleted = uf2(&db, &gen, 1).unwrap();
         assert_eq!(deleted, inserted);
-        let after: i64 = db
-            .query("SELECT COUNT(*) FROM orders")
-            .unwrap()
-            .scalar()
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let after: i64 =
+            db.query("SELECT COUNT(*) FROM orders").unwrap().scalar().unwrap().as_int().unwrap();
         assert_eq!(after, before_orders);
     }
 

@@ -15,10 +15,7 @@ pub type Q1Answer = BTreeMap<(String, String), (Decimal, Decimal, Decimal, Decim
 
 /// Q1 reference answer computed directly over generated lineitems:
 /// (returnflag, linestatus) -> (sum_qty, sum_base, sum_disc, sum_charge, count).
-pub fn q1_reference(
-    lineitems: &[LineItem],
-    delta_days: i32,
-) -> Q1Answer {
+pub fn q1_reference(lineitems: &[LineItem], delta_days: i32) -> Q1Answer {
     let cutoff = Date::from_ymd(1998, 12, 1).expect("valid").add_days(-delta_days);
     let one = Decimal::from_int(1);
     let mut out = Q1Answer::new();
@@ -26,9 +23,13 @@ pub fn q1_reference(
         if l.shipdate > cutoff {
             continue;
         }
-        let e = out
-            .entry((l.returnflag.clone(), l.linestatus.clone()))
-            .or_insert((Decimal::zero(), Decimal::zero(), Decimal::zero(), Decimal::zero(), 0));
+        let e = out.entry((l.returnflag.clone(), l.linestatus.clone())).or_insert((
+            Decimal::zero(),
+            Decimal::zero(),
+            Decimal::zero(),
+            Decimal::zero(),
+            0,
+        ));
         e.0 = e.0.add(Decimal::from_int(l.quantity));
         e.1 = e.1.add(l.extendedprice);
         let disc = l.extendedprice.mul(one.sub(l.discount));
@@ -75,10 +76,7 @@ pub fn validate(db: &Database, gen: &DbGen) -> DbResult<Vec<String>> {
         ("orders", gen.n_orders()),
         ("lineitem", lineitems.len() as i64),
     ] {
-        let got = db
-            .query(&format!("SELECT COUNT(*) FROM {table}"))?
-            .scalar()?
-            .as_int()?;
+        let got = db.query(&format!("SELECT COUNT(*) FROM {table}"))?.scalar()?.as_int()?;
         if got != expected {
             problems.push(format!("{table}: {got} rows, expected {expected}"));
         }
@@ -89,17 +87,10 @@ pub fn validate(db: &Database, gen: &DbGen) -> DbResult<Vec<String>> {
     let params = crate::queries::QueryParams::for_scale(gen.sf);
     let q1 = crate::power::run_query(db, 1, &params)?;
     if q1.rows.len() != reference.len() {
-        problems.push(format!(
-            "Q1: {} groups, reference has {}",
-            q1.rows.len(),
-            reference.len()
-        ));
+        problems.push(format!("Q1: {} groups, reference has {}", q1.rows.len(), reference.len()));
     }
     for row in &q1.rows {
-        let key = (
-            row[0].to_string(),
-            row[1].to_string(),
-        );
+        let key = (row[0].to_string(), row[1].to_string());
         match reference.get(&key) {
             None => problems.push(format!("Q1: unexpected group {key:?}")),
             Some(r) => {

@@ -1,0 +1,274 @@
+//! A log-bucketed, mergeable latency histogram.
+//!
+//! HDR-style layout: values below `2^(SUB_BITS+1)` get exact buckets; above
+//! that, each power-of-two octave is split into `2^SUB_BITS` sub-buckets,
+//! bounding relative error at `2^-SUB_BITS` (12.5 %). All state is
+//! `AtomicU64` under `Ordering::Relaxed`, so recording from many work
+//! processes is lock-free-enough: no retry loops, no locks, and the small
+//! races a relaxed snapshot can observe only misplace a count by one
+//! bucket-read interleaving — irrelevant for percentile reporting.
+//!
+//! Values are unit-agnostic `u64`s; callers pick the unit (the dispatcher
+//! records wall microseconds, the throughput driver records simulated
+//! microseconds).
+
+use serde_json::Json;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket precision: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below this get an exact bucket each.
+const EXACT: u64 = 1 << (SUB_BITS + 1);
+/// Octaves above the exact region: top bit position SUB_BITS+1 ..= 63.
+const OCTAVES: usize = 64 - (SUB_BITS as usize + 1);
+const BUCKETS: usize = EXACT as usize + OCTAVES * SUBS;
+
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_index(v: u64) -> usize {
+        if v < EXACT {
+            return v as usize;
+        }
+        let top = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+        let octave = (top - SUB_BITS) as usize; // >= 1
+        let sub = ((v >> (top - SUB_BITS)) as usize) & (SUBS - 1);
+        EXACT as usize + (octave - 1) * SUBS + sub
+    }
+
+    /// Smallest value that maps to bucket `idx`.
+    pub fn bucket_low(idx: usize) -> u64 {
+        if idx < EXACT as usize {
+            return idx as u64;
+        }
+        let octave = ((idx - EXACT as usize) / SUBS + 1) as u32;
+        let sub = ((idx - EXACT as usize) % SUBS) as u64;
+        (SUBS as u64 + sub) << octave
+    }
+
+    /// One past the largest value that maps to bucket `idx` (saturating).
+    pub fn bucket_high(idx: usize) -> u64 {
+        if idx < EXACT as usize {
+            return idx as u64 + 1;
+        }
+        let octave = ((idx - EXACT as usize) / SUBS + 1) as u32;
+        Histogram::bucket_low(idx).saturating_add(1u64 << octave)
+    }
+
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Histogram::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold `other`'s counts into `self`.
+    pub fn merge(&self, other: &Histogram) {
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (b, o) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = o.load(Ordering::Relaxed);
+            if n > 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// holding the `ceil(q * count)`-th recorded value (so the result is
+    /// within one bucket width — 12.5 % relative — of the true quantile,
+    /// and is monotone in `q`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Histogram::bucket_low(idx);
+            }
+        }
+        // Snapshot race (count incremented before its bucket): report max.
+        self.max()
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// JSON summary; `unit` names the recorded unit (e.g. "us").
+    pub fn to_json(&self, unit: &str) -> Json {
+        Json::object()
+            .field("unit", unit)
+            .field("count", self.count())
+            .field("sum", self.sum())
+            .field("min", self.min())
+            .field("max", self.max())
+            .field("mean", self.mean())
+            .field("p50", self.p50())
+            .field("p95", self.p95())
+            .field("p99", self.p99())
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Histogram {
+        let out = Histogram::new();
+        out.merge(self);
+        out
+    }
+}
+
+/// Keep the Debug output readable instead of dumping ~500 buckets.
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..EXACT {
+            h.record(v);
+        }
+        for v in 0..EXACT {
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+            assert_eq!(Histogram::bucket_low(v as usize), v);
+        }
+        assert_eq!(h.count(), EXACT);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_tight() {
+        let h = Histogram::new();
+        h.record(1_000_000);
+        let p = h.p50();
+        assert!(p <= 1_000_000);
+        assert!(p as f64 >= 1_000_000.0 * (1.0 - 1.0 / SUBS as f64));
+        assert_eq!(h.p50(), h.p99());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 7919;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(Histogram::bucket_index(u64::MAX) < BUCKETS);
+        assert!(h.p99() >= h.p50());
+    }
+}

@@ -1,0 +1,28 @@
+//! Workspace-wide observability.
+//!
+//! The paper's method *is* observability: the authors found Section 4.1's
+//! parameterized-plan disaster and Section 2.3's interface-crossing costs by
+//! reading SAP's SQL trace, not by staring at end-to-end times. This crate
+//! gives the reproduction the same three instruments, all driven by the
+//! deterministic cost clock so every number is reproducible bit-for-bit:
+//!
+//! * [`meter`] — the cost clock itself ([`CostMeter`], [`Counter`],
+//!   [`MeterSnapshot`], [`MeterScope`], [`Calibration`]), moved here from
+//!   `rdbms::clock` so layers above and below the engine can share it.
+//! * [`span`] — span-based tracing. A [`TraceSession`] installs a
+//!   thread-local tracer; every [`span`](span::span) records the
+//!   [`MeterSnapshot`] delta across its lifetime and the spans form a tree
+//!   (plan nodes, SQL calls, report phases). Rendering multiplies the
+//!   deltas by a [`Calibration`] to get simulated milliseconds per node —
+//!   an `EXPLAIN ANALYZE` for the simulated 1996 hardware.
+//! * [`histogram`] — a log-bucketed, mergeable, lock-free-enough
+//!   [`Histogram`] for latency distributions (dispatcher queue wait and
+//!   service time, per-stream query latencies).
+
+pub mod histogram;
+pub mod meter;
+pub mod span;
+
+pub use histogram::Histogram;
+pub use meter::{fmt_duration, Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
+pub use span::{enabled, span, Span, SpanRecord, Trace, TraceSession};

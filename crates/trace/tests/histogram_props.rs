@@ -1,0 +1,92 @@
+//! Property-based tests for the log-bucketed histogram.
+
+use proptest::prelude::*;
+use trace::Histogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every value lands in a bucket whose [low, high) range contains it.
+    #[test]
+    fn bucket_bounds_contain_the_value(v in any::<u64>()) {
+        let idx = Histogram::bucket_index(v);
+        let low = Histogram::bucket_low(idx);
+        let high = Histogram::bucket_high(idx);
+        prop_assert!(low <= v, "low {low} > v {v} (bucket {idx})");
+        prop_assert!(v < high || high == u64::MAX, "v {v} >= high {high} (bucket {idx})");
+    }
+
+    /// Bucket lower bounds are strictly increasing in the index, so
+    /// quantiles derived from a bucket walk are monotone.
+    #[test]
+    fn bucket_lows_are_strictly_monotone(idx in 0usize..495) {
+        prop_assert!(Histogram::bucket_low(idx) < Histogram::bucket_low(idx + 1));
+        prop_assert_eq!(Histogram::bucket_high(idx), Histogram::bucket_low(idx + 1));
+    }
+
+    /// Recording a partition of values into two histograms and merging is
+    /// equivalent to recording everything into one.
+    #[test]
+    fn merge_matches_single_histogram(values in prop::collection::vec(any::<u64>(), 1..200),
+                                      split in any::<u64>()) {
+        let merged = Histogram::new();
+        let left = Histogram::new();
+        let right = Histogram::new();
+        let all = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            if (split >> (i % 64)) & 1 == 0 { left.record(v) } else { right.record(v) }
+            all.record(v);
+        }
+        merged.merge(&left);
+        merged.merge(&right);
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.sum(), all.sum());
+        prop_assert_eq!(merged.min(), all.min());
+        prop_assert_eq!(merged.max(), all.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), all.quantile(q));
+        }
+    }
+
+    /// quantile(q) is monotone non-decreasing in q and brackets min/max.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = 0u64;
+        for q in qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        // The p100 estimate is the lower bound of the max's bucket; the
+        // p0 estimate cannot exceed the true minimum.
+        prop_assert!(h.quantile(0.0) <= h.min());
+        prop_assert!(h.quantile(1.0) <= h.max());
+        prop_assert!(Histogram::bucket_high(Histogram::bucket_index(h.max())) > h.max());
+    }
+
+    /// The quantile estimate is within one bucket (12.5 % relative) of a
+    /// true order-statistic for the recorded set.
+    #[test]
+    fn quantile_error_is_bounded(values in prop::collection::vec(0u64..1_000_000_000, 1..100),
+                                 q_millis in 0u64..1000) {
+        let q = q_millis as f64 / 1000.0;
+        let h = Histogram::new();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = sorted[rank];
+        let est = h.quantile(q);
+        let idx = Histogram::bucket_index(exact);
+        prop_assert!(est <= exact);
+        prop_assert!(est >= Histogram::bucket_low(idx),
+            "estimate {est} below the exact value's bucket low {}", Histogram::bucket_low(idx));
+    }
+}

@@ -26,11 +26,7 @@ fn main() {
     tpcd::schema::load(&db, &gen).expect("load");
 
     // 3. Plain SQL works against the engine.
-    let n = db
-        .query("SELECT COUNT(*) FROM lineitem")
-        .expect("count")
-        .scalar()
-        .expect("one value");
+    let n = db.query("SELECT COUNT(*) FROM lineitem").expect("count").scalar().expect("one value");
     println!("lineitem rows: {n}");
 
     // 4. Run TPC-D Q1 (pricing summary) and Q6 (forecasting revenue).
@@ -39,19 +35,14 @@ fn main() {
     println!("\nQ1 — pricing summary ({} groups):", q1.rows.len());
     println!("  rf ls        sum_qty       sum_charge   count");
     for row in &q1.rows {
-        println!(
-            "  {}  {}  {:>12}  {:>15}  {:>6}",
-            row[0], row[1], row[2], row[5], row[9]
-        );
+        println!("  {}  {}  {:>12}  {:>15}  {:>6}", row[0], row[1], row[2], row[5], row[9]);
     }
 
     let q6 = tpcd::run_query(&db, 6, &params).expect("Q6");
     println!("\nQ6 — forecast revenue change: {}", q6.rows[0][0]);
 
     // 5. EXPLAIN shows the optimizer's choices.
-    let plan = db
-        .explain("SELECT COUNT(*) FROM orders WHERE o_orderkey = 42")
-        .expect("explain");
+    let plan = db.explain("SELECT COUNT(*) FROM orders WHERE o_orderkey = 42").expect("explain");
     println!("\nplan for a key lookup:\n{plan}");
 
     // 6. The deterministic cost clock metered everything we just did.

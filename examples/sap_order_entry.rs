@@ -37,7 +37,7 @@ fn main() {
     println!(
         "entered {} orders through the application logic: {} consistency-check units, {}",
         orders.len(),
-        work.check_units,
+        work.check_units(),
         fmt_duration(sys.calibration().seconds(&work))
     );
 
@@ -49,14 +49,13 @@ fn main() {
     println!("order for unknown customer rejected: {}\n", err.unwrap_err());
 
     // --- 2. A sales clerk looks parts up, with and without buffering -----
-    let lookups: Vec<Value> = (1..=gen.n_parts()).cycle().take(2000).map(r3::schema::key16).collect();
+    let lookups: Vec<Value> =
+        (1..=gen.n_parts()).cycle().take(2000).map(r3::schema::key16).collect();
     let run_lookups = |label: &str| {
         let before = sys.snapshot();
         for key in &lookups {
             sys.open_select(
-                &SelectSpec::from_table("MARA")
-                    .cond(Cond::eq("MATNR", key.clone()))
-                    .single(),
+                &SelectSpec::from_table("MARA").cond(Cond::eq("MATNR", key.clone())).single(),
             )
             .expect("SELECT SINGLE MARA");
         }
@@ -64,7 +63,7 @@ fn main() {
         println!(
             "{label}: {} for 2000 lookups ({} DB crossings, {:.0}% buffer hits)",
             fmt_duration(sys.calibration().seconds(&work)),
-            work.ipc_crossings,
+            work.ipc_crossings(),
             work.cache_hit_ratio() * 100.0
         );
     };
@@ -81,11 +80,7 @@ fn main() {
                 .group(&["PRIOK"])
                 .agg(AggFunc::Count, None)
                 .agg(AggFunc::Sum, Some("NETWR"))
-                .cond(Cond::new(
-                    "AUDAT",
-                    CmpOp::Ge,
-                    Value::date(1995, 1, 1),
-                )),
+                .cond(Cond::new("AUDAT", CmpOp::Ge, Value::date(1995, 1, 1))),
         )
         .expect("Open SQL report");
     println!("\norder volume by priority since 1995 (Open SQL, pushed-down aggregation):");

@@ -13,10 +13,7 @@ use rdbms::Database;
 use tpcd::{DbGen, QueryParams};
 
 fn main() {
-    let query: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
+    let query: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
     assert!((1..=17).contains(&query), "TPC-D has queries 1..=17");
     let sf = 0.002;
     let gen = DbGen::new(sf);
@@ -49,7 +46,7 @@ fn main() {
                 "SAP R/3 {release} {iface:<11}: {:>10}   ({} rows, {} interface crossings)",
                 fmt_duration(r.seconds),
                 r.rows,
-                r.work.ipc_crossings
+                r.work.ipc_crossings()
             );
         }
     }

@@ -17,10 +17,7 @@ use tpcd::{run_throughput_test, DbGen, IsolatedWorkload, QueryParams, Throughput
 
 fn report(result: &tpcd::ThroughputResult) {
     println!("== {} ==", result.configuration);
-    println!(
-        "   {} query streams + update stream, SF {}",
-        result.query_streams, result.sf
-    );
+    println!("   {} query streams + update stream, SF {}", result.query_streams, result.sf);
     println!("   stream   units   busy(s)   lock-wait(s)   finished(s)");
     for s in &result.streams {
         println!(

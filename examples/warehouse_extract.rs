@@ -27,10 +27,7 @@ fn main() {
     // --- What does Q5 cost against the operational SAP database? ---------
     sys.meter().reset();
     let op = run_report(&sys, SapInterface::Open, 5, &params).expect("Q5 on SAP");
-    println!(
-        "Q5 on the operational SAP database (Open SQL): {}",
-        fmt_duration(op.seconds)
-    );
+    println!("Q5 on the operational SAP database (Open SQL): {}", fmt_duration(op.seconds));
 
     // --- Extract the warehouse (Table 9) ---------------------------------
     println!("\nextracting the warehouse through Open SQL reports:");

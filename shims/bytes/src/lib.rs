@@ -122,10 +122,7 @@ mod tests {
         assert_eq!(buf.get_u32_le(), 70_000);
         assert_eq!(buf.get_i32_le(), -5);
         assert_eq!(buf.get_i64_le(), -1_000_000_007);
-        assert_eq!(
-            buf.get_i128_le(),
-            -170_141_183_460_469_231_731_687_303_715_884_105_727
-        );
+        assert_eq!(buf.get_i128_le(), -170_141_183_460_469_231_731_687_303_715_884_105_727);
         assert_eq!(buf.remaining(), 2);
         buf.advance(1);
         assert_eq!(buf.get_u8(), b'y');

@@ -49,7 +49,11 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let full = format!("{}/{}", self.prefix, name);
         run_bench(&full, self.criterion.sample_size, f);
         self
@@ -92,7 +96,12 @@ fn run_bench(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
     let total: Duration = b.samples.iter().sum();
     let mean = total / b.samples.len() as u32;
     let min = b.samples.iter().min().copied().unwrap_or_default();
-    println!("{name:<48} mean {:>12} min {:>12} ({} samples)", fmt(mean), fmt(min), b.samples.len());
+    println!(
+        "{name:<48} mean {:>12} min {:>12} ({} samples)",
+        fmt(mean),
+        fmt(min),
+        b.samples.len()
+    );
 }
 
 fn fmt(d: Duration) -> String {

@@ -38,9 +38,7 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { guard: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { guard: p.into_inner() })
-            }
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard { guard: p.into_inner() }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }

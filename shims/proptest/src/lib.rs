@@ -201,17 +201,15 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> String {
             let (alphabet, lo, hi) = parse_class_pattern(self);
             let len = lo + rng.below((hi - lo + 1) as u64) as usize;
-            (0..len)
-                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
-                .collect()
+            (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
         }
     }
 
     fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
-        let inner = pattern
-            .strip_prefix('[')
-            .and_then(|rest| rest.split_once(']'))
-            .unwrap_or_else(|| panic!("unsupported pattern '{pattern}': expected [class]{{lo,hi}}"));
+        let inner =
+            pattern.strip_prefix('[').and_then(|rest| rest.split_once(']')).unwrap_or_else(|| {
+                panic!("unsupported pattern '{pattern}': expected [class]{{lo,hi}}")
+            });
         let (class, rest) = inner;
         let counts = rest
             .strip_prefix('{')
@@ -310,10 +308,7 @@ pub mod prop {
     pub mod collection {
         use crate::strategy::{Strategy, VecStrategy};
 
-        pub fn vec<S: Strategy>(
-            element: S,
-            size: std::ops::Range<usize>,
-        ) -> VecStrategy<S> {
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
             VecStrategy::new(element, size)
         }
     }

@@ -109,14 +109,22 @@ impl ToJson for Json {
     }
 }
 
-/// Error type for signature compatibility with the real crate (emission
-/// itself cannot fail).
+/// Error type for signature compatibility with the real crate. Emission
+/// cannot fail; parsing reports a message with a byte offset.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn at(pos: usize, msg: impl Into<String>) -> Error {
+        Error { msg: format!("{} at byte {pos}", msg.into()) }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error")
+        write!(f, "{}", self.msg)
     }
 }
 
@@ -130,6 +138,234 @@ pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
 
 pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
     Ok(write_compact(&value.to_json()))
+}
+
+/// Parse a JSON document into a [`Json`] value (recursive descent; numbers
+/// without `.`/`e` that fit an `i64` parse as [`Json::Int`], everything
+/// else numeric as [`Json::Float`]).
+pub fn from_str(s: &str) -> Result<Json, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at(p.pos, "trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 256;
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::at(self.pos, format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::at(self.pos, "JSON nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::at(self.pos, format!("unexpected character '{}'", c as char))),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at(self.pos, "unexpected end of input in escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::at(self.pos, "invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::at(self.pos, "invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::at(
+                                self.pos - 1,
+                                format!("invalid escape '\\{}'", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::at(self.pos, "invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(Error::at(self.pos, "unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::at(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::at(self.pos, "truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at(start, "invalid number"))?;
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| Error::at(start, format!("invalid number '{text}'")))
+    }
 }
 
 fn escape(s: &str, out: &mut String) {
@@ -269,5 +505,66 @@ mod tests {
     fn whole_floats_keep_a_decimal() {
         assert_eq!(to_string(&Json::Float(3.0)).unwrap(), "3.0");
         assert_eq!(to_string(&Json::Float(0.25)).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn parse_round_trips_own_output() {
+        let v = Json::object()
+            .field("name", "q3")
+            .field("seconds", 12.5)
+            .field("rows", -4i64)
+            .field("big", i64::MAX)
+            .field("none", Json::Null)
+            .field("ok", true)
+            .field("tags", vec!["a", "b\"c\n"])
+            .field("nested", Json::object().field("empty_arr", Json::Array(vec![])));
+        for s in [to_string_pretty(&v).unwrap(), to_string(&v).unwrap()] {
+            assert_eq!(from_str(&s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(from_str("42").unwrap(), Json::Int(42));
+        assert_eq!(from_str("-7").unwrap(), Json::Int(-7));
+        assert_eq!(from_str("2.5e3").unwrap(), Json::Float(2500.0));
+        assert_eq!(from_str("-0.125").unwrap(), Json::Float(-0.125));
+        // Too big for i64 still parses, as a float.
+        assert_eq!(from_str("92233720368547758080").unwrap(), Json::Float(9.223372036854776e19));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(from_str(r#""a\u0041\n\t\"\\\/""#).unwrap(), Json::Str("aA\n\t\"\\/".into()));
+        // Surrogate pair for 𝄞 (U+1D11E).
+        assert_eq!(from_str(r#""\uD834\uDD1E""#).unwrap(), Json::Str("𝄞".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\" 1}",
+            "\"\\q\"",
+            "\"\\uD834\"",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_skips_whitespace() {
+        let v = from_str(" \t\r\n[ 1 , { \"k\" : null } ] ").unwrap();
+        assert_eq!(
+            v,
+            Json::Array(vec![Json::Int(1), Json::Object(vec![("k".into(), Json::Null)])])
+        );
     }
 }

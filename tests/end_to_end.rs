@@ -133,11 +133,8 @@ fn warehouse_extraction_total_comparable_to_open_power_test() {
         power_total += run_report(&sys, SapInterface::Open, n, &params).unwrap().seconds;
     }
     sys.meter().reset();
-    let extraction: f64 = r3::extract::extract_warehouse(&sys)
-        .unwrap()
-        .iter()
-        .map(|r| r.seconds)
-        .sum();
+    let extraction: f64 =
+        r3::extract::extract_warehouse(&sys).unwrap().iter().map(|r| r.seconds).sum();
     let ratio = extraction / power_total;
     assert!(
         (0.2..5.0).contains(&ratio),
