@@ -704,6 +704,21 @@ pub fn run_throughput_series(
     sf: f64,
     stream_counts: &[usize],
     seed: u64,
+    progress: impl FnMut(&tpcd::ThroughputResult),
+) -> DbResult<Vec<tpcd::ThroughputResult>> {
+    let models = [tpcd::LockModel::Hierarchical];
+    run_throughput_series_with(system, sf, stream_counts, seed, &models, progress)
+}
+
+/// [`run_throughput_series`] with explicit lock models: each stream count
+/// is run once per model (the table-granular baseline vs. the engine's
+/// hierarchical granularity), so baselines can record the comparison.
+pub fn run_throughput_series_with(
+    system: ThroughputSystem,
+    sf: f64,
+    stream_counts: &[usize],
+    seed: u64,
+    lock_models: &[tpcd::LockModel],
     mut progress: impl FnMut(&tpcd::ThroughputResult),
 ) -> DbResult<Vec<tpcd::ThroughputResult>> {
     let gen = DbGen::new(sf);
@@ -713,10 +728,12 @@ pub fn run_throughput_series(
      -> DbResult<Vec<tpcd::ThroughputResult>> {
         let mut results = Vec::new();
         for &streams in stream_counts {
-            let config = tpcd::ThroughputConfig { query_streams: streams, seed };
-            let r = tpcd::run_throughput_test(workload, &params, sf, &config)?;
-            progress(&r);
-            results.push(r);
+            for &lock_model in lock_models {
+                let config = tpcd::ThroughputConfig { query_streams: streams, seed, lock_model };
+                let r = tpcd::run_throughput_test(workload, &params, sf, &config)?;
+                progress(&r);
+                results.push(r);
+            }
         }
         Ok(results)
     };

@@ -6,6 +6,7 @@ pub mod paper;
 pub mod tracecmd;
 
 pub use experiments::{
-    figures, run_throughput, run_throughput_series, table1, table2, table3, table4, table5, table6,
-    table7, table8, table9, throughput_table, ExpTable, ThroughputSystem,
+    figures, run_throughput, run_throughput_series, run_throughput_series_with, table1, table2,
+    table3, table4, table5, table6, table7, table8, table9, throughput_table, ExpTable,
+    ThroughputSystem,
 };

@@ -185,7 +185,7 @@ fn throughput_histograms(gen: &DbGen, p: &QueryParams) -> DbResult<TraceArtifact
         &workload,
         p,
         gen.sf,
-        &ThroughputConfig { query_streams: 2, seed: 42 },
+        &ThroughputConfig { query_streams: 2, seed: 42, ..Default::default() },
     )?;
     let mut text = format!(
         "Throughput-driver latency (simulated µs), {} query streams + UPD:\n",

@@ -6,14 +6,28 @@
 //! the batch-input facility (one batch-input transaction per order — the
 //! application-level LUW that stands in for an engine transaction, with
 //! its per-record consistency checking).
+//!
+//! ## Lock claims
+//!
+//! R/3 reads the database through committed-read prepared cursors: the
+//! database interface holds no shared locks to end-of-transaction —
+//! cross-record consistency is the enqueue service's job, not the
+//! RDBMS's (§2.3 of the paper). A report's footprint therefore maps to
+//! existing-row probe claims: it serializes against RF2's deletes of
+//! existing orders but lets RF1's fresh-key inserts slip past. The one
+//! coarse claim left is the 2.2 KONV cluster: the encapsulated KOCLU
+//! container cannot be locked at row granularity, so batch input takes
+//! table X on it — exactly the cluster-table concurrency penalty the
+//! 3.0 transparent KONV removes.
 
 use crate::reports::{self, SapInterface};
 use crate::{R3System, Release};
 use rdbms::clock::{Calibration, Counter, MeterSnapshot};
 use rdbms::error::DbResult;
-use std::collections::BTreeSet;
 use tpcd::queries::QueryParams;
-use tpcd::throughput::{query_read_set, StreamWorkload};
+use tpcd::throughput::{
+    query_read_set, update_stream_claims, update_stream_span, ClaimKind, LockClaim, StreamWorkload,
+};
 use tpcd::DbGen;
 
 /// One of the paper's SAP configurations (release × interface) as a
@@ -32,6 +46,23 @@ impl SapWorkload<'_> {
             Release::R22 => "KOCLU",
             Release::R30 => "KONV",
         }
+    }
+
+    /// Batch input writes the order, its lineitems, and their pricing
+    /// conditions: key-range X on the stream's orderkey block, plus the
+    /// physical KONV claim — row-granular on the 3.0 transparent table,
+    /// the coarse container lock on the 2.2 cluster.
+    fn update_locks(&self, stream: u64, fresh: bool) -> Vec<LockClaim> {
+        let mut claims = update_stream_claims(self.gen, stream, fresh);
+        let kind = match self.sys.release {
+            Release::R22 => ClaimKind::TableX,
+            Release::R30 => {
+                let (lo, hi) = update_stream_span(self.gen, stream);
+                ClaimKind::RowX { lo, hi, fresh }
+            }
+        };
+        claims.push(LockClaim { table: self.konv_physical().to_string(), kind });
+        claims
     }
 }
 
@@ -64,27 +95,40 @@ impl StreamWorkload for SapWorkload<'_> {
         self.sys.meter().bump(Counter::LockWaits);
     }
 
-    fn query_tables(&self, n: usize, params: &QueryParams) -> BTreeSet<String> {
-        // The logical footprint of the reference SQL, plus the physical
-        // KONV representation for pricing-condition queries.
-        let mut tables = query_read_set(&self.sys.db, n, params);
-        if reports::touches_konv(n) {
-            tables.insert(self.konv_physical().to_string());
-        }
-        tables
+    fn note_deadlock_retry(&self) {
+        self.sys.meter().bump(Counter::DeadlockRetries);
     }
 
-    fn update_tables(&self) -> BTreeSet<String> {
-        // Batch input writes the order, its lineitems, and their pricing
-        // conditions.
-        ["ORDERS", "LINEITEM", self.konv_physical()].iter().map(|t| t.to_string()).collect()
+    fn query_locks(&self, n: usize, params: &QueryParams) -> Vec<LockClaim> {
+        // The logical footprint of the reference SQL as committed-read
+        // cursor probes, plus the physical KONV representation for
+        // pricing-condition queries.
+        let mut claims: Vec<LockClaim> = query_read_set(&self.sys.db, n, params)
+            .into_iter()
+            .map(|table| LockClaim { table, kind: ClaimKind::ProbeS })
+            .collect();
+        if reports::touches_konv(n) {
+            claims.push(LockClaim {
+                table: self.konv_physical().to_string(),
+                kind: ClaimKind::ProbeS,
+            });
+        }
+        claims
+    }
+
+    fn uf1_locks(&self, stream: u64) -> Vec<LockClaim> {
+        self.update_locks(stream, true)
+    }
+
+    fn uf2_locks(&self, stream: u64) -> Vec<LockClaim> {
+        self.update_locks(stream, false)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpcd::throughput::{run_throughput_test, ThroughputConfig};
+    use tpcd::throughput::{run_throughput_test, LockModel, ThroughputConfig};
 
     #[test]
     fn sap_throughput_runs_deterministically_on_both_interfaces() {
@@ -95,7 +139,7 @@ mod tests {
                 sys.load_tpcd(&gen).unwrap();
                 let params = QueryParams::for_scale(gen.sf);
                 let workload = SapWorkload { sys: &sys, iface, gen: &gen };
-                let config = ThroughputConfig { query_streams: 2, seed: 11 };
+                let config = ThroughputConfig { query_streams: 2, seed: 11, ..Default::default() };
                 run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
             };
             let a = run(0);
@@ -105,5 +149,58 @@ mod tests {
             assert_eq!(a.elapsed_seconds.to_bits(), b.elapsed_seconds.to_bits(), "{iface}");
             assert_eq!(a.qthd.to_bits(), b.qthd.to_bits());
         }
+    }
+
+    #[test]
+    fn hierarchical_locking_frees_the_sap_update_stream() {
+        let run = |model: LockModel| {
+            let sys = R3System::install_default(Release::R30).unwrap();
+            let gen = DbGen::new(0.001);
+            sys.load_tpcd(&gen).unwrap();
+            let params = QueryParams::for_scale(gen.sf);
+            let workload = SapWorkload { sys: &sys, iface: SapInterface::Open, gen: &gen };
+            let config = ThroughputConfig { query_streams: 2, seed: 11, lock_model: model };
+            run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
+        };
+        let table = run(LockModel::Table);
+        let hier = run(LockModel::Hierarchical);
+        let table_upd = table.stream("UPD").unwrap();
+        let hier_upd = hier.stream("UPD").unwrap();
+        assert!(table_upd.lock_wait_seconds > 0.0, "baseline UFs queue behind query reads");
+        for u in &hier_upd.units {
+            if u.unit.starts_with("UF1") {
+                assert_eq!(u.lock_wait, 0.0, "RF1 slips past R/3's cursor reads: {u:?}");
+            }
+        }
+        assert!(
+            hier_upd.lock_wait_seconds < table_upd.lock_wait_seconds,
+            "update-stream lock wait must drop: {} vs {}",
+            hier_upd.lock_wait_seconds,
+            table_upd.lock_wait_seconds
+        );
+        assert!(hier.qthd >= table.qthd);
+    }
+
+    #[test]
+    fn r22_cluster_keeps_coarse_konv_claims() {
+        let sys = R3System::install_default(Release::R22).unwrap();
+        let gen = DbGen::new(0.001);
+        let workload = SapWorkload { sys: &sys, iface: SapInterface::Open, gen: &gen };
+        let uf1 = workload.uf1_locks(1);
+        let koclu = uf1.iter().find(|c| c.table == "KOCLU").expect("KOCLU claim");
+        assert_eq!(koclu.kind, ClaimKind::TableX, "2.2 cluster cannot be row-locked");
+
+        let sys30 = R3System::install_default(Release::R30).unwrap();
+        let workload30 = SapWorkload { sys: &sys30, iface: SapInterface::Open, gen: &gen };
+        let uf1 = workload30.uf1_locks(1);
+        let konv = uf1.iter().find(|c| c.table == "KONV").expect("KONV claim");
+        assert!(
+            matches!(konv.kind, ClaimKind::RowX { fresh: true, .. }),
+            "3.0 transparent KONV is row-granular: {konv:?}"
+        );
+        // A pricing-condition query probe does not block the 3.0 insert
+        // but does collide with the 2.2 container lock.
+        assert!(!ClaimKind::ProbeS.conflicts_with(&konv.kind));
+        assert!(ClaimKind::ProbeS.conflicts_with(&koclu.kind));
     }
 }

@@ -62,10 +62,27 @@ fn parallel_streams_serialize_and_meter_lock_waits() {
         let kind = if i % 3 == 0 { WpKind::Batch } else { WpKind::Dialog };
         handles.push(dispatcher.submit(kind, format!("writer-{i}"), move |sys| {
             for _ in 0..txns_per_writer {
-                let mut txn = sys.db.begin();
-                let v = txn.query("SELECT v FROM zcounter WHERE id = 1")?.scalar()?.as_int()?;
-                txn.execute(&format!("UPDATE zcounter SET v = {} WHERE id = 1", v + 1))?;
-                txn.commit()?;
+                // SELECT-then-UPDATE on one row: two writers that both hold
+                // the shared lock and both want the upgrade form a genuine
+                // deadlock cycle, so the victim rolls back and retries —
+                // the standard client-side protocol.
+                loop {
+                    let mut txn = sys.db.begin();
+                    let step = (|| {
+                        let v =
+                            txn.query("SELECT v FROM zcounter WHERE id = 1")?.scalar()?.as_int()?;
+                        txn.execute(&format!("UPDATE zcounter SET v = {} WHERE id = 1", v + 1))?;
+                        Ok(())
+                    })();
+                    match step {
+                        Ok(()) => {
+                            txn.commit()?;
+                            break;
+                        }
+                        Err(rdbms::DbError::Deadlock(_)) => drop(txn),
+                        Err(e) => return Err(e),
+                    }
+                }
             }
             Ok(())
         }));

@@ -4,13 +4,14 @@ use crate::catalog::Catalog;
 use crate::clock::{Calibration, CostMeter, MeterSnapshot};
 use crate::error::{DbError, DbResult};
 use crate::exec::expr::ExecCtx;
-use crate::exec::plan::Plan;
+use crate::exec::plan::{Plan, TableAccess};
+use crate::lock::{LockManager, DEFAULT_ESCALATION_THRESHOLD};
 use crate::planner::{PlannedQuery, Planner, PlannerConfig};
 use crate::schema::{Column, Row, Schema};
-use crate::sql::ast::{Expr, Statement};
+use crate::sql::ast::{Expr, SelectStmt, Statement};
 use crate::sql::parse_statement;
 use crate::storage::{Pager, PagerConfig};
-use crate::txn::{LockManager, Txn, Undo};
+use crate::txn::{Txn, Undo};
 use crate::types::Value;
 use parking_lot::RwLock;
 use std::collections::HashSet;
@@ -24,9 +25,12 @@ pub struct DbConfig {
     pub pager: PagerConfig,
     pub planner: PlannerConfig,
     pub calibration: Calibration,
-    /// How long a transaction blocks on a table lock before it is aborted
-    /// as a presumed-deadlock victim (backstop behind the wait-for graph).
+    /// How long a transaction blocks on a lock before it is aborted as a
+    /// presumed-deadlock victim (backstop behind the wait-for graph).
     pub lock_timeout: Duration,
+    /// Row locks a transaction may hold on one table before the lock
+    /// manager trades them for a single table lock.
+    pub lock_escalation_threshold: usize,
 }
 
 impl Default for DbConfig {
@@ -36,6 +40,7 @@ impl Default for DbConfig {
             planner: PlannerConfig::default(),
             calibration: Calibration::default(),
             lock_timeout: Duration::from_secs(5),
+            lock_escalation_threshold: DEFAULT_ESCALATION_THRESHOLD,
         }
     }
 }
@@ -119,13 +124,18 @@ impl Database {
     pub fn new(config: DbConfig) -> Self {
         let meter = CostMeter::new();
         let pager = Pager::new(config.pager, Arc::clone(&meter));
+        let locks = LockManager::configured(
+            config.lock_timeout,
+            config.lock_escalation_threshold,
+            Some(Arc::clone(&meter)),
+        );
         Database {
             catalog: Catalog::new(Arc::clone(&pager)),
             pager,
             meter,
             planner_config: RwLock::new(config.planner),
             calibration: config.calibration,
-            locks: LockManager::new(config.lock_timeout),
+            locks,
             next_txn_id: AtomicU64::new(1),
         }
     }
@@ -163,9 +173,18 @@ impl Database {
         self.meter.snapshot()
     }
 
-    /// The table lock manager (strict 2PL for open transactions).
+    /// The hierarchical lock manager (strict 2PL for open transactions).
     pub fn lock_manager(&self) -> &LockManager {
         &self.locks
+    }
+
+    /// How a SELECT's plan reads each base table (scan vs. index-driven),
+    /// used by the transaction layer and workload models to pick lock
+    /// granularity. Plans the query without executing it.
+    pub fn table_accesses(&self, q: &SelectStmt) -> DbResult<Vec<TableAccess>> {
+        let planner = Planner::with_config(&self.catalog, self.planner_config());
+        let pq = planner.plan_query(q)?;
+        Ok(pq.plan.table_accesses())
     }
 
     /// Open a transaction. Locks are acquired per statement and held to

@@ -9,6 +9,7 @@ use crate::catalog::{Index, Table};
 use crate::clock::Counter;
 use crate::error::{DbError, DbResult};
 use crate::exec::expr::{AggSpec, BExpr, ExecCtx};
+use crate::lock::KeyRange;
 use crate::schema::Row;
 use crate::sql::ast::{AggFunc, BinOp, JoinKind};
 use crate::storage::codec::encode_key;
@@ -97,7 +98,93 @@ pub enum Plan {
     },
 }
 
+/// How a plan reads one base table — the transaction layer picks lock
+/// granularity from this (and workload models use it to predict lock
+/// footprints).
+#[derive(Debug, Clone)]
+pub enum TableRead {
+    /// Sequential scan: needs a whole-table shared lock.
+    Scan,
+    /// Index scan on the primary key whose bounds are literal (known
+    /// before execution): a shared key-range lock with phantom protection
+    /// suffices.
+    PkRange(KeyRange),
+    /// Index-driven access whose keys are only known at run time (probe
+    /// sides of index nested-loop joins, secondary indexes, parameterized
+    /// bounds): a shared lock on existing rows.
+    Probe,
+}
+
+/// Encoded key bytes for an index bound whose values are all literal:
+/// `None` = not literal (known only at run time), `Some(None)` = no bound,
+/// `Some(Some(bytes))` = literal bound.
+fn literal_key(bound: &Option<IndexKeyBound>) -> Option<Option<Vec<u8>>> {
+    match bound {
+        None => Some(None),
+        Some(b) => {
+            let vals: Option<Vec<Value>> = b
+                .values
+                .iter()
+                .map(|e| match e {
+                    BExpr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            vals.map(|v| Some(encode_key(&v)))
+        }
+    }
+}
+
+/// One base-table access discovered by [`Plan::table_accesses`].
+#[derive(Debug, Clone)]
+pub struct TableAccess {
+    pub table: String,
+    pub read: TableRead,
+}
+
 impl Plan {
+    /// Base tables this plan reads and how, recursing through children.
+    /// Subqueries planned inside expressions are *not* visited — callers
+    /// cover those tables conservatively via `referenced_tables`.
+    pub fn table_accesses(&self) -> Vec<TableAccess> {
+        let mut out = Vec::new();
+        self.collect_accesses(&mut out);
+        out
+    }
+
+    fn collect_accesses(&self, out: &mut Vec<TableAccess>) {
+        match self {
+            Plan::SeqScan { table, .. } => {
+                out.push(TableAccess { table: table.name.clone(), read: TableRead::Scan });
+            }
+            Plan::IndexScan { table, index, lower, upper, .. } => {
+                let on_pk = !table.primary_key.is_empty() && index.columns == table.primary_key;
+                let read = match (on_pk, literal_key(lower), literal_key(upper)) {
+                    // An unbounded scan on the PK is an ordered full read:
+                    // treat it like a probe (existing rows) rather than a
+                    // whole-key-space phantom claim.
+                    (true, Some(None), Some(None)) => TableRead::Probe,
+                    (true, Some(lo), Some(hi)) => {
+                        TableRead::PkRange(KeyRange::span(lo.as_deref(), hi.as_deref()))
+                    }
+                    _ => TableRead::Probe,
+                };
+                out.push(TableAccess { table: table.name.clone(), read });
+            }
+            Plan::Values { .. } => {}
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Limit { input, .. } => input.collect_accesses(out),
+            Plan::NLJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                left.collect_accesses(out);
+                right.collect_accesses(out);
+            }
+        }
+    }
+
     /// One-line-per-node plan description (EXPLAIN output), used by tests
     /// to assert optimizer choices and by the experiment harness.
     pub fn describe(&self) -> String {

@@ -20,6 +20,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod index;
+pub mod lock;
 pub mod planner;
 pub mod schema;
 pub mod sql;
@@ -30,6 +31,7 @@ pub mod types;
 pub use clock::{Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
 pub use db::{Database, DbConfig, ExecOutcome, Prepared, QueryResult};
 pub use error::{DbError, DbResult};
+pub use lock::{KeyRange, LockManager, LockMode, RowLock, RowMode, TxnId};
 pub use schema::{Column, Row, Schema};
-pub use txn::{LockManager, LockMode, Txn, TxnId, TxnStats};
+pub use txn::{Txn, TxnStats};
 pub use types::{DataType, Date, Decimal, Value};

@@ -1,0 +1,728 @@
+//! Hierarchical (multi-granularity) lock manager: IS/IX/S/X intention
+//! locks at table level with S/X key-range locks underneath, in the Gray &
+//! Reuter tradition the commercial engines of the paper's era used.
+//!
+//! A transaction reading one key range of a table takes IS on the table
+//! plus a shared range lock; a writer takes IX plus exclusive ranges (or
+//! points). Whole-table operations take plain S/X, which conflict with the
+//! other side's intention bits — so a full scan still excludes writers,
+//! but an RF1 insert of *new* keys slips past index-driven queries instead
+//! of queuing behind them. Key ranges are encoded-key byte intervals
+//! (`storage::codec::encode_key` is order-preserving), with inclusive
+//! upper bounds widened by byte-increment exactly like the B+-tree's
+//! `Included` bound, so a prefix bound covers all composite keys under it.
+//!
+//! When one transaction accumulates more than `escalation_threshold` range
+//! locks on a single table, they are traded for one table lock
+//! (escalation). A lock conversion (e.g. S -> X while other readers share
+//! the table) waits for the other holders to drain; while a converter is
+//! pending, no new conflicting locks are granted (no starvation), and a
+//! second simultaneous converter is aborted by the wait-for graph as a
+//! genuine deadlock. Deadlocks across both levels are detected with the
+//! same wait-for graph, backstopped by a lock-wait timeout.
+
+use crate::clock::{CostMeter, Counter};
+use crate::error::{DbError, DbResult};
+use crate::index::btree::increment_bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Transaction identifier (monotonically increasing per database).
+pub type TxnId = u64;
+
+/// Lock strength on a table. `IntentShared`/`IntentExclusive` announce
+/// range locks underneath; `Shared`/`Exclusive` cover the whole table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    IntentShared,
+    IntentExclusive,
+    Shared,
+    Exclusive,
+}
+
+impl LockMode {
+    /// The classic multi-granularity compatibility matrix.
+    pub fn compatible(held: LockMode, requested: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (held, requested),
+            (IntentShared, IntentShared | IntentExclusive | Shared)
+                | (IntentExclusive, IntentShared | IntentExclusive)
+                | (Shared, IntentShared | Shared)
+        )
+    }
+
+    /// Does holding `self` make a request for `requested` redundant?
+    fn covers(self, requested: LockMode) -> bool {
+        use LockMode::*;
+        match self {
+            Exclusive => true,
+            Shared => matches!(requested, Shared | IntentShared),
+            IntentExclusive => matches!(requested, IntentExclusive | IntentShared),
+            IntentShared => requested == IntentShared,
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            LockMode::IntentShared => 1,
+            LockMode::IntentExclusive => 2,
+            LockMode::Shared => 4,
+            LockMode::Exclusive => 8,
+        }
+    }
+
+    const ALL: [LockMode; 4] =
+        [LockMode::IntentShared, LockMode::IntentExclusive, LockMode::Shared, LockMode::Exclusive];
+}
+
+fn bits_compatible(held_bits: u8, requested: LockMode) -> bool {
+    LockMode::ALL
+        .into_iter()
+        .filter(|m| held_bits & m.bit() != 0)
+        .all(|m| LockMode::compatible(m, requested))
+}
+
+/// A half-open interval of encoded key bytes: `lo` inclusive (empty =
+/// unbounded below), `hi` exclusive (`None` = unbounded above).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRange {
+    lo: Vec<u8>,
+    hi: Option<Vec<u8>>,
+}
+
+impl KeyRange {
+    /// The whole key space.
+    pub fn all() -> KeyRange {
+        KeyRange { lo: Vec::new(), hi: None }
+    }
+
+    /// A single full key (covers suffixed composite keys under it, like
+    /// the B+-tree's `Included` bound).
+    pub fn point(key: &[u8]) -> KeyRange {
+        KeyRange { lo: key.to_vec(), hi: increment_bytes(key) }
+    }
+
+    /// `[lo, hi]` with an inclusive, prefix-widened upper bound; `None`
+    /// on either side means unbounded.
+    pub fn span(lo: Option<&[u8]>, hi_inclusive: Option<&[u8]>) -> KeyRange {
+        KeyRange {
+            lo: lo.map(<[u8]>::to_vec).unwrap_or_default(),
+            hi: hi_inclusive.and_then(increment_bytes),
+        }
+    }
+
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        let starts_below = |lo: &[u8], hi: &Option<Vec<u8>>| match hi {
+            None => true,
+            Some(h) => lo < h.as_slice(),
+        };
+        starts_below(&self.lo, &other.hi) && starts_below(&other.lo, &self.hi)
+    }
+
+    pub fn contains(&self, other: &KeyRange) -> bool {
+        let lo_ok = self.lo.as_slice() <= other.lo.as_slice();
+        let hi_ok = match (&self.hi, &other.hi) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => b <= a,
+        };
+        lo_ok && hi_ok
+    }
+}
+
+/// Row/key-range lock strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowMode {
+    Shared,
+    Exclusive,
+}
+
+/// One key-range lock request/holding on a table. Built with the
+/// constructors, which pick the phantom semantics:
+///
+/// * [`RowLock::shared`] — predicate read with known bounds; conflicts
+///   with *any* exclusive range including inserts (phantom protection).
+/// * [`RowLock::shared_existing`] — reads rows located at run time
+///   (index-driven probes without static bounds); conflicts with
+///   deletes/updates of current rows but not with inserts of new keys.
+/// * [`RowLock::exclusive`] — delete/update of existing rows.
+/// * [`RowLock::insert`] — exclusive lock on a newly created key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowLock {
+    mode: RowMode,
+    range: KeyRange,
+    /// Exclusive lock on a key that did not exist before this transaction
+    /// (insert): compatible with `existing`-only readers.
+    fresh: bool,
+    /// Shared lock on current table contents only (no phantom claim).
+    existing: bool,
+}
+
+impl RowLock {
+    pub fn shared(range: KeyRange) -> RowLock {
+        RowLock { mode: RowMode::Shared, range, fresh: false, existing: false }
+    }
+
+    pub fn shared_existing(range: KeyRange) -> RowLock {
+        RowLock { mode: RowMode::Shared, range, fresh: false, existing: true }
+    }
+
+    pub fn exclusive(range: KeyRange) -> RowLock {
+        RowLock { mode: RowMode::Exclusive, range, fresh: false, existing: false }
+    }
+
+    pub fn insert(range: KeyRange) -> RowLock {
+        RowLock { mode: RowMode::Exclusive, range, fresh: true, existing: false }
+    }
+
+    /// Table-level mode this range lock announces (its intention lock).
+    fn intention(&self) -> LockMode {
+        match self.mode {
+            RowMode::Shared => LockMode::IntentShared,
+            RowMode::Exclusive => LockMode::IntentExclusive,
+        }
+    }
+
+    fn conflicts_with(&self, other: &RowLock) -> bool {
+        if self.mode == RowMode::Shared && other.mode == RowMode::Shared {
+            return false;
+        }
+        // A reader of current contents cannot observe a key that did not
+        // exist when the inserter locked it — S(existing) and X(fresh)
+        // never conflict. That is what lets RF1 slip past query streams.
+        if self.mode != other.mode {
+            let (s, x) = if self.mode == RowMode::Shared { (self, other) } else { (other, self) };
+            if s.existing && x.fresh {
+                return false;
+            }
+        }
+        self.range.overlaps(&other.range)
+    }
+}
+
+/// What a blocked transaction is waiting for.
+#[derive(Debug, Clone)]
+enum Request {
+    Table(LockMode),
+    Row(RowLock),
+}
+
+#[derive(Default)]
+struct TableLocks {
+    /// Table-mode bitmask per holder (a transaction can hold e.g. S|IX).
+    held: HashMap<TxnId, u8>,
+    rows: Vec<(TxnId, RowLock)>,
+    /// Transaction waiting to convert to a stronger table mode. While set,
+    /// new locks that conflict with the requested mode are not granted, so
+    /// the converter cannot be starved by a stream of new readers.
+    upgrader: Option<TxnId>,
+}
+
+struct LmState {
+    tables: HashMap<String, TableLocks>,
+    waiting: HashMap<TxnId, (String, Request)>,
+}
+
+/// Hierarchical strict two-phase lock manager with wait-for-graph deadlock
+/// detection and a timeout fallback.
+pub struct LockManager {
+    state: Mutex<LmState>,
+    released: Condvar,
+    timeout: Duration,
+    escalation_threshold: usize,
+    meter: Option<Arc<CostMeter>>,
+}
+
+/// Row locks a transaction may hold on one table before they are traded
+/// for a single table lock. Sized so a TPC-D refresh pair at SF 0.2
+/// (UF1 inserts ~1500 ORDERS+LINEITEM rows) stays row-granular.
+pub const DEFAULT_ESCALATION_THRESHOLD: usize = 4096;
+
+impl LockManager {
+    pub fn new(timeout: Duration) -> Self {
+        Self::configured(timeout, DEFAULT_ESCALATION_THRESHOLD, None)
+    }
+
+    pub fn configured(
+        timeout: Duration,
+        escalation_threshold: usize,
+        meter: Option<Arc<CostMeter>>,
+    ) -> Self {
+        LockManager {
+            state: Mutex::new(LmState { tables: HashMap::new(), waiting: HashMap::new() }),
+            released: Condvar::new(),
+            timeout,
+            escalation_threshold: escalation_threshold.max(1),
+            meter,
+        }
+    }
+
+    fn count(&self, c: Counter) {
+        if let Some(m) = &self.meter {
+            m.bump(c);
+        }
+    }
+
+    /// Acquire (or convert to) table-level `mode` on `table` for
+    /// transaction `me`, blocking while conflicting holders exist. Returns
+    /// the wall-clock time spent blocked (zero when granted immediately).
+    pub fn acquire(&self, me: TxnId, table: &str, mode: LockMode) -> DbResult<Duration> {
+        let key = table.to_ascii_uppercase();
+        let mut st = self.state.lock();
+        if Self::table_covered(&st, me, &key, mode) {
+            return Ok(Duration::ZERO);
+        }
+        let is_conversion = st.tables.get(&key).is_some_and(|t| {
+            t.held.get(&me).copied().unwrap_or(0) != 0 || t.rows.iter().any(|(txn, _)| *txn == me)
+        });
+        let waited = self.wait_for_grant(&mut st, me, &key, Request::Table(mode), is_conversion);
+        if waited.is_ok() {
+            let t = st.tables.entry(key).or_default();
+            *t.held.entry(me).or_insert(0) |= mode.bit();
+            if t.upgrader == Some(me) {
+                t.upgrader = None;
+                self.released.notify_all();
+            }
+        }
+        waited
+    }
+
+    /// Acquire a key-range lock (granting the matching intention lock on
+    /// the table as part of the same request). Escalates to a table lock
+    /// once `me` holds more than the escalation threshold of ranges here.
+    pub fn acquire_row(&self, me: TxnId, table: &str, row: RowLock) -> DbResult<Duration> {
+        let key = table.to_ascii_uppercase();
+        let mut st = self.state.lock();
+        if Self::row_covered(&st, me, &key, &row) {
+            return Ok(Duration::ZERO);
+        }
+        let intention = row.intention();
+        let waited = self.wait_for_grant(&mut st, me, &key, Request::Row(row.clone()), false)?;
+        let t = st.tables.entry(key.clone()).or_default();
+        *t.held.entry(me).or_insert(0) |= intention.bit();
+        t.rows.push((me, row));
+        self.count(Counter::RowLocks);
+        let mine = t.rows.iter().filter(|(txn, _)| *txn == me).count();
+        if mine <= self.escalation_threshold {
+            return Ok(waited);
+        }
+        // Escalate: trade all of `me`'s ranges here for one table lock.
+        let mode = if t.rows.iter().any(|(txn, r)| *txn == me && r.mode == RowMode::Exclusive) {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        let escalation_wait = self.wait_for_grant(&mut st, me, &key, Request::Table(mode), true)?;
+        let t = st.tables.entry(key).or_default();
+        *t.held.entry(me).or_insert(0) |= mode.bit();
+        if t.upgrader == Some(me) {
+            t.upgrader = None;
+        }
+        t.rows.retain(|(txn, _)| *txn != me);
+        self.count(Counter::LockEscalations);
+        self.released.notify_all();
+        Ok(waited + escalation_wait)
+    }
+
+    /// Release every lock `me` holds and wake blocked requesters.
+    pub fn release_all(&self, me: TxnId) {
+        let mut st = self.state.lock();
+        st.waiting.remove(&me);
+        st.tables.retain(|_, t| {
+            t.held.remove(&me);
+            t.rows.retain(|(txn, _)| *txn != me);
+            if t.upgrader == Some(me) {
+                t.upgrader = None;
+            }
+            !t.held.is_empty() || !t.rows.is_empty()
+        });
+        self.released.notify_all();
+    }
+
+    /// Tables `me` currently holds locks on (for tests / introspection).
+    pub fn held(&self, me: TxnId) -> Vec<String> {
+        let st = self.state.lock();
+        let mut out: Vec<String> = st
+            .tables
+            .iter()
+            .filter(|(_, t)| {
+                t.held.get(&me).copied().unwrap_or(0) != 0
+                    || t.rows.iter().any(|(txn, _)| *txn == me)
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of key-range locks `me` holds on `table` (zero after an
+    /// escalation traded them for a table lock).
+    pub fn row_lock_count(&self, me: TxnId, table: &str) -> usize {
+        let key = table.to_ascii_uppercase();
+        let st = self.state.lock();
+        st.tables.get(&key).map_or(0, |t| t.rows.iter().filter(|(txn, _)| *txn == me).count())
+    }
+
+    /// Does `me` hold a whole-table (non-intention) lock on `table`?
+    pub fn holds_table_lock(&self, me: TxnId, table: &str) -> bool {
+        let key = table.to_ascii_uppercase();
+        let st = self.state.lock();
+        st.tables.get(&key).is_some_and(|t| {
+            let bits = t.held.get(&me).copied().unwrap_or(0);
+            bits & (LockMode::Shared.bit() | LockMode::Exclusive.bit()) != 0
+        })
+    }
+
+    /// True when no transaction holds or waits for anything (test hook for
+    /// "no phantom holders survive release_all").
+    pub fn is_quiescent(&self) -> bool {
+        let st = self.state.lock();
+        st.tables.is_empty() && st.waiting.is_empty()
+    }
+
+    /// Block until `req` is grantable (the caller applies the grant while
+    /// the state lock is still held). `conversion` marks requests that
+    /// strengthen locks `me` already holds — those register as the table's
+    /// pending upgrader so new readers cannot starve them.
+    fn wait_for_grant(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, LmState>,
+        me: TxnId,
+        key: &str,
+        req: Request,
+        conversion: bool,
+    ) -> DbResult<Duration> {
+        let start = Instant::now();
+        let mut blocked = false;
+        loop {
+            if Self::conflicting_holders(st, me, key, &req).is_empty() {
+                st.waiting.remove(&me);
+                return Ok(if blocked { start.elapsed() } else { Duration::ZERO });
+            }
+            if !blocked {
+                blocked = true;
+                if conversion {
+                    let t = st.tables.entry(key.to_string()).or_default();
+                    if t.upgrader.is_none() {
+                        t.upgrader = Some(me);
+                    }
+                    self.count(Counter::UpgradeWaits);
+                }
+            }
+            st.waiting.insert(me, (key.to_string(), req.clone()));
+            let abort = |st: &mut LmState, reason: String| {
+                st.waiting.remove(&me);
+                if let Some(t) = st.tables.get_mut(key) {
+                    if t.upgrader == Some(me) {
+                        t.upgrader = None;
+                    }
+                }
+                Err(DbError::Deadlock(reason))
+            };
+            if Self::in_cycle(st, me) {
+                return abort(st, format!("transaction {me} aborted: deadlock on table {key}"));
+            }
+            if start.elapsed() >= self.timeout {
+                return abort(
+                    st,
+                    format!("transaction {me} aborted: lock wait timeout on table {key}"),
+                );
+            }
+            // Wake periodically even without a release so a cycle formed by
+            // two requests registering simultaneously is still detected.
+            let tick = self.timeout.min(Duration::from_millis(20));
+            self.released.wait_for(st, tick);
+        }
+    }
+
+    fn table_covered(st: &LmState, me: TxnId, key: &str, mode: LockMode) -> bool {
+        let bits = st.tables.get(key).and_then(|t| t.held.get(&me)).copied().unwrap_or(0);
+        LockMode::ALL.into_iter().any(|m| bits & m.bit() != 0 && m.covers(mode))
+    }
+
+    fn row_covered(st: &LmState, me: TxnId, key: &str, row: &RowLock) -> bool {
+        let needed_table = match row.mode {
+            RowMode::Shared => LockMode::Shared,
+            RowMode::Exclusive => LockMode::Exclusive,
+        };
+        if Self::table_covered(st, me, key, needed_table) {
+            return true;
+        }
+        let Some(t) = st.tables.get(key) else { return false };
+        t.rows.iter().any(|(txn, held)| {
+            *txn == me
+                && (held.mode == RowMode::Exclusive || row.mode == RowMode::Shared)
+                && held.range.contains(&row.range)
+        })
+    }
+
+    /// Transactions whose current locks (or pending conversion) block
+    /// `me`'s request. Range-lock holders are visible to table requests
+    /// through their intention bits, which `acquire_row` grants atomically
+    /// with the range.
+    fn conflicting_holders(st: &LmState, me: TxnId, key: &str, req: &Request) -> Vec<TxnId> {
+        let Some(t) = st.tables.get(key) else { return Vec::new() };
+        let mut out = Vec::new();
+        for (&txn, &bits) in &t.held {
+            if txn == me || bits == 0 {
+                continue;
+            }
+            let conflict = match req {
+                Request::Table(mode) => !bits_compatible(bits, *mode),
+                // A range request conflicts with another's whole-table
+                // lock exactly as its intention mode would.
+                Request::Row(row) => !bits_compatible(bits, row.intention()),
+            };
+            if conflict {
+                out.push(txn);
+            }
+        }
+        if let Request::Row(row) = req {
+            for (txn, held) in &t.rows {
+                if *txn != me && !out.contains(txn) && held.conflicts_with(row) {
+                    out.push(*txn);
+                }
+            }
+        }
+        // A pending converter blocks new grants that are incompatible with
+        // the mode it is converting to (readers already holding locks are
+        // unaffected: their re-requests are answered by the covered
+        // checks before we get here).
+        if let Some(u) = t.upgrader {
+            if u != me && !out.contains(&u) {
+                if let Some((ukey, Request::Table(umode))) = st.waiting.get(&u) {
+                    let blocked = match req {
+                        Request::Table(mode) => !LockMode::compatible(*umode, *mode),
+                        Request::Row(row) => !LockMode::compatible(*umode, row.intention()),
+                    };
+                    if ukey == key && blocked {
+                        out.push(u);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the wait-for graph contain a cycle through `me`? Edges run from
+    /// each waiting transaction to the holders blocking its request.
+    fn in_cycle(st: &LmState, me: TxnId) -> bool {
+        let mut visited = HashSet::new();
+        let Some((key, req)) = st.waiting.get(&me) else { return false };
+        let mut stack = Self::conflicting_holders(st, me, key, req);
+        while let Some(n) = stack.pop() {
+            if n == me {
+                return true;
+            }
+            if !visited.insert(n) {
+                continue;
+            }
+            if let Some((k, r)) = st.waiting.get(&n) {
+                stack.extend(Self::conflicting_holders(st, n, k, r));
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn key(i: i64) -> Vec<u8> {
+        crate::storage::codec::encode_key(&[crate::types::Value::Int(i)])
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        let compat = |a, b| LockMode::compatible(a, b);
+        assert!(compat(IntentShared, IntentShared));
+        assert!(compat(IntentShared, IntentExclusive));
+        assert!(compat(IntentShared, Shared));
+        assert!(!compat(IntentShared, Exclusive));
+        assert!(compat(IntentExclusive, IntentExclusive));
+        assert!(!compat(IntentExclusive, Shared));
+        assert!(compat(Shared, Shared));
+        assert!(!compat(Shared, IntentExclusive));
+        for m in LockMode::ALL {
+            assert!(!compat(Exclusive, m));
+            assert!(!compat(m, Exclusive));
+        }
+    }
+
+    #[test]
+    fn key_ranges_overlap_and_contain() {
+        let r = |a: i64, b: i64| KeyRange::span(Some(&key(a)), Some(&key(b)));
+        assert!(r(1, 10).overlaps(&r(10, 20)), "inclusive bounds touch");
+        assert!(!r(1, 9).overlaps(&r(10, 20)));
+        assert!(r(1, 100).contains(&r(5, 50)));
+        assert!(!r(5, 50).contains(&r(1, 100)));
+        assert!(KeyRange::all().contains(&r(1, 100)));
+        assert!(KeyRange::all().overlaps(&KeyRange::point(&key(7))));
+        assert!(r(1, 10).overlaps(&KeyRange::point(&key(10))));
+        assert!(!r(1, 10).overlaps(&KeyRange::point(&key(11))));
+        // A point on a key prefix covers composite keys extending it.
+        let prefix = KeyRange::point(&key(3));
+        let composite = crate::storage::codec::encode_key(&[
+            crate::types::Value::Int(3),
+            crate::types::Value::Int(9),
+        ]);
+        assert!(prefix.overlaps(&KeyRange::point(&composite)));
+    }
+
+    #[test]
+    fn range_locks_on_disjoint_keys_do_not_conflict() {
+        let lm = LockManager::new(Duration::from_millis(200));
+        lm.acquire_row(1, "t", RowLock::shared(KeyRange::span(Some(&key(1)), Some(&key(100)))))
+            .unwrap();
+        // Disjoint writer proceeds; overlapping writer deadlock-times-out.
+        lm.acquire_row(2, "t", RowLock::exclusive(KeyRange::point(&key(200)))).unwrap();
+        assert!(matches!(
+            lm.acquire_row(2, "t", RowLock::exclusive(KeyRange::point(&key(50)))),
+            Err(DbError::Deadlock(_))
+        ));
+        // Insert of a new key inside the read range conflicts (phantom
+        // protection for static predicate ranges)...
+        assert!(matches!(
+            lm.acquire_row(2, "t", RowLock::insert(KeyRange::point(&key(60)))),
+            Err(DbError::Deadlock(_))
+        ));
+        lm.release_all(1);
+        lm.release_all(2);
+        // ...but not with an existing-rows-only reader (which spans the
+        // whole key space here).
+        lm.acquire_row(3, "t", RowLock::shared_existing(KeyRange::all())).unwrap();
+        lm.acquire_row(2, "t", RowLock::insert(KeyRange::point(&key(60)))).unwrap();
+        // The existing reader does conflict with a delete range.
+        assert!(matches!(
+            lm.acquire_row(4, "t", RowLock::exclusive(KeyRange::span(None, Some(&key(10))))),
+            Err(DbError::Deadlock(_))
+        ));
+        assert!(!lm.is_quiescent());
+        lm.release_all(2);
+        lm.release_all(3);
+        assert!(lm.is_quiescent());
+    }
+
+    #[test]
+    fn table_lock_excludes_row_locks_and_vice_versa() {
+        let lm = LockManager::new(Duration::from_millis(150));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        // Reader under IS coexists with table S; row writer does not.
+        lm.acquire_row(2, "t", RowLock::shared(KeyRange::point(&key(1)))).unwrap();
+        assert!(lm.acquire_row(3, "t", RowLock::exclusive(KeyRange::point(&key(9)))).is_err());
+        lm.release_all(1);
+        lm.acquire_row(3, "t", RowLock::exclusive(KeyRange::point(&key(9)))).unwrap();
+        // Row X (via IX) blocks a whole-table S request.
+        assert!(lm.acquire(4, "t", LockMode::Shared).is_err());
+        lm.release_all(2);
+        lm.release_all(3);
+        lm.acquire(4, "t", LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn conversion_waits_for_readers_to_drain() {
+        let lm = Arc::new(LockManager::configured(
+            Duration::from_secs(5),
+            DEFAULT_ESCALATION_THRESHOLD,
+            Some(CostMeter::new()),
+        ));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.acquire(2, "t", LockMode::Shared).unwrap();
+        let released = Arc::new(AtomicBool::new(false));
+        let lm2 = Arc::clone(&lm);
+        let rel2 = Arc::clone(&released);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(80));
+            rel2.store(true, Ordering::SeqCst);
+            lm2.release_all(2);
+        });
+        // The upgrade must wait for txn 2 rather than abort immediately.
+        let waited = lm.acquire(1, "t", LockMode::Exclusive).unwrap();
+        assert!(released.load(Ordering::SeqCst), "upgrade granted only after the reader left");
+        assert!(waited > Duration::ZERO);
+        h.join().unwrap();
+        assert_eq!(lm.meter.as_ref().unwrap().get(Counter::UpgradeWaits), 1);
+    }
+
+    #[test]
+    fn pending_upgrader_blocks_new_readers() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(5)));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.acquire(2, "t", LockMode::Shared).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let upgrader = std::thread::spawn(move || lm2.acquire(1, "t", LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(60));
+        // A brand-new reader must queue behind the pending upgrade (no
+        // starvation), even though its mode is compatible with the
+        // current holders.
+        let lm3 = Arc::clone(&lm);
+        let reader_done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&reader_done);
+        let reader = std::thread::spawn(move || {
+            let r = lm3.acquire(3, "t", LockMode::Shared);
+            done2.store(true, Ordering::SeqCst);
+            r
+        });
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!reader_done.load(Ordering::SeqCst), "reader must queue behind the upgrader");
+        lm.release_all(2);
+        upgrader.join().unwrap().unwrap();
+        lm.release_all(1);
+        reader.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn two_simultaneous_upgraders_deadlock_one_victim() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(5)));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.acquire(2, "t", LockMode::Shared).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let a = std::thread::spawn(move || {
+            let r = lm2.acquire(1, "t", LockMode::Exclusive);
+            if r.is_err() {
+                lm2.release_all(1);
+            }
+            r
+        });
+        let lm3 = Arc::clone(&lm);
+        let b = std::thread::spawn(move || {
+            let r = lm3.acquire(2, "t", LockMode::Exclusive);
+            if r.is_err() {
+                lm3.release_all(2);
+            }
+            r
+        });
+        let ra = a.join().unwrap();
+        let rb = b.join().unwrap();
+        assert!(
+            ra.is_ok() != rb.is_ok(),
+            "exactly one upgrader wins, the other is the deadlock victim: {ra:?} {rb:?}"
+        );
+    }
+
+    #[test]
+    fn escalation_trades_ranges_for_a_table_lock() {
+        let meter = CostMeter::new();
+        let lm = LockManager::configured(Duration::from_millis(200), 4, Some(Arc::clone(&meter)));
+        for i in 0..4 {
+            lm.acquire_row(1, "t", RowLock::insert(KeyRange::point(&key(i)))).unwrap();
+        }
+        assert_eq!(lm.row_lock_count(1, "t"), 4);
+        assert!(!lm.holds_table_lock(1, "t"));
+        lm.acquire_row(1, "t", RowLock::insert(KeyRange::point(&key(99)))).unwrap();
+        assert_eq!(lm.row_lock_count(1, "t"), 0, "ranges traded for the table lock");
+        assert!(lm.holds_table_lock(1, "t"));
+        assert_eq!(meter.get(Counter::LockEscalations), 1);
+        assert_eq!(meter.get(Counter::RowLocks), 5);
+        // The escalated X excludes even disjoint row locks now.
+        assert!(lm.acquire_row(2, "t", RowLock::exclusive(KeyRange::point(&key(1000)))).is_err());
+        lm.release_all(1);
+        assert!(lm.is_quiescent());
+    }
+}

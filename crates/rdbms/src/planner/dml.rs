@@ -2,12 +2,65 @@
 
 use crate::catalog::Table;
 use crate::error::DbResult;
+use crate::lock::KeyRange;
 use crate::planner::sarg::{extract_sargs, match_index};
 use crate::sql::ast::{BinOp, Expr};
 use crate::storage::codec::encode_key;
 use crate::storage::Rid;
 use crate::types::Value;
 use std::ops::Bound;
+
+/// If the filter is sargable against the table's *primary-key* index with
+/// literal bounds, return the key range a DML statement must lock.
+/// Bounds are widened to inclusive (exclusive endpoints are covered too),
+/// which is conservative for locking. `None` means the statement cannot
+/// be row-locked and needs a table lock.
+pub fn pk_lock_range(table: &Table, filter: &Expr) -> Option<KeyRange> {
+    if table.primary_key.is_empty() {
+        return None;
+    }
+    let schema = &table.schema;
+    let conjuncts = filter.clone().split_conjuncts();
+    let resolve = |q: Option<&str>, n: &str| schema.try_resolve(q, n);
+    let constantish = |e: &Expr| match e {
+        Expr::Literal(_) => Some(false),
+        _ => None,
+    };
+    let sargs = extract_sargs(&conjuncts, &resolve, &constantish);
+    if sargs.is_empty() {
+        return None;
+    }
+    let access = match_index(&table.primary_key, &sargs)?;
+    let lit = |e: &Expr| -> Value {
+        match e {
+            Expr::Literal(v) => v.clone(),
+            _ => unreachable!("constantish admits literals only"),
+        }
+    };
+    let eq_vals: Vec<Value> = access.eq_sargs.iter().map(|s| lit(&s.rhs)).collect();
+    let mut lower_vals = eq_vals.clone();
+    let mut has_lower = !eq_vals.is_empty();
+    if let Some(s) = &access.lower {
+        lower_vals.push(lit(&s.rhs));
+        has_lower = true;
+    }
+    let mut upper_vals = eq_vals;
+    let mut has_upper = !upper_vals.is_empty();
+    if let Some(s) = &access.upper {
+        upper_vals.push(lit(&s.rhs));
+        has_upper = true;
+    }
+    if lower_vals.iter().any(Value::is_null) || upper_vals.iter().any(Value::is_null) {
+        // A NULL key never matches; fall back to coarse locking rather
+        // than inventing a range for an empty result.
+        return None;
+    }
+    let lower_bytes = encode_key(&lower_vals);
+    let upper_bytes = encode_key(&upper_vals);
+    let lo = if has_lower { Some(lower_bytes.as_slice()) } else { None };
+    let hi = if has_upper { Some(upper_bytes.as_slice()) } else { None };
+    Some(KeyRange::span(lo, hi))
+}
 
 /// If the filter is sargable against one of the table's indexes with
 /// literal bounds, return the candidate RIDs from an index range scan

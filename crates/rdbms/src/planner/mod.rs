@@ -26,7 +26,7 @@ mod selectivity;
 
 /// Index-assisted DML helpers.
 pub mod sarg_helpers {
-    pub use super::dml::dml_index_probe;
+    pub use super::dml::{dml_index_probe, pk_lock_range};
 }
 
 pub use builder::{PlannedQuery, Planner};

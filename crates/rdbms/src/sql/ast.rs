@@ -404,6 +404,153 @@ impl Expr {
         });
         out
     }
+
+    /// Is this expression a bind-time constant: built only from literals and
+    /// scalar operators, with no column, parameter, aggregate, or subquery?
+    pub fn is_bind_constant(&self) -> bool {
+        match self {
+            Expr::Literal(_) => true,
+            Expr::Unary { expr, .. } => expr.is_bind_constant(),
+            Expr::Binary { left, op, right } => {
+                !matches!(op, BinOp::And | BinOp::Or)
+                    && left.is_bind_constant()
+                    && right.is_bind_constant()
+            }
+            Expr::Extract { expr, .. } | Expr::IntervalAdd { expr, .. } => expr.is_bind_constant(),
+            Expr::Func { args, .. } => args.iter().all(Expr::is_bind_constant),
+            _ => false,
+        }
+    }
+}
+
+impl SelectStmt {
+    /// The statement as a prepared cursor sees it: every constant operand of
+    /// a comparison (or BETWEEN / IN-list element) in a predicate position is
+    /// replaced by a positional parameter. This mirrors how R/3's Open SQL
+    /// layer binds ABAP host variables instead of inlining values, so a plan
+    /// built from the result shows the access paths the parameter-blind
+    /// optimizer picks (§4.1).
+    pub fn parameterized(&self) -> SelectStmt {
+        let mut q = self.clone();
+        let mut n = 0usize;
+        parameterize_select(&mut q, &mut n);
+        q
+    }
+}
+
+fn parameterize_select(q: &mut SelectStmt, n: &mut usize) {
+    for t in &mut q.from {
+        parameterize_tableref(t, n);
+    }
+    if let Some(w) = &mut q.where_clause {
+        parameterize_pred(w, n);
+    }
+    if let Some(h) = &mut q.having {
+        parameterize_pred(h, n);
+    }
+    for item in &mut q.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            parameterize_pred(expr, n);
+        }
+    }
+}
+
+fn parameterize_tableref(t: &mut TableRef, n: &mut usize) {
+    match t {
+        TableRef::Named { .. } => {}
+        TableRef::Join { left, right, on, .. } => {
+            parameterize_tableref(left, n);
+            parameterize_tableref(right, n);
+            parameterize_pred(on, n);
+        }
+        TableRef::Subquery { query, .. } => parameterize_select(query, n),
+    }
+}
+
+fn bind(e: &mut Expr, n: &mut usize) {
+    *e = Expr::Param(*n);
+    *n += 1;
+}
+
+fn parameterize_pred(e: &mut Expr, n: &mut usize) {
+    match e {
+        Expr::Binary { left, op, right } => {
+            if op.is_comparison() {
+                match (left.is_bind_constant(), right.is_bind_constant()) {
+                    (false, true) => {
+                        parameterize_pred(left, n);
+                        bind(right, n);
+                    }
+                    (true, false) => {
+                        bind(left, n);
+                        parameterize_pred(right, n);
+                    }
+                    _ => {
+                        parameterize_pred(left, n);
+                        parameterize_pred(right, n);
+                    }
+                }
+            } else {
+                parameterize_pred(left, n);
+                parameterize_pred(right, n);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            parameterize_pred(expr, n);
+            if low.is_bind_constant() {
+                bind(low, n);
+            } else {
+                parameterize_pred(low, n);
+            }
+            if high.is_bind_constant() {
+                bind(high, n);
+            } else {
+                parameterize_pred(high, n);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            parameterize_pred(expr, n);
+            for item in list {
+                if item.is_bind_constant() {
+                    bind(item, n);
+                } else {
+                    parameterize_pred(item, n);
+                }
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            parameterize_pred(expr, n);
+            parameterize_select(query, n);
+        }
+        Expr::Exists { query, .. } => parameterize_select(query, n),
+        Expr::ScalarSubquery(query) => parameterize_select(query, n),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => parameterize_pred(expr, n),
+        Expr::Like { expr, pattern, .. } => {
+            parameterize_pred(expr, n);
+            parameterize_pred(pattern, n);
+        }
+        Expr::Case { branches, else_expr } => {
+            for (c, r) in branches {
+                parameterize_pred(c, n);
+                parameterize_pred(r, n);
+            }
+            if let Some(el) = else_expr {
+                parameterize_pred(el, n);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                parameterize_pred(a, n);
+            }
+        }
+        Expr::Extract { expr, .. } | Expr::IntervalAdd { expr, .. } => parameterize_pred(expr, n),
+        Expr::Func { args, .. } => {
+            for a in args {
+                parameterize_pred(a, n);
+            }
+        }
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => {}
+    }
 }
 
 #[cfg(test)]

@@ -14,26 +14,119 @@
 //! tests; here determinism is the point, exactly like the cost clock
 //! itself.
 //!
-//! Lock interference between streams is modeled at the same granularity
-//! the engine's lock manager uses (table-level S/X, held for the duration
-//! of a unit): a query's shared locks wait for any exclusive interval that
-//! ends later than the stream's clock, and the update stream's exclusive
-//! locks wait for both kinds. The wait time is charged to the stream as
+//! ## Lock interference model
+//!
+//! Lock interference between streams is modeled at the granularity the
+//! engine's hierarchical lock manager provides ([`rdbms::lock`]): each unit
+//! holds a set of [`LockClaim`]s for its duration. A serializable scan
+//! claims table S; a prepared-cursor probe claims shared locks on existing
+//! rows only (IS + row S — no phantom protection, so RF1's fresh-key
+//! inserts slip past it); the refresh functions claim X on their orderkey
+//! block instead of whole tables. [`LockModel::Table`] collapses every
+//! claim back to table granularity, reproducing the pre-hierarchical
+//! behaviour for baseline comparison. Waits are charged to the stream as
 //! lock-wait seconds and metered as `Counter::LockWaits`.
+//!
+//! A unit that aborts with `DbError::Deadlock` is rolled back and retried
+//! with exponential backoff (charged as lock wait, metered as
+//! `Counter::DeadlockRetries`) instead of failing the run — TPC-D requires
+//! the refresh streams to survive deadlock victimization.
 //!
 //! The composite metric follows the TPC-D throughput definition:
 //! `QthD = (S * 17 * 3600 / T) * SF` with `T` the elapsed (virtual)
 //! seconds of the whole test.
 
+use crate::dbgen::DbGen;
 use crate::queries::{self, QueryParams};
 use rdbms::clock::{Calibration, MeterSnapshot};
 use rdbms::error::{DbError, DbResult};
+use rdbms::exec::plan::TableRead;
+use rdbms::sql::ast::Statement;
 use rdbms::sql::parse_statement;
 use rdbms::txn::referenced_tables;
 use rdbms::{Counter, Database};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use trace::Histogram;
+
+/// Retries before a deadlock victim gives up for good.
+pub const MAX_DEADLOCK_RETRIES: u32 = 4;
+/// Simulated backoff before the first deadlock retry; doubles per retry.
+pub const DEADLOCK_BACKOFF_S: f64 = 0.05;
+
+/// One lock the interference model charges a unit with, at the granularity
+/// the engine's lock manager would use for that access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockClaim {
+    /// Upper-cased table (or physical container) name.
+    pub table: String,
+    pub kind: ClaimKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClaimKind {
+    /// Serializable scan: S on the whole table — blocks and is blocked by
+    /// any writer of the table.
+    TableS,
+    /// Coarse write: X on the whole table (cluster containers, DML the
+    /// planner cannot key-range).
+    TableX,
+    /// Prepared-cursor probe of existing rows: IS at the table plus shared
+    /// locks on the rows actually fetched. No phantom protection, so
+    /// inserts of fresh keys do not conflict with it.
+    ProbeS,
+    /// Key-range X over orderkeys `lo..=hi`; `fresh` marks a block beyond
+    /// every reader's horizon (RF1 inserts), `!fresh` existing rows
+    /// (RF2 deletes).
+    RowX { lo: i64, hi: i64, fresh: bool },
+}
+
+impl ClaimKind {
+    /// Would the engine's lock manager make these two claims wait for each
+    /// other on the same table?
+    pub fn conflicts_with(&self, other: &ClaimKind) -> bool {
+        use ClaimKind::*;
+        match (self, other) {
+            (TableX, _) | (_, TableX) => true,
+            (TableS | ProbeS, TableS | ProbeS) => false,
+            // Table S covers the whole keyspace; any row X under it (IX at
+            // the table) is incompatible.
+            (TableS, RowX { .. }) | (RowX { .. }, TableS) => true,
+            // A probe holds locks on existing rows only: fresh-key inserts
+            // slip past it, deletes of existing rows do not.
+            (ProbeS, RowX { fresh, .. }) | (RowX { fresh, .. }, ProbeS) => !fresh,
+            (RowX { lo: a0, hi: a1, .. }, RowX { lo: b0, hi: b1, .. }) => a0 <= b1 && b0 <= a1,
+        }
+    }
+
+    /// The claim under table-granular locking (the pre-hierarchical
+    /// baseline): every read is table S, every write table X.
+    pub fn coarsened(self) -> ClaimKind {
+        match self {
+            ClaimKind::TableS | ClaimKind::ProbeS => ClaimKind::TableS,
+            ClaimKind::TableX | ClaimKind::RowX { .. } => ClaimKind::TableX,
+        }
+    }
+}
+
+/// Which locking granularity the interference model simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockModel {
+    /// Table-granular S/X — the baseline the seed shipped with.
+    Table,
+    /// The engine's hierarchical granularity (intention + row/key-range).
+    #[default]
+    Hierarchical,
+}
+
+impl LockModel {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LockModel::Table => "table",
+            LockModel::Hierarchical => "hierarchical",
+        }
+    }
+}
 
 /// A workload the throughput driver can execute: one of the paper's three
 /// configurations (isolated RDBMS, SAP R/3 Native SQL, SAP R/3 Open SQL).
@@ -56,15 +149,14 @@ pub trait StreamWorkload {
     fn calibration(&self) -> Calibration;
     /// Record one simulated lock wait on the global meter.
     fn note_lock_wait(&self);
-    /// Base tables query `n` reads (upper-cased). Used for modeling lock
-    /// interference with the update stream.
-    fn query_tables(&self, n: usize, params: &QueryParams) -> BTreeSet<String>;
-    /// Tables the update stream writes (upper-cased). The SAP
-    /// configurations add the physical KONV representation to the TPC-D
-    /// base tables.
-    fn update_tables(&self) -> BTreeSet<String> {
-        UPDATE_TABLES.iter().map(|t| t.to_string()).collect()
-    }
+    /// Record one rollback-and-retry after a deadlock abort.
+    fn note_deadlock_retry(&self);
+    /// Locks query `n` holds for the duration of its unit.
+    fn query_locks(&self, n: usize, params: &QueryParams) -> Vec<LockClaim>;
+    /// Locks UF1 (the RF1 inserts for `stream`) holds.
+    fn uf1_locks(&self, stream: u64) -> Vec<LockClaim>;
+    /// Locks UF2 (the RF2 deletes for `stream`) holds.
+    fn uf2_locks(&self, stream: u64) -> Vec<LockClaim>;
 }
 
 /// Throughput-test configuration.
@@ -75,11 +167,13 @@ pub struct ThroughputConfig {
     pub query_streams: usize,
     /// Seed for the per-stream query permutations.
     pub seed: u64,
+    /// Locking granularity the interference model simulates.
+    pub lock_model: LockModel,
 }
 
 impl Default for ThroughputConfig {
     fn default() -> Self {
-        ThroughputConfig { query_streams: 4, seed: 42 }
+        ThroughputConfig { query_streams: 4, seed: 42, lock_model: LockModel::default() }
     }
 }
 
@@ -90,12 +184,15 @@ pub struct UnitResult {
     pub unit: String,
     /// Virtual second the unit's locks were granted.
     pub start: f64,
-    /// Simulated seconds the stream waited for locks before `start`.
+    /// Simulated seconds the stream waited for locks before `start`
+    /// (including deadlock-retry backoff).
     pub lock_wait: f64,
     /// Simulated execution seconds (excluding lock wait).
     pub seconds: f64,
     /// Answer rows (queries) or rows touched (update functions).
     pub rows: u64,
+    /// Deadlock aborts this unit rolled back and retried.
+    pub retries: u32,
     /// Metered work of the unit.
     pub work: MeterSnapshot,
 }
@@ -124,6 +221,8 @@ pub struct ThroughputResult {
     pub configuration: String,
     pub sf: f64,
     pub query_streams: usize,
+    /// Locking granularity the run was modeled with.
+    pub lock_model: String,
     /// Elapsed virtual seconds (start of test to last unit end).
     pub elapsed_seconds: f64,
     /// TPC-D composite throughput metric `QthD@Size`.
@@ -142,9 +241,6 @@ impl ThroughputResult {
     }
 }
 
-/// The TPC-D tables the update functions write.
-const UPDATE_TABLES: [&str; 2] = ["LINEITEM", "ORDERS"];
-
 enum Unit {
     Query(usize),
     Uf1(u64),
@@ -158,10 +254,34 @@ struct StreamState {
     result: StreamResult,
 }
 
-#[derive(Default, Clone, Copy)]
-struct TableIntervals {
-    last_s_end: f64,
-    last_x_end: f64,
+/// Claims granted so far, with the virtual second each is held until.
+#[derive(Default)]
+struct GrantedLocks {
+    by_table: HashMap<String, Vec<(ClaimKind, f64)>>,
+}
+
+impl GrantedLocks {
+    /// Earliest virtual second at or after `vtime` when every claim can be
+    /// granted: the maximum end of any conflicting held claim.
+    fn grant_time(&self, claims: &[LockClaim], vtime: f64) -> f64 {
+        let mut start = vtime;
+        for c in claims {
+            if let Some(held) = self.by_table.get(&c.table) {
+                for (kind, end) in held {
+                    if *end > start && c.kind.conflicts_with(kind) {
+                        start = *end;
+                    }
+                }
+            }
+        }
+        start
+    }
+
+    fn hold(&mut self, claims: &[LockClaim], end: f64) {
+        for c in claims {
+            self.by_table.entry(c.table.clone()).or_default().push((c.kind, end));
+        }
+    }
 }
 
 /// Deterministic Fisher–Yates permutation of 1..=17 from a 64-bit seed
@@ -233,8 +353,7 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
         },
     });
 
-    let update_tables = workload.update_tables();
-    let mut intervals: HashMap<String, TableIntervals> = HashMap::new();
+    let mut granted = GrantedLocks::default();
     // Pick the most-behind stream with work left (ties: lowest index).
     while let Some(idx) = streams
         .iter()
@@ -247,48 +366,60 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
         let unit = &stream.units[stream.next];
         stream.next += 1;
 
-        let (label, reads, writes): (String, BTreeSet<String>, BTreeSet<String>) = match unit {
-            Unit::Query(n) => (format!("Q{n}"), workload.query_tables(*n, params), BTreeSet::new()),
-            Unit::Uf1(p) => (format!("UF1({p})"), BTreeSet::new(), update_tables.clone()),
-            Unit::Uf2(p) => (format!("UF2({p})"), BTreeSet::new(), update_tables.clone()),
+        let (label, claims): (String, Vec<LockClaim>) = match unit {
+            Unit::Query(n) => (format!("Q{n}"), workload.query_locks(*n, params)),
+            Unit::Uf1(p) => (format!("UF1({p})"), workload.uf1_locks(*p)),
+            Unit::Uf2(p) => (format!("UF2({p})"), workload.uf2_locks(*p)),
+        };
+        let claims: Vec<LockClaim> = match config.lock_model {
+            LockModel::Hierarchical => claims,
+            LockModel::Table => {
+                claims.into_iter().map(|c| LockClaim { kind: c.kind.coarsened(), ..c }).collect()
+            }
         };
 
-        // Lock grant time: shared locks wait for exclusive intervals,
-        // exclusive locks wait for both.
-        let mut start = stream.vtime;
-        for t in &reads {
-            let iv = intervals.get(t).copied().unwrap_or_default();
-            start = start.max(iv.last_x_end);
-        }
-        for t in &writes {
-            let iv = intervals.get(t).copied().unwrap_or_default();
-            start = start.max(iv.last_x_end).max(iv.last_s_end);
-        }
-        let lock_wait = start - stream.vtime;
+        let mut lock_wait = granted.grant_time(&claims, stream.vtime) - stream.vtime;
         if lock_wait > 0.0 {
             workload.note_lock_wait();
         }
 
+        // Run the unit, rolling back and retrying (with exponential
+        // backoff, charged as lock wait) if it is picked as a deadlock
+        // victim. Work wasted in aborted attempts stays in the unit's
+        // metered cost.
         let before = workload.snapshot();
-        let rows = match unit {
-            Unit::Query(n) => workload.run_query(*n, params)?,
-            Unit::Uf1(p) => workload.run_uf1(*p)?,
-            Unit::Uf2(p) => workload.run_uf2(*p)?,
+        let mut retries = 0u32;
+        let rows = loop {
+            let attempt = match unit {
+                Unit::Query(n) => workload.run_query(*n, params),
+                Unit::Uf1(p) => workload.run_uf1(*p),
+                Unit::Uf2(p) => workload.run_uf2(*p),
+            };
+            match attempt {
+                Ok(rows) => break rows,
+                Err(DbError::Deadlock(_)) if retries < MAX_DEADLOCK_RETRIES => {
+                    workload.note_deadlock_retry();
+                    lock_wait += DEADLOCK_BACKOFF_S * f64::from(1u32 << retries);
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
         };
         let work = workload.snapshot().since(&before);
         let seconds = cal.seconds(&work);
+        let start = stream.vtime + lock_wait;
         let end = start + seconds;
+        granted.hold(&claims, end);
 
-        for t in &reads {
-            let iv = intervals.entry(t.clone()).or_default();
-            iv.last_s_end = iv.last_s_end.max(end);
-        }
-        for t in &writes {
-            let iv = intervals.entry(t.clone()).or_default();
-            iv.last_x_end = iv.last_x_end.max(end);
-        }
-
-        stream.result.units.push(UnitResult { unit: label, start, lock_wait, seconds, rows, work });
+        stream.result.units.push(UnitResult {
+            unit: label,
+            start,
+            lock_wait,
+            seconds,
+            rows,
+            retries,
+            work,
+        });
         stream.result.busy_seconds += seconds;
         stream.result.lock_wait_seconds += lock_wait;
         stream.result.latency_us.record(((lock_wait + seconds) * 1e6) as u64);
@@ -303,6 +434,7 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
         configuration: workload.name(),
         sf,
         query_streams: config.query_streams,
+        lock_model: config.lock_model.as_str().to_string(),
         elapsed_seconds: elapsed,
         qthd,
         streams: streams.into_iter().map(|s| s.result).collect(),
@@ -313,7 +445,7 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
 /// visible to the optimizer), update functions as engine transactions.
 pub struct IsolatedWorkload<'a> {
     pub db: &'a Database,
-    pub gen: &'a crate::dbgen::DbGen,
+    pub gen: &'a DbGen,
 }
 
 impl StreamWorkload for IsolatedWorkload<'_> {
@@ -345,8 +477,20 @@ impl StreamWorkload for IsolatedWorkload<'_> {
         self.db.meter().bump(Counter::LockWaits);
     }
 
-    fn query_tables(&self, n: usize, params: &QueryParams) -> BTreeSet<String> {
-        query_read_set(self.db, n, params)
+    fn note_deadlock_retry(&self) {
+        self.db.meter().bump(Counter::DeadlockRetries);
+    }
+
+    fn query_locks(&self, n: usize, params: &QueryParams) -> Vec<LockClaim> {
+        query_lock_claims(self.db, n, params)
+    }
+
+    fn uf1_locks(&self, stream: u64) -> Vec<LockClaim> {
+        update_stream_claims(self.gen, stream, true)
+    }
+
+    fn uf2_locks(&self, stream: u64) -> Vec<LockClaim> {
+        update_stream_claims(self.gen, stream, false)
     }
 }
 
@@ -365,11 +509,72 @@ pub fn query_read_set(db: &Database, n: usize, params: &QueryParams) -> BTreeSet
     out
 }
 
+/// Lock claims for query `n` under the engine's literal-SQL locking rules —
+/// the same planner-driven granularity `Txn::lock_statement` applies: a
+/// plan that scans a table claims table S, an index-driven access claims
+/// existing-row locks, and tables only reachable through expression
+/// subqueries (or statements the planner rejects) fall back to table S.
+pub fn query_lock_claims(db: &Database, n: usize, params: &QueryParams) -> Vec<LockClaim> {
+    let mut kinds: BTreeMap<String, ClaimKind> = BTreeMap::new();
+    let claim = |kinds: &mut BTreeMap<String, ClaimKind>, table: String, kind: ClaimKind| {
+        let entry = kinds.entry(table).or_insert(kind);
+        if matches!(kind, ClaimKind::TableS) {
+            *entry = ClaimKind::TableS;
+        }
+    };
+    for stmt in queries::sql(n, params) {
+        let Ok(parsed) = parse_statement(&stmt) else { continue };
+        let (reads, writes) = referenced_tables(&parsed, db.catalog());
+        let accesses = match &parsed {
+            Statement::Select(q) => db.table_accesses(q).ok(),
+            _ => None,
+        };
+        let mut covered: BTreeSet<String> = BTreeSet::new();
+        if let Some(list) = &accesses {
+            for a in list {
+                covered.insert(a.table.clone());
+                let kind = match a.read {
+                    TableRead::Scan => ClaimKind::TableS,
+                    TableRead::PkRange(_) | TableRead::Probe => ClaimKind::ProbeS,
+                };
+                claim(&mut kinds, a.table.clone(), kind);
+            }
+        }
+        // Tables the plan walker does not see (expression subqueries,
+        // DDL/DML statements, plan errors) keep the coarse claim.
+        for t in reads.iter().chain(writes.iter()) {
+            if !covered.contains(t) {
+                claim(&mut kinds, t.clone(), ClaimKind::TableS);
+            }
+        }
+    }
+    kinds.into_iter().map(|(table, kind)| LockClaim { table, kind }).collect()
+}
+
+/// The orderkey block `gen.update_stream(stream)` inserts and deletes.
+pub fn update_stream_span(gen: &DbGen, stream: u64) -> (i64, i64) {
+    let (orders, _) = gen.update_stream(stream);
+    let lo = orders.iter().map(|o| o.orderkey).min().unwrap_or(0);
+    let hi = orders.iter().map(|o| o.orderkey).max().unwrap_or(-1);
+    (lo, hi)
+}
+
+/// Key-range claims of one refresh function: X on the stream's orderkey
+/// block in ORDERS and LINEITEM. RF1 inserts fresh keys (`fresh`), RF2
+/// deletes the same block once it exists (`!fresh`).
+pub fn update_stream_claims(gen: &DbGen, stream: u64, fresh: bool) -> Vec<LockClaim> {
+    let (lo, hi) = update_stream_span(gen, stream);
+    ["ORDERS", "LINEITEM"]
+        .iter()
+        .map(|t| LockClaim { table: t.to_string(), kind: ClaimKind::RowX { lo, hi, fresh } })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dbgen::DbGen;
     use crate::schema::load;
+    use std::cell::Cell;
 
     fn fresh(sf: f64) -> (Database, DbGen) {
         let db = Database::with_defaults();
@@ -403,8 +608,60 @@ mod tests {
     }
 
     #[test]
+    fn claim_conflict_matrix() {
+        use ClaimKind::*;
+        let fresh_x = RowX { lo: 100, hi: 120, fresh: true };
+        let old_x = RowX { lo: 1, hi: 20, fresh: false };
+        // Reads never conflict with reads.
+        assert!(!TableS.conflicts_with(&TableS));
+        assert!(!TableS.conflicts_with(&ProbeS));
+        assert!(!ProbeS.conflicts_with(&ProbeS));
+        // Table X conflicts with everything.
+        for k in [TableS, TableX, ProbeS, fresh_x] {
+            assert!(TableX.conflicts_with(&k));
+            assert!(k.conflicts_with(&TableX));
+        }
+        // Table S covers the keyspace: any row X under it must wait.
+        assert!(TableS.conflicts_with(&fresh_x));
+        assert!(fresh_x.conflicts_with(&TableS));
+        // Probes hold existing rows only: fresh inserts slip, deletes wait.
+        assert!(!ProbeS.conflicts_with(&fresh_x));
+        assert!(!fresh_x.conflicts_with(&ProbeS));
+        assert!(ProbeS.conflicts_with(&old_x));
+        // Row X vs row X goes by key overlap.
+        assert!(!fresh_x.conflicts_with(&old_x));
+        assert!(fresh_x.conflicts_with(&RowX { lo: 110, hi: 130, fresh: true }));
+        // Coarsening restores the table-granular baseline.
+        assert_eq!(ProbeS.coarsened(), TableS);
+        assert_eq!(fresh_x.coarsened(), TableX);
+    }
+
+    #[test]
+    fn literal_query_claims_use_planner_granularity() {
+        let (db, gen) = fresh(0.002);
+        let params = QueryParams::for_scale(gen.sf);
+        // Q1 scans LINEITEM with literal predicates: table S.
+        let q1 = query_lock_claims(&db, 1, &params);
+        assert!(
+            q1.iter().any(|c| c.table == "LINEITEM" && c.kind == ClaimKind::TableS),
+            "Q1: {q1:?}"
+        );
+        // Q15 goes through a view the plan walker cannot expand at claim
+        // time; its base table must still be covered coarsely.
+        let q15 = query_lock_claims(&db, 15, &params);
+        assert!(q15.iter().any(|c| c.table == "LINEITEM"), "Q15: {q15:?}");
+        // The refresh claims are key-ranged and per-stream disjoint.
+        let uf1 = update_stream_claims(&gen, 1, true);
+        let uf1b = update_stream_claims(&gen, 2, true);
+        assert_eq!(uf1.len(), 2);
+        for (a, b) in uf1.iter().zip(&uf1b) {
+            assert!(!a.kind.conflicts_with(&b.kind), "streams must not collide: {a:?} {b:?}");
+        }
+    }
+
+    #[test]
     fn throughput_test_runs_and_is_deterministic() {
-        let config = ThroughputConfig { query_streams: 2, seed: 7 };
+        let config = ThroughputConfig { query_streams: 2, seed: 7, ..Default::default() };
         let run = |_| {
             let (db, gen) = fresh(0.002);
             let params = QueryParams::for_scale(gen.sf);
@@ -422,6 +679,7 @@ mod tests {
         }
         assert!(a.elapsed_seconds > 0.0);
         assert!(a.qthd > 0.0);
+        assert_eq!(a.lock_model, "hierarchical");
         for s in &a.streams {
             assert_eq!(s.latency_us.count(), s.units.len() as u64);
             assert!(s.latency_us.p99() >= s.latency_us.p50());
@@ -446,14 +704,127 @@ mod tests {
         let before: i64 =
             db.query("SELECT COUNT(*) FROM orders").unwrap().scalar().unwrap().as_int().unwrap();
         let workload = IsolatedWorkload { db: &db, gen: &gen };
-        let config = ThroughputConfig { query_streams: 2, seed: 3 };
+        let config = ThroughputConfig { query_streams: 2, seed: 3, ..Default::default() };
         let result = run_throughput_test(&workload, &params, gen.sf, &config).unwrap();
         let after: i64 =
             db.query("SELECT COUNT(*) FROM orders").unwrap().scalar().unwrap().as_int().unwrap();
         assert_eq!(before, after, "each UF1 is paired with a UF2");
-        // Queries read ORDERS/LINEITEM while the update stream writes
-        // them: somebody must have waited.
+        // Literal plans scan ORDERS/LINEITEM at this scale, so the query
+        // streams' table-S claims still serialize against the refresh
+        // functions' key-range X claims: somebody must have waited.
         assert!(result.total_lock_wait() > 0.0, "lock interference modeled");
         assert!(db.snapshot().lock_waits() > 0, "waits are metered on the global meter");
+    }
+
+    /// Delegates to [`IsolatedWorkload`] but claims prepared-cursor probes
+    /// for every query read — the claim shape of the SAP configurations —
+    /// and optionally fails UF1 with a deadlock a fixed number of times.
+    struct ProbeReader<'a> {
+        inner: IsolatedWorkload<'a>,
+        uf1_deadlocks: Cell<u32>,
+    }
+
+    impl StreamWorkload for ProbeReader<'_> {
+        fn name(&self) -> String {
+            "probe reader".to_string()
+        }
+        fn run_query(&self, n: usize, params: &QueryParams) -> DbResult<u64> {
+            self.inner.run_query(n, params)
+        }
+        fn run_uf1(&self, stream: u64) -> DbResult<u64> {
+            if self.uf1_deadlocks.get() > 0 {
+                self.uf1_deadlocks.set(self.uf1_deadlocks.get() - 1);
+                return Err(DbError::Deadlock("induced victim".to_string()));
+            }
+            self.inner.run_uf1(stream)
+        }
+        fn run_uf2(&self, stream: u64) -> DbResult<u64> {
+            self.inner.run_uf2(stream)
+        }
+        fn snapshot(&self) -> MeterSnapshot {
+            self.inner.snapshot()
+        }
+        fn calibration(&self) -> Calibration {
+            self.inner.calibration()
+        }
+        fn note_lock_wait(&self) {
+            self.inner.note_lock_wait()
+        }
+        fn note_deadlock_retry(&self) {
+            self.inner.note_deadlock_retry()
+        }
+        fn query_locks(&self, n: usize, params: &QueryParams) -> Vec<LockClaim> {
+            query_read_set(self.inner.db, n, params)
+                .into_iter()
+                .map(|table| LockClaim { table, kind: ClaimKind::ProbeS })
+                .collect()
+        }
+        fn uf1_locks(&self, stream: u64) -> Vec<LockClaim> {
+            self.inner.uf1_locks(stream)
+        }
+        fn uf2_locks(&self, stream: u64) -> Vec<LockClaim> {
+            self.inner.uf2_locks(stream)
+        }
+    }
+
+    #[test]
+    fn hierarchical_model_lets_rf1_slip_past_probe_readers() {
+        let run = |model: LockModel| {
+            let (db, gen) = fresh(0.002);
+            let params = QueryParams::for_scale(gen.sf);
+            let workload = ProbeReader {
+                inner: IsolatedWorkload { db: &db, gen: &gen },
+                uf1_deadlocks: Cell::new(0),
+            };
+            let config = ThroughputConfig { query_streams: 2, seed: 7, lock_model: model };
+            run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
+        };
+        let table = run(LockModel::Table);
+        let hier = run(LockModel::Hierarchical);
+        let table_upd = table.stream("UPD").unwrap();
+        let hier_upd = hier.stream("UPD").unwrap();
+        assert!(
+            table_upd.lock_wait_seconds > 0.0,
+            "baseline: refresh functions queue behind query table locks"
+        );
+        // RF1's fresh-key inserts never wait behind probe readers, and the
+        // probe readers never wait behind RF1.
+        for u in &hier_upd.units {
+            if u.unit.starts_with("UF1") {
+                assert_eq!(u.lock_wait, 0.0, "RF1 must slip past probe readers: {u:?}");
+            }
+        }
+        assert!(
+            hier_upd.lock_wait_seconds < table_upd.lock_wait_seconds,
+            "update-stream lock wait must drop: {} vs {}",
+            hier_upd.lock_wait_seconds,
+            table_upd.lock_wait_seconds
+        );
+        assert!(hier.qthd >= table.qthd, "QthD must not regress: {} vs {}", hier.qthd, table.qthd);
+    }
+
+    #[test]
+    fn induced_deadlock_is_retried_not_fatal() {
+        let (db, gen) = fresh(0.002);
+        let params = QueryParams::for_scale(gen.sf);
+        let workload = ProbeReader {
+            inner: IsolatedWorkload { db: &db, gen: &gen },
+            uf1_deadlocks: Cell::new(2),
+        };
+        let config = ThroughputConfig { query_streams: 1, seed: 5, ..Default::default() };
+        let result = run_throughput_test(&workload, &params, gen.sf, &config).unwrap();
+        let upd = result.stream("UPD").unwrap();
+        let uf1 = upd.units.iter().find(|u| u.unit.starts_with("UF1")).unwrap();
+        assert_eq!(uf1.retries, 2, "both induced deadlocks retried");
+        assert!(
+            uf1.lock_wait >= DEADLOCK_BACKOFF_S * 3.0,
+            "backoff charged as lock wait: {}",
+            uf1.lock_wait
+        );
+        assert_eq!(
+            uf1.rows,
+            gen.update_stream(1).0.len() as u64 + gen.update_stream(1).1.len() as u64
+        );
+        assert_eq!(db.snapshot().deadlock_retries(), 2, "retries metered");
     }
 }

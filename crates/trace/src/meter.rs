@@ -57,14 +57,29 @@ pub enum Counter {
     /// B+-tree node reads (subset of page reads, kept separately so index
     /// ablations can be reported).
     IndexNodeReads,
-    /// Times a transaction had to block on a table lock held by another
+    /// Times a transaction had to block on a lock held by another
     /// transaction (multi-user workloads only; the wall/simulated wait
     /// duration is tracked by the lock manager / throughput driver).
     LockWaits,
+    /// Row/key-range locks granted (the fine level of the hierarchical
+    /// lock manager; table locks are not counted here).
+    RowLocks,
+    /// Times a transaction's row locks on one table were escalated to a
+    /// single table lock.
+    LockEscalations,
+    /// Times a lock conversion (e.g. S -> X on a table the transaction
+    /// already shares) had to wait for other holders to drain.
+    UpgradeWaits,
+    /// Rollbacks that failed while undoing (corrupted-undo paths that
+    /// would otherwise be swallowed by `Drop`).
+    RollbackErrors,
+    /// Times a throughput-driver unit was retried after being picked as a
+    /// deadlock victim (TPC-D refresh functions retry with backoff).
+    DeadlockRetries,
 }
 
 impl Counter {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 18;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::SeqPageReads,
@@ -80,6 +95,11 @@ impl Counter {
         Counter::CacheHits,
         Counter::IndexNodeReads,
         Counter::LockWaits,
+        Counter::RowLocks,
+        Counter::LockEscalations,
+        Counter::UpgradeWaits,
+        Counter::RollbackErrors,
+        Counter::DeadlockRetries,
     ];
 
     /// Stable snake_case name, used for JSON export and display.
@@ -98,6 +118,11 @@ impl Counter {
             Counter::CacheHits => "cache_hits",
             Counter::IndexNodeReads => "index_node_reads",
             Counter::LockWaits => "lock_waits",
+            Counter::RowLocks => "row_locks",
+            Counter::LockEscalations => "lock_escalations",
+            Counter::UpgradeWaits => "upgrade_waits",
+            Counter::RollbackErrors => "rollback_errors",
+            Counter::DeadlockRetries => "deadlock_retries",
         }
     }
 }
@@ -291,6 +316,26 @@ impl MeterSnapshot {
         self.get(Counter::LockWaits)
     }
 
+    pub fn row_locks(&self) -> u64 {
+        self.get(Counter::RowLocks)
+    }
+
+    pub fn lock_escalations(&self) -> u64 {
+        self.get(Counter::LockEscalations)
+    }
+
+    pub fn upgrade_waits(&self) -> u64 {
+        self.get(Counter::UpgradeWaits)
+    }
+
+    pub fn rollback_errors(&self) -> u64 {
+        self.get(Counter::RollbackErrors)
+    }
+
+    pub fn deadlock_retries(&self) -> u64 {
+        self.get(Counter::DeadlockRetries)
+    }
+
     pub fn cache_hit_ratio(&self) -> f64 {
         if self.cache_probes() == 0 {
             0.0
@@ -386,7 +431,14 @@ impl Calibration {
             Counter::AppSpillPages => self.ms_app_spill_page,
             Counter::CheckUnits => self.ms_check_unit,
             Counter::CacheProbes => self.ms_cache_probe,
-            Counter::CacheHits | Counter::IndexNodeReads | Counter::LockWaits => 0.0,
+            Counter::CacheHits
+            | Counter::IndexNodeReads
+            | Counter::LockWaits
+            | Counter::RowLocks
+            | Counter::LockEscalations
+            | Counter::UpgradeWaits
+            | Counter::RollbackErrors
+            | Counter::DeadlockRetries => 0.0,
         }
     }
 

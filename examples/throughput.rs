@@ -13,10 +13,12 @@ use r3::reports::SapInterface;
 use r3::throughput::SapWorkload;
 use r3::{R3System, Release};
 use tpcd::throughput::StreamWorkload;
-use tpcd::{run_throughput_test, DbGen, IsolatedWorkload, QueryParams, ThroughputConfig};
+use tpcd::{
+    run_throughput_test, DbGen, IsolatedWorkload, LockModel, QueryParams, ThroughputConfig,
+};
 
 fn report(result: &tpcd::ThroughputResult) {
-    println!("== {} ==", result.configuration);
+    println!("== {} ({} locking) ==", result.configuration, result.lock_model);
     println!("   {} query streams + update stream, SF {}", result.query_streams, result.sf);
     println!("   stream   units   busy(s)   lock-wait(s)   finished(s)");
     for s in &result.streams {
@@ -39,28 +41,34 @@ fn report(result: &tpcd::ThroughputResult) {
 
 fn main() {
     let sf = 0.005;
-    let config = ThroughputConfig { query_streams: 4, seed: 42 };
-    println!(
-        "TPC-D throughput test, SF={sf}, {} query streams, seed {}\n",
-        config.query_streams, config.seed
-    );
+    // Each configuration runs under the old table-granular lock model and
+    // the hierarchical (intention + key-range) model, so the update
+    // stream's lock-wait drop is visible side by side.
+    let models = [LockModel::Table, LockModel::Hierarchical];
+    println!("TPC-D throughput test, SF={sf}, 4 query streams, seed 42\n");
 
     // Configuration 1: the isolated RDBMS.
     let db = rdbms::Database::with_defaults();
     let gen = DbGen::new(sf);
     tpcd::schema::load(&db, &gen).expect("load");
     let params = QueryParams::for_scale(sf);
-    let workload = IsolatedWorkload { db: &db, gen: &gen };
-    let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
-    report(&result);
+    for lock_model in models {
+        let config = ThroughputConfig { query_streams: 4, seed: 42, lock_model };
+        let workload = IsolatedWorkload { db: &db, gen: &gen };
+        let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
+        report(&result);
+    }
 
     // Configurations 2 and 3: SAP R/3 3.0E with Native and Open SQL.
     for iface in [SapInterface::Native, SapInterface::Open] {
         let sys = R3System::install_default(Release::R30).expect("install");
         sys.load_tpcd(&gen).expect("load");
-        let workload = SapWorkload { sys: &sys, iface, gen: &gen };
-        println!("running {} ...", workload.name());
-        let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
-        report(&result);
+        for lock_model in models {
+            let config = ThroughputConfig { query_streams: 4, seed: 42, lock_model };
+            let workload = SapWorkload { sys: &sys, iface, gen: &gen };
+            println!("running {} ({} locking) ...", workload.name(), lock_model.as_str());
+            let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
+            report(&result);
+        }
     }
 }
