@@ -1,19 +1,106 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--sf <scale>] [table1 .. table9 | figures | all | trace [qN]]
+//! experiments [--sf <scale>] [table1 .. table9 | figures | all | trace [qN]
+//!              | durability]
 //! ```
 //!
 //! `trace` runs the end-to-end observability demo for one query (default
 //! Q3): an EXPLAIN ANALYZE plan trace, ST05 SQL traces on 2.2G vs 3.0E,
 //! and dispatcher/throughput latency histograms.
 //!
+//! `durability` runs the commit-durability experiment (QthD and order
+//! entry/posting under WAL off, per-commit fsync, and group commit) and
+//! records the baseline in `BENCH_durability.json`.
+//!
 //! Results print as text tables (paper numbers alongside) and are also
 //! dumped as JSON under `target/experiments/`.
 
-use bench::ExpTable;
+use bench::{ExpTable, OrderEntryResult, ThroughputSystem};
+use serde_json::Json;
 use std::env;
 use std::fs;
+use tpcd::ThroughputResult;
+
+fn qthd_json(r: &ThroughputResult) -> Json {
+    Json::object()
+        .field("configuration", r.configuration.clone())
+        .field("durability", r.durability.clone())
+        .field("query_streams", r.query_streams)
+        .field("elapsed_seconds", r.elapsed_seconds)
+        .field("qthd", r.qthd)
+        .field("commits", r.commits)
+        .field("wal_flushes", r.wal_flushes)
+}
+
+fn order_entry_json(r: &OrderEntryResult) -> Json {
+    Json::object()
+        .field("phase", r.phase.clone())
+        .field("durability", r.durability.clone())
+        .field("sessions", r.clerks)
+        .field("documents", r.documents)
+        .field("elapsed_seconds", r.elapsed_seconds)
+        .field("per_hour", r.per_hour)
+        .field("commit_wait_seconds", r.commit_wait_seconds)
+        .field("commits", r.commits)
+        .field("wal_flushes", r.wal_flushes)
+        .field("avg_group_commit_batch", r.avg_batch())
+}
+
+/// The durability experiment: QthD plus order entry/posting under each
+/// durability mode, recorded as the `BENCH_durability.json` baseline.
+fn run_durability(sf: f64) -> Result<(), rdbms::DbError> {
+    let mut qthd_runs: Vec<Json> = Vec::new();
+    println!("QthD@{sf} under each durability mode (2 query streams, seed 42):");
+    for system in [ThroughputSystem::Isolated, ThroughputSystem::Open] {
+        let series = bench::run_qthd_series(system, sf, 2, 42, |r| {
+            println!(
+                "  {:22} {:18} qthd={:8.1} commits={:5} wal_flushes={:5}",
+                r.configuration, r.durability, r.qthd, r.commits, r.wal_flushes
+            );
+        })?;
+        qthd_runs.extend(series.iter().map(qthd_json));
+    }
+
+    let clerks = 8;
+    println!(
+        "\nOrder entry and posting ({clerks} batch sessions / {} interactive clerks):",
+        bench::durability::POSTING_USERS
+    );
+    let order_entry = bench::run_order_entry_series(sf, clerks)?;
+    for r in &order_entry {
+        println!(
+            "  {:8} {:18} per_hour={:12.1} commit_wait={:9.3}s flushes={:5} batch={:.2}",
+            r.phase,
+            r.durability,
+            r.per_hour,
+            r.commit_wait_seconds,
+            r.wal_flushes,
+            r.avg_batch()
+        );
+    }
+
+    let notes = [
+        "Virtual-time cost model: commits charge the LogDevice flush-slot model \
+         (Calibration.ms_wal_flush); durability=off charges nothing.",
+        "QthD barely moves: only the update stream commits, and batch-input \
+         documents cost seconds of consistency checking each.",
+        "Order posting is the commit-bound case: interactive clerks oversubscribe \
+         a per-commit-fsync log; group commit batches their flushes.",
+        "Regenerate: cargo run --release -p bench --bin experiments -- --sf <sf> durability",
+    ];
+    let doc = Json::object()
+        .field("benchmark", "durability")
+        .field("sf", sf)
+        .field("seed", 42u64)
+        .field("notes", Json::Array(notes.iter().map(|&n| Json::from(n)).collect()))
+        .field("qthd_runs", Json::Array(qthd_runs))
+        .field("order_entry", Json::Array(order_entry.iter().map(order_entry_json).collect()));
+    let out = "BENCH_durability.json";
+    fs::write(out, serde_json::to_string_pretty(&doc).unwrap()).expect("write baseline");
+    println!("\n  (written to {out})");
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -52,6 +139,14 @@ fn main() {
         }
         Err(e) => eprintln!("{name} failed: {e}"),
     };
+
+    if which.first().map(String::as_str) == Some("durability") {
+        if let Err(e) = run_durability(sf) {
+            eprintln!("durability failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // `trace [qN|N]`: one subcommand consuming an optional query operand.
     if which.first().map(String::as_str) == Some("trace") {

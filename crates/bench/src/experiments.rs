@@ -290,7 +290,7 @@ fn power_table(
     };
 
     // Isolated RDBMS baseline.
-    let db = Database::new(config);
+    let db = Database::new(config.clone());
     tpcd::schema::load(&db, &gen)?;
     if release == Release::R30 {
         // The paper's 3.0E configuration dropped the shipdate index.
@@ -719,6 +719,28 @@ pub fn run_throughput_series_with(
     stream_counts: &[usize],
     seed: u64,
     lock_models: &[tpcd::LockModel],
+    progress: impl FnMut(&tpcd::ThroughputResult),
+) -> DbResult<Vec<tpcd::ThroughputResult>> {
+    let mut configs = Vec::new();
+    for &streams in stream_counts {
+        for &lock_model in lock_models {
+            configs.push(tpcd::ThroughputConfig {
+                query_streams: streams,
+                seed,
+                lock_model,
+                ..Default::default()
+            });
+        }
+    }
+    run_throughput_matrix(system, sf, &configs, progress)
+}
+
+/// Run the throughput test once per explicit config on one configuration,
+/// loading the database once and reusing it across the whole matrix.
+pub fn run_throughput_matrix(
+    system: ThroughputSystem,
+    sf: f64,
+    configs: &[tpcd::ThroughputConfig],
     mut progress: impl FnMut(&tpcd::ThroughputResult),
 ) -> DbResult<Vec<tpcd::ThroughputResult>> {
     let gen = DbGen::new(sf);
@@ -727,13 +749,10 @@ pub fn run_throughput_series_with(
                    progress: &mut dyn FnMut(&tpcd::ThroughputResult)|
      -> DbResult<Vec<tpcd::ThroughputResult>> {
         let mut results = Vec::new();
-        for &streams in stream_counts {
-            for &lock_model in lock_models {
-                let config = tpcd::ThroughputConfig { query_streams: streams, seed, lock_model };
-                let r = tpcd::run_throughput_test(workload, &params, sf, &config)?;
-                progress(&r);
-                results.push(r);
-            }
+        for config in configs {
+            let r = tpcd::run_throughput_test(workload, &params, sf, config)?;
+            progress(&r);
+            results.push(r);
         }
         Ok(results)
     };

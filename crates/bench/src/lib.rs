@@ -1,12 +1,16 @@
 //! Experiment harness for the paper reproduction: regenerates every table
 //! and figure (see DESIGN.md section 4 for the index).
 
+pub mod durability;
 pub mod experiments;
 pub mod paper;
 pub mod tracecmd;
 
+pub use durability::{
+    run_order_entry_series, run_qthd_series, OrderEntryResult, DURABILITY_MODELS,
+};
 pub use experiments::{
-    figures, run_throughput, run_throughput_series, run_throughput_series_with, table1, table2,
-    table3, table4, table5, table6, table7, table8, table9, throughput_table, ExpTable,
-    ThroughputSystem,
+    figures, run_throughput, run_throughput_matrix, run_throughput_series,
+    run_throughput_series_with, table1, table2, table3, table4, table5, table6, table7, table8,
+    table9, throughput_table, ExpTable, ThroughputSystem,
 };

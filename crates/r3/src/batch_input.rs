@@ -147,7 +147,7 @@ impl R3System {
         for (t, row) in &rows {
             self.open_insert(t, row)?;
         }
-        Ok(())
+        self.commit_work()
     }
 
     pub fn batch_input_customer(&self, c: &Customer) -> DbResult<()> {
@@ -161,7 +161,7 @@ impl R3System {
         for (t, row) in &rows {
             self.open_insert(t, row)?;
         }
-        Ok(())
+        self.commit_work()
     }
 
     pub fn batch_input_part(&self, p: &Part) -> DbResult<()> {
@@ -174,7 +174,7 @@ impl R3System {
         for (t, row) in &rows {
             self.open_insert(t, row)?;
         }
-        Ok(())
+        self.commit_work()
     }
 
     pub fn batch_input_partsupp(&self, ps: &PartSupp) -> DbResult<()> {
@@ -189,7 +189,7 @@ impl R3System {
         for (t, row) in &rows {
             self.open_insert(t, row)?;
         }
-        Ok(())
+        self.commit_work()
     }
 
     /// Orders and their lineitems "can only be loaded jointly" (§3.4.2).
@@ -241,7 +241,7 @@ impl R3System {
                 );
             }
         }
-        Ok(())
+        self.commit_work()
     }
 
     /// Delete one order document with its items (UF2 through the
@@ -292,7 +292,7 @@ impl R3System {
             ],
         )?;
         self.open_delete("VBAK", &[Cond::eq("VBELN", key16(orderkey))])?;
-        Ok(())
+        self.commit_work()
     }
 }
 

@@ -43,6 +43,9 @@ pub enum SqlOp {
     Insert,
     /// Open SQL DELETE (or cluster-document delete).
     Delete,
+    /// COMMIT WORK: the database commit at the end of a logical unit of
+    /// work (group commit parks here until a log force covers it).
+    Commit,
 }
 
 impl SqlOp {
@@ -54,6 +57,7 @@ impl SqlOp {
             SqlOp::BufferHit => "BUFHIT",
             SqlOp::Insert => "INSERT",
             SqlOp::Delete => "DELETE",
+            SqlOp::Commit => "COMMIT",
         }
     }
 }

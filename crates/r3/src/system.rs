@@ -134,6 +134,25 @@ impl R3System {
         self.db_execute_direct(sql)?.rows()
     }
 
+    /// COMMIT WORK: the durability point at the end of a logical unit of
+    /// work (one batch-input document). Everything the work process wrote
+    /// is made durable per the database's [`rdbms::CommitPolicy`] — under
+    /// group commit the calling work process parks here until a shared log
+    /// force covers it — and the commit round trip is traced as one
+    /// interface crossing. No-op when the database runs without a WAL.
+    pub fn commit_work(&self) -> DbResult<()> {
+        let Some(wal) = self.db.wal() else {
+            return Ok(());
+        };
+        let traced = self.sql_trace.begin();
+        self.meter().bump(Counter::IpcCrossings);
+        wal.commit_appended()?;
+        if let Some(t) = traced {
+            t.finish(SqlOp::Commit, "COMMIT WORK", &[], 0, 1);
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Logical-table writes through the dictionary
     // ------------------------------------------------------------------

@@ -123,6 +123,12 @@ impl StreamWorkload for SapWorkload<'_> {
     fn uf2_locks(&self, stream: u64) -> Vec<LockClaim> {
         self.update_locks(stream, false)
     }
+
+    /// Batch input issues COMMIT WORK once per order document, not once
+    /// per refresh function.
+    fn uf_commits(&self, stream: u64) -> u64 {
+        self.gen.update_stream(stream).0.len() as u64
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +165,12 @@ mod tests {
             sys.load_tpcd(&gen).unwrap();
             let params = QueryParams::for_scale(gen.sf);
             let workload = SapWorkload { sys: &sys, iface: SapInterface::Open, gen: &gen };
-            let config = ThroughputConfig { query_streams: 2, seed: 11, lock_model: model };
+            let config = ThroughputConfig {
+                query_streams: 2,
+                seed: 11,
+                lock_model: model,
+                ..Default::default()
+            };
             run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
         };
         let table = run(LockModel::Table);

@@ -13,6 +13,7 @@ use crate::sql::parse_statement;
 use crate::storage::{Pager, PagerConfig};
 use crate::txn::{Txn, Undo};
 use crate::types::Value;
+use crate::wal::{LogPayload, Lsn, RecoveryReport, UndoAction, Wal, WalConfig, SYSTEM_TXN};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Database configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DbConfig {
     pub pager: PagerConfig,
     pub planner: PlannerConfig,
@@ -31,6 +32,11 @@ pub struct DbConfig {
     /// Row locks a transaction may hold on one table before the lock
     /// manager trades them for a single table lock.
     pub lock_escalation_threshold: usize,
+    /// Write-ahead logging: `None` (the default) runs without durability,
+    /// exactly as before the WAL existed; `Some` logs every mutation to
+    /// the named file and makes commits durable per the
+    /// [`crate::wal::CommitPolicy`].
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for DbConfig {
@@ -41,6 +47,7 @@ impl Default for DbConfig {
             calibration: Calibration::default(),
             lock_timeout: Duration::from_secs(5),
             lock_escalation_threshold: DEFAULT_ESCALATION_THRESHOLD,
+            wal: None,
         }
     }
 }
@@ -118,10 +125,37 @@ pub struct Database {
     calibration: Calibration,
     locks: LockManager,
     next_txn_id: AtomicU64,
+    wal: Option<Arc<Wal>>,
 }
 
 impl Database {
+    /// Build a database. Panics if `config.wal` names a log file that
+    /// cannot be created — use [`Database::open`] to handle that error.
     pub fn new(config: DbConfig) -> Self {
+        Database::open(config).expect("database open failed")
+    }
+
+    /// Build a database, creating (truncating) the write-ahead log file if
+    /// `config.wal` is set.
+    pub fn open(config: DbConfig) -> DbResult<Self> {
+        let mut db = Database::fresh_for_recovery(&config);
+        if let Some(wal_cfg) = &config.wal {
+            db.wal = Some(Arc::new(Wal::create(wal_cfg, Arc::clone(&db.meter))?));
+        }
+        Ok(db)
+    }
+
+    /// Restart from an existing write-ahead log: ARIES analysis/redo/undo
+    /// over the log named by `config.wal`, returning the recovered
+    /// database (which keeps logging to the same file) and a report of
+    /// what restart found. See [`crate::wal::recovery`].
+    pub fn recover(config: DbConfig) -> DbResult<(Database, RecoveryReport)> {
+        crate::wal::recover(config)
+    }
+
+    /// The core engine without any WAL attached (also the substrate the
+    /// recovery replay runs against, hence the name).
+    pub(crate) fn fresh_for_recovery(config: &DbConfig) -> Self {
         let meter = CostMeter::new();
         let pager = Pager::new(config.pager, Arc::clone(&meter));
         let locks = LockManager::configured(
@@ -137,7 +171,15 @@ impl Database {
             calibration: config.calibration,
             locks,
             next_txn_id: AtomicU64::new(1),
+            wal: None,
         }
+    }
+
+    /// Attach the reopened log after the redo/undo passes and advance the
+    /// transaction-id counter past every id seen in the log.
+    pub(crate) fn finish_recovery(&mut self, wal: Arc<Wal>, next_txn_id: u64) {
+        self.wal = Some(wal);
+        self.next_txn_id.store(next_txn_id.max(1), Ordering::Relaxed);
     }
 
     pub fn with_defaults() -> Self {
@@ -178,6 +220,39 @@ impl Database {
         &self.locks
     }
 
+    /// The write-ahead log, if this database was configured with one.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Force everything appended to the WAL so far to disk — an explicit
+    /// durability point (end of bulk load, clean shutdown). No-op without
+    /// a WAL.
+    pub fn wal_flush(&self) -> DbResult<()> {
+        match &self.wal {
+            Some(wal) => wal.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Take a fuzzy checkpoint: log `CheckpointBegin`, then `CheckpointEnd`
+    /// carrying the active-transaction table and the pager's dirty-page
+    /// table, and force the log. Nothing is quiesced — transactions keep
+    /// running — which is exactly why the tables are in the record: restart
+    /// analysis starts from them. Returns the `CheckpointEnd` LSN.
+    pub fn checkpoint(&self) -> DbResult<Lsn> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| DbError::storage("checkpoint requires a WAL-enabled database"))?;
+        wal.append_batch(SYSTEM_TXN, &[LogPayload::CheckpointBegin]);
+        let att = wal.active_transactions();
+        let dpt = self.pager.dirty_page_table();
+        let lsns = wal.append_batch(SYSTEM_TXN, &[LogPayload::CheckpointEnd { att, dpt }]);
+        wal.flush()?;
+        Ok(lsns[0])
+    }
+
     /// How a SELECT's plan reads each base table (scan vs. index-driven),
     /// used by the transaction layer and workload models to pick lock
     /// granularity. Plans the query without executing it.
@@ -197,7 +272,22 @@ impl Database {
     /// Execute any single SQL statement (constants visible to the optimizer).
     pub fn execute(&self, sql: &str) -> DbResult<ExecOutcome> {
         let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt)
+        let out = self.execute_statement(&stmt)?;
+        // DDL is logged as its statement text and replayed by re-execution
+        // (recovery replays against a WAL-less engine, so this cannot
+        // re-log). DML logging happens inside the apply path.
+        if self.wal.is_some() && stmt_is_ddl(&stmt) {
+            self.log_ddl(sql)?;
+        }
+        Ok(out)
+    }
+
+    fn log_ddl(&self, sql: &str) -> DbResult<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let lsns = wal.append_batch(SYSTEM_TXN, &[LogPayload::Ddl { sql: sql.to_string() }]);
+        wal.commit(lsns[0])
     }
 
     /// Execute a SELECT and return its rows.
@@ -257,15 +347,9 @@ impl Database {
                 let rows = pq.plan.execute(&ctx)?;
                 Ok(ExecOutcome::Rows(QueryResult { schema: pq.schema, rows }))
             }
-            Statement::Insert { table, columns, rows } => {
-                Ok(ExecOutcome::Count(self.apply_insert(table, columns.as_deref(), rows, None)?))
+            Statement::Insert { .. } | Statement::Delete { .. } | Statement::Update { .. } => {
+                Ok(ExecOutcome::Count(self.apply_dml_autocommit(stmt)?))
             }
-            Statement::Delete { table, filter } => {
-                Ok(ExecOutcome::Count(self.apply_delete(table, filter.as_ref(), None)?))
-            }
-            Statement::Update { table, assignments, filter } => Ok(ExecOutcome::Count(
-                self.apply_update(table, assignments, filter.as_ref(), None)?,
-            )),
             Statement::CreateTable { name, columns, primary_key } => {
                 let cols: Vec<Column> = columns
                     .iter()
@@ -340,6 +424,122 @@ impl Database {
                 self.apply_update(table, assignments, filter.as_ref(), Some(undo))?,
             )),
             other => self.execute_statement(other),
+        }
+    }
+
+    /// Autocommit DML. With a WAL every statement is an *implicit
+    /// transaction*: its operations plus a `Commit` go to the log as one
+    /// batch under a fresh transaction id, so a crash mid-statement makes
+    /// the partial statement a loser that restart rolls back. Without a
+    /// WAL this is the plain pre-WAL apply path.
+    fn apply_dml_autocommit(&self, stmt: &Statement) -> DbResult<u64> {
+        if self.wal.is_none() {
+            return self.apply_dml(stmt, None);
+        }
+        let mut undo = Vec::new();
+        let res = self.apply_dml(stmt, Some(&mut undo));
+        // A failed statement's partial effects stay in the store (autocommit
+        // has no undo), so they must reach the log too — as committed.
+        let logged = self.log_autocommit(&undo);
+        let n = res?;
+        logged?;
+        Ok(n)
+    }
+
+    fn apply_dml(&self, stmt: &Statement, undo: Option<&mut Vec<Undo>>) -> DbResult<u64> {
+        match stmt {
+            Statement::Insert { table, columns, rows } => {
+                self.apply_insert(table, columns.as_deref(), rows, undo)
+            }
+            Statement::Delete { table, filter } => self.apply_delete(table, filter.as_ref(), undo),
+            Statement::Update { table, assignments, filter } => {
+                self.apply_update(table, assignments, filter.as_ref(), undo)
+            }
+            other => Err(DbError::execution(format!("not DML: {other:?}"))),
+        }
+    }
+
+    fn log_autocommit(&self, undo: &[Undo]) -> DbResult<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        if undo.is_empty() {
+            return Ok(());
+        }
+        let mut payloads = self.wal_payloads_from_undo(undo)?;
+        payloads.push(LogPayload::Commit);
+        let id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        let lsns = wal.append_batch(id, &payloads);
+        self.stamp_payload_lsns(&payloads, &lsns);
+        wal.commit(*lsns.last().expect("commit lsn"))
+    }
+
+    /// Derive log payloads for freshly executed operations from their undo
+    /// entries. The after-image of an insert/update is still live in the
+    /// heap at the recorded rid, so logging needs no changes to the
+    /// execution paths themselves.
+    pub(crate) fn wal_payloads_from_undo(&self, undo: &[Undo]) -> DbResult<Vec<LogPayload>> {
+        let mut payloads = Vec::with_capacity(undo.len());
+        for u in undo {
+            match u {
+                Undo::Insert { table, rid } => {
+                    let t = self.catalog.table(table)?;
+                    let row = t
+                        .heap
+                        .get(*rid, crate::storage::AccessPattern::Random)?
+                        .ok_or_else(|| DbError::storage("inserted row vanished before logging"))?;
+                    payloads.push(LogPayload::Insert { table: table.clone(), rid: *rid, row });
+                }
+                Undo::Delete { table, rid, row } => {
+                    payloads.push(LogPayload::Delete {
+                        table: table.clone(),
+                        rid: *rid,
+                        row: row.clone(),
+                    });
+                }
+                Undo::Update { table, prev_rid, rid, old } => {
+                    let t = self.catalog.table(table)?;
+                    let new = t
+                        .heap
+                        .get(*rid, crate::storage::AccessPattern::Random)?
+                        .ok_or_else(|| DbError::storage("updated row vanished before logging"))?;
+                    payloads.push(LogPayload::Update {
+                        table: table.clone(),
+                        rid: *prev_rid,
+                        new_rid: *rid,
+                        old: old.clone(),
+                        new,
+                    });
+                }
+            }
+        }
+        Ok(payloads)
+    }
+
+    /// Stamp page LSNs for a batch of just-logged operations (the WAL rule's
+    /// bookkeeping half: pages remember the last record that touched them,
+    /// and the pager's dirty-page table remembers the first).
+    pub(crate) fn stamp_payload_lsns(&self, payloads: &[LogPayload], lsns: &[Lsn]) {
+        for (p, &lsn) in payloads.iter().zip(lsns) {
+            match p {
+                LogPayload::Insert { rid, .. } | LogPayload::Delete { rid, .. } => {
+                    self.pager.stamp_lsn(rid.page, lsn);
+                }
+                LogPayload::Update { rid, new_rid, .. } => {
+                    self.pager.stamp_lsn(rid.page, lsn);
+                    self.pager.stamp_lsn(new_rid.page, lsn);
+                }
+                LogPayload::Clr { action, .. } => match action {
+                    UndoAction::Delete { rid, .. } | UndoAction::Insert { rid, .. } => {
+                        self.pager.stamp_lsn(rid.page, lsn);
+                    }
+                    UndoAction::Revert { rid, prev_rid, .. } => {
+                        self.pager.stamp_lsn(rid.page, lsn);
+                        self.pager.stamp_lsn(prev_rid.page, lsn);
+                    }
+                },
+                _ => {}
+            }
         }
     }
 
@@ -538,9 +738,38 @@ impl Database {
     /// benchmark kit; bypasses SQL parsing but not constraint checks).
     pub fn insert_row(&self, table_name: &str, row: &[Value]) -> DbResult<()> {
         let t = self.catalog.table(table_name)?;
-        self.catalog.insert_row(&t, row)?;
+        let rid = self.catalog.insert_row(&t, row)?;
+        if let Some(wal) = &self.wal {
+            // Bulk load logs one system-transaction record per row —
+            // committed-if-present, no Begin/Commit bracket, never forced
+            // per row (the loader ends with an explicit `wal_flush`).
+            let stored = t
+                .heap
+                .get(rid, crate::storage::AccessPattern::Random)?
+                .ok_or_else(|| DbError::storage("bulk-loaded row vanished before logging"))?;
+            let lsns = wal.append_batch(
+                SYSTEM_TXN,
+                &[LogPayload::Insert { table: t.name.clone(), rid, row: stored }],
+            );
+            self.pager.stamp_lsn(rid.page, lsns[0]);
+        }
         Ok(())
     }
+}
+
+/// Is this statement DDL (logged by statement text and replayed by
+/// re-execution, rather than physiologically)?
+fn stmt_is_ddl(stmt: &Statement) -> bool {
+    matches!(
+        stmt,
+        Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::CreateView { .. }
+            | Statement::DropTable { .. }
+            | Statement::DropIndex { .. }
+            | Statement::DropView { .. }
+            | Statement::Analyze { .. }
+    )
 }
 
 #[cfg(test)]

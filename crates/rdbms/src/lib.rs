@@ -12,7 +12,9 @@
 //!   paper measures (parameter-blind plans, naive nested queries),
 //! * a materializing executor,
 //! * the deterministic cost clock used by every experiment in this
-//!   workspace (see DESIGN.md §5).
+//!   workspace (see DESIGN.md §5),
+//! * an ARIES-style write-ahead log with group commit and restart
+//!   recovery (see DESIGN.md §10).
 
 pub mod catalog;
 pub mod clock;
@@ -27,6 +29,7 @@ pub mod sql;
 pub mod storage;
 pub mod txn;
 pub mod types;
+pub mod wal;
 
 pub use clock::{Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
 pub use db::{Database, DbConfig, ExecOutcome, Prepared, QueryResult};
@@ -35,3 +38,4 @@ pub use lock::{KeyRange, LockManager, LockMode, RowLock, RowMode, TxnId};
 pub use schema::{Column, Row, Schema};
 pub use txn::{Txn, TxnStats};
 pub use types::{DataType, Date, Decimal, Value};
+pub use wal::{CommitPolicy, Lsn, RecoveryReport, Wal, WalConfig};

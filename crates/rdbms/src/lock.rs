@@ -36,9 +36,13 @@ pub type TxnId = u64;
 /// range locks underneath; `Shared`/`Exclusive` cover the whole table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockMode {
+    /// IS — this transaction holds (or will take) shared ranges below.
     IntentShared,
+    /// IX — this transaction holds exclusive ranges below.
     IntentExclusive,
+    /// S — whole-table read; excludes writers at any granularity.
     Shared,
+    /// X — whole-table write; excludes everything.
     Exclusive,
 }
 
@@ -114,6 +118,7 @@ impl KeyRange {
         }
     }
 
+    /// Do the two intervals share at least one encoded key?
     pub fn overlaps(&self, other: &KeyRange) -> bool {
         let starts_below = |lo: &[u8], hi: &Option<Vec<u8>>| match hi {
             None => true,
@@ -122,6 +127,8 @@ impl KeyRange {
         starts_below(&self.lo, &other.hi) && starts_below(&other.lo, &self.hi)
     }
 
+    /// Is `other` entirely inside this interval? Used to answer a lock
+    /// re-request from a range the transaction already holds.
     pub fn contains(&self, other: &KeyRange) -> bool {
         let lo_ok = self.lo.as_slice() <= other.lo.as_slice();
         let hi_ok = match (&self.hi, &other.hi) {
@@ -136,7 +143,9 @@ impl KeyRange {
 /// Row/key-range lock strength.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowMode {
+    /// Readers share; conflicts only with exclusive ranges.
     Shared,
+    /// Writers exclude every overlapping range.
     Exclusive,
 }
 
@@ -162,18 +171,26 @@ pub struct RowLock {
 }
 
 impl RowLock {
+    /// Predicate read with phantom protection: conflicts with any
+    /// exclusive range in `range`, including inserts of new keys.
     pub fn shared(range: KeyRange) -> RowLock {
         RowLock { mode: RowMode::Shared, range, fresh: false, existing: false }
     }
 
+    /// Read of rows located at run time (no static predicate): conflicts
+    /// with deletes/updates of current rows but lets fresh-key inserts
+    /// slip past.
     pub fn shared_existing(range: KeyRange) -> RowLock {
         RowLock { mode: RowMode::Shared, range, fresh: false, existing: true }
     }
 
+    /// Delete or update of rows that already exist in `range`.
     pub fn exclusive(range: KeyRange) -> RowLock {
         RowLock { mode: RowMode::Exclusive, range, fresh: false, existing: false }
     }
 
+    /// Exclusive lock on a newly created key: compatible with
+    /// [`RowLock::shared_existing`] readers, which cannot observe it.
     pub fn insert(range: KeyRange) -> RowLock {
         RowLock { mode: RowMode::Exclusive, range, fresh: true, existing: false }
     }
@@ -242,10 +259,16 @@ pub struct LockManager {
 pub const DEFAULT_ESCALATION_THRESHOLD: usize = 4096;
 
 impl LockManager {
+    /// A lock manager with the default escalation threshold and no meter;
+    /// `timeout` bounds every lock wait (the deadlock backstop).
     pub fn new(timeout: Duration) -> Self {
         Self::configured(timeout, DEFAULT_ESCALATION_THRESHOLD, None)
     }
 
+    /// Full-control constructor: `escalation_threshold` row locks per
+    /// table before they are traded for one table lock (clamped to at
+    /// least 1), and an optional meter that counts row locks,
+    /// escalations, and conversion waits.
     pub fn configured(
         timeout: Duration,
         escalation_threshold: usize,

@@ -42,6 +42,10 @@ impl Rid {
 /// One fixed-size page.
 pub struct Page {
     data: Box<[u8; PAGE_SIZE]>,
+    /// LSN of the last logged operation that touched this page (kept
+    /// beside the 8 KB image, not inside it — the on-"disk" format
+    /// predates the WAL). 0 means never logged.
+    lsn: u64,
 }
 
 impl Default for Page {
@@ -52,17 +56,30 @@ impl Default for Page {
 
 impl Clone for Page {
     fn clone(&self) -> Self {
-        Page { data: self.data.clone() }
+        Page { data: self.data.clone(), lsn: self.lsn }
     }
 }
 
 impl Page {
     /// A fresh, formatted, empty page.
     pub fn new() -> Self {
-        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        let mut p =
+            Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(), lsn: 0 };
         p.set_nslots(0);
         p.set_freeend(PAGE_SIZE as u16);
         p
+    }
+
+    /// The page LSN: highest log record that modified this page.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Stamp the page LSN (monotone: lower stamps are ignored).
+    pub fn stamp_lsn(&mut self, lsn: u64) {
+        if lsn > self.lsn {
+            self.lsn = lsn;
+        }
     }
 
     fn u16_at(&self, off: usize) -> u16 {

@@ -57,6 +57,10 @@ struct PagerInner {
     lru: VecDeque<(PageId, u64)>,
     next_stamp: u64,
     capacity: usize,
+    /// Dirty-page table for WAL checkpoints: page id -> recovery LSN (the
+    /// first log record that dirtied the page since it was last written
+    /// back). Only maintained when a WAL stamps LSNs.
+    dirty_lsn: HashMap<PageId, u64>,
 }
 
 impl PagerInner {
@@ -127,6 +131,7 @@ impl Pager {
                 lru: VecDeque::new(),
                 next_stamp: 0,
                 capacity: config.pool_pages.max(8),
+                dirty_lsn: HashMap::new(),
             }),
             meter,
         })
@@ -159,7 +164,35 @@ impl Pager {
     pub fn free(&self, pid: PageId) {
         let mut g = self.inner.lock();
         g.resident.remove(&pid);
+        g.dirty_lsn.remove(&pid);
         g.free_list.push(pid);
+    }
+
+    /// Stamp a page's LSN after its mutation was logged: raises the page
+    /// LSN (monotone) and enters the page into the dirty-page table with
+    /// this LSN as its recovery LSN if it is not already there.
+    pub fn stamp_lsn(&self, pid: PageId, lsn: u64) {
+        let mut g = self.inner.lock();
+        if (pid as usize) < g.pages.len() {
+            g.pages[pid as usize].stamp_lsn(lsn);
+            g.dirty_lsn.entry(pid).or_insert(lsn);
+        }
+    }
+
+    /// The page LSN (0 for unlogged or nonexistent pages).
+    pub fn page_lsn(&self, pid: PageId) -> u64 {
+        let g = self.inner.lock();
+        g.pages.get(pid as usize).map_or(0, |p| p.lsn())
+    }
+
+    /// The dirty-page table: (page id, recovery LSN) for every page whose
+    /// logged changes have not been written back, sorted by page id.
+    /// Logged in fuzzy checkpoints ([`crate::wal::LogPayload::CheckpointEnd`]).
+    pub fn dirty_page_table(&self) -> Vec<(PageId, u64)> {
+        let g = self.inner.lock();
+        let mut dpt: Vec<_> = g.dirty_lsn.iter().map(|(&p, &l)| (p, l)).collect();
+        dpt.sort_unstable();
+        dpt
     }
 
     /// Read access to a page.
@@ -213,6 +246,9 @@ impl Pager {
         self.meter.add(Counter::PageWrites, dirty as u64);
         g.resident.clear();
         g.lru.clear();
+        // Everything is now "on disk": the dirty-page table empties, so the
+        // next checkpoint records a higher redo bound.
+        g.dirty_lsn.clear();
     }
 }
 

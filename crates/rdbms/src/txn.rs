@@ -41,6 +41,7 @@ use crate::sql::parse_statement;
 use crate::storage::codec::encode_key;
 use crate::storage::Rid;
 use crate::types::Value;
+use crate::wal::{LogPayload, Lsn, UndoAction, NULL_LSN};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,7 +60,9 @@ pub(crate) enum Undo {
 /// Per-transaction metering summary returned by [`Txn::commit`].
 #[derive(Debug, Clone, Copy)]
 pub struct TxnStats {
+    /// Work metered to this transaction (page reads, comparisons, ...).
     pub work: MeterSnapshot,
+    /// Wall time the transaction spent blocked on locks.
     pub lock_wait: Duration,
 }
 
@@ -70,6 +73,10 @@ pub struct Txn<'db> {
     id: TxnId,
     meter: Arc<CostMeter>,
     undo: Vec<Undo>,
+    /// LSN of the log record for each undo entry, parallel to `undo` (only
+    /// populated when the database has a WAL; may be shorter than `undo` if
+    /// logging itself failed). Rollback uses it to chain CLR `undo_next`.
+    op_lsns: Vec<Lsn>,
     lock_wait: Duration,
     done: bool,
 }
@@ -81,11 +88,13 @@ impl<'db> Txn<'db> {
             id,
             meter: CostMeter::new(),
             undo: Vec::new(),
+            op_lsns: Vec::new(),
             lock_wait: Duration::ZERO,
             done: false,
         }
     }
 
+    /// This transaction's identifier in the lock manager and the WAL.
     pub fn id(&self) -> TxnId {
         self.id
     }
@@ -108,8 +117,17 @@ impl<'db> Txn<'db> {
     pub fn execute(&mut self, sql: &str) -> DbResult<ExecOutcome> {
         let stmt = parse_statement(sql)?;
         self.lock_statement(&stmt)?;
-        let _scope = MeterScope::enter(Arc::clone(&self.meter));
-        self.db.execute_statement_in_txn(&stmt, &mut self.undo)
+        let res = {
+            let _scope = MeterScope::enter(Arc::clone(&self.meter));
+            self.db.execute_statement_in_txn(&stmt, &mut self.undo)
+        };
+        // Log even a failed statement's partial effects: they are in the
+        // store and in the undo log, so they must be in the WAL too (the
+        // rollback that removes them will log compensation records).
+        let logged = self.wal_log_new_ops();
+        let out = res?;
+        logged?;
+        Ok(out)
     }
 
     /// Execute a SELECT and return its rows.
@@ -137,17 +155,48 @@ impl<'db> Txn<'db> {
             }
             None => self.lock_table(&t.name, LockMode::Exclusive)?,
         }
-        let _scope = MeterScope::enter(Arc::clone(&self.meter));
-        let rid = self.db.catalog().insert_row(&t, row)?;
-        self.undo.push(Undo::Insert { table: t.name.clone(), rid });
+        {
+            let _scope = MeterScope::enter(Arc::clone(&self.meter));
+            let rid = self.db.catalog().insert_row(&t, row)?;
+            self.undo.push(Undo::Insert { table: t.name.clone(), rid });
+        }
+        self.wal_log_new_ops()
+    }
+
+    /// Append log records for undo entries not yet logged (everything past
+    /// `op_lsns.len()`) and stamp the touched pages. No-op without a WAL.
+    fn wal_log_new_ops(&mut self) -> DbResult<()> {
+        let Some(wal) = self.db.wal() else {
+            return Ok(());
+        };
+        if self.undo.len() == self.op_lsns.len() {
+            return Ok(());
+        }
+        let payloads = self.db.wal_payloads_from_undo(&self.undo[self.op_lsns.len()..])?;
+        let lsns = wal.append_batch(self.id, &payloads);
+        self.db.stamp_payload_lsns(&payloads, &lsns);
+        self.op_lsns.extend(lsns);
         Ok(())
     }
 
-    /// Commit: keep all effects, release locks.
+    /// Commit: keep all effects, release locks. With a WAL, a `Commit`
+    /// record is appended and made durable per the log's
+    /// [`crate::wal::CommitPolicy`] *before* locks are released — under
+    /// group commit this is where the calling work process parks until a
+    /// leader's force covers it.
     pub fn commit(mut self) -> DbResult<TxnStats> {
+        let wal_result = match self.db.wal() {
+            Some(wal) if !self.op_lsns.is_empty() => {
+                let lsns = wal.append_batch(self.id, &[LogPayload::Commit]);
+                wal.commit(lsns[0])
+            }
+            _ => Ok(()),
+        };
         self.done = true;
         self.undo.clear();
+        self.op_lsns.clear();
         self.db.lock_manager().release_all(self.id);
+        wal_result?;
         Ok(TxnStats { work: self.meter.snapshot(), lock_wait: self.lock_wait })
     }
 
@@ -165,6 +214,22 @@ impl<'db> Txn<'db> {
     }
 
     fn rollback_inner(&mut self) -> DbResult<()> {
+        let mut staged = Vec::new();
+        let result = self.undo_all(&mut staged);
+        // Even when an undo step fails partway, the compensation records
+        // staged so far and the Abort must reach the log file — otherwise a
+        // crash after a failed rollback would replay the transaction's
+        // operations as if the rollback never started. (The drop path used
+        // to skip this when undo errored.)
+        let logged = self.finish_wal_abort(staged);
+        result?;
+        logged
+    }
+
+    /// Replay the undo log in reverse, staging one compensation record per
+    /// successfully undone *logged* operation (actions carry the original
+    /// do-time RIDs; restart's remap table resolves placement drift).
+    fn undo_all(&mut self, staged: &mut Vec<LogPayload>) -> DbResult<()> {
         let _scope = MeterScope::enter(Arc::clone(&self.meter));
         // RIDs recorded at do-time can be stale by the time we undo: a heap
         // update or a re-insert may have moved the row. `remap` carries
@@ -172,6 +237,23 @@ impl<'db> Txn<'db> {
         // reverse replay.
         let mut remap: HashMap<(String, Rid), Rid> = HashMap::new();
         while let Some(u) = self.undo.pop() {
+            let idx = self.undo.len();
+            // Ops past op_lsns.len() never made it into the log, so no CLR:
+            // restart has nothing to compensate.
+            let action = (idx < self.op_lsns.len()).then(|| match &u {
+                Undo::Insert { table, rid } => {
+                    UndoAction::Delete { table: table.clone(), rid: *rid }
+                }
+                Undo::Delete { table, rid, row } => {
+                    UndoAction::Insert { table: table.clone(), rid: *rid, row: row.clone() }
+                }
+                Undo::Update { table, prev_rid, rid, old } => UndoAction::Revert {
+                    table: table.clone(),
+                    rid: *rid,
+                    prev_rid: *prev_rid,
+                    old: old.clone(),
+                },
+            });
             match u {
                 Undo::Insert { table, rid } => {
                     let t = self.db.catalog().table(&table)?;
@@ -190,8 +272,31 @@ impl<'db> Txn<'db> {
                     remap.insert((table, prev_rid), restored);
                 }
             }
+            if let Some(action) = action {
+                let undo_next = if idx == 0 { NULL_LSN } else { self.op_lsns[idx - 1] };
+                staged.push(LogPayload::Clr { undo_next, action });
+            }
         }
         Ok(())
+    }
+
+    /// Append the staged compensation records and an `Abort`, then write
+    /// them through to the log file. Aborts need not be fsynced, but their
+    /// records must not sit only in this process's buffer — restart decides
+    /// what is already compensated by reading them.
+    fn finish_wal_abort(&mut self, staged: Vec<LogPayload>) -> DbResult<()> {
+        let Some(wal) = self.db.wal() else {
+            return Ok(());
+        };
+        if self.op_lsns.is_empty() {
+            return Ok(());
+        }
+        let mut batch = staged;
+        batch.push(LogPayload::Abort);
+        let lsns = wal.append_batch(self.id, &batch);
+        self.db.stamp_payload_lsns(&batch, &lsns);
+        self.op_lsns.clear();
+        wal.write_buffered(false)
     }
 
     fn lock_table(&mut self, table: &str, mode: LockMode) -> DbResult<()> {
@@ -359,7 +464,9 @@ impl<'db> Txn<'db> {
 /// row/key-range locks when every visible access is index-driven.
 #[derive(Debug, Clone)]
 pub enum ReadLockPlan {
+    /// Whole-table shared lock (sequential scan somewhere in the plan).
     Table,
+    /// Key-range / existing-row locks; every access is index-driven.
     Rows(Vec<RowLock>),
 }
 

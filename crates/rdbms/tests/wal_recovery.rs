@@ -1,0 +1,275 @@
+//! Kill-and-recover tests for the write-ahead log (DESIGN.md §10).
+//!
+//! A session runs a mixed workload — DDL, autocommit statements, bulk-load
+//! rows, committed / rolled-back / still-open transactions, a fuzzy
+//! checkpoint — against a WAL-enabled database, then the log file content
+//! is captured and "crashed" by truncating it at many byte offsets (every
+//! record boundary plus offsets inside records, modelling torn writes).
+//! Each truncated copy is recovered and the resulting database is compared
+//! against an *independent* interpretation of the surviving log prefix:
+//!
+//! * every transaction whose Commit record survives is fully visible;
+//! * every transaction without one (including autocommit statements cut
+//!   before their implicit Commit) is fully rolled back;
+//! * system records (bulk load, DDL) are committed-if-present.
+
+use rdbms::wal::{scan_records, LogPayload, WalConfig, SYSTEM_TXN};
+use rdbms::{Database, DbConfig, Value};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rdbms-recovery-{name}-{}", std::process::id()));
+    p
+}
+
+fn wal_db(path: &PathBuf) -> Database {
+    let config = DbConfig { wal: Some(WalConfig::new(path)), ..DbConfig::default() };
+    Database::open(config).unwrap()
+}
+
+fn recover_from(path: &PathBuf) -> (Database, rdbms::RecoveryReport) {
+    let config = DbConfig { wal: Some(WalConfig::new(path)), ..DbConfig::default() };
+    Database::recover(config).unwrap()
+}
+
+/// Rows of ACCOUNTS keyed by primary key, as (id, balance, note).
+type State = BTreeMap<i64, Vec<Value>>;
+
+fn observed_state(db: &Database) -> Option<State> {
+    let r = db.query("SELECT id, balance, note FROM accounts ORDER BY id").ok()?;
+    Some(r.rows.into_iter().map(|row| (row[0].as_int().unwrap(), row)).collect())
+}
+
+/// Independently interpret a log prefix: apply, in log order, only the
+/// operations of the system transaction and of transactions whose Commit
+/// record is inside the prefix. Rows are tracked by primary key, so the
+/// interpretation shares no RID machinery with the recovery code it checks.
+fn expected_state(bytes: &[u8]) -> (Option<State>, Vec<u64>) {
+    let (records, _) = scan_records(bytes);
+    let committed: Vec<u64> = {
+        let mut c: Vec<u64> = records
+            .iter()
+            .filter(|r| r.txn != SYSTEM_TXN && matches!(r.payload, LogPayload::Commit))
+            .map(|r| r.txn)
+            .collect();
+        c.sort_unstable();
+        c
+    };
+    let mut table_exists = false;
+    let mut state = State::new();
+    let pk = |row: &[Value]| row[0].as_int().unwrap();
+    for r in &records {
+        let visible = r.txn == SYSTEM_TXN || committed.binary_search(&r.txn).is_ok();
+        match &r.payload {
+            LogPayload::Ddl { sql } if sql.contains("CREATE TABLE") => {
+                table_exists = true;
+            }
+            _ if !visible => {}
+            LogPayload::Insert { row, .. } => {
+                state.insert(pk(row), row.clone());
+            }
+            LogPayload::Delete { row, .. } => {
+                state.remove(&pk(row));
+            }
+            LogPayload::Update { old, new, .. } => {
+                state.remove(&pk(old));
+                state.insert(pk(new), new.clone());
+            }
+            _ => {}
+        }
+    }
+    (table_exists.then_some(state), committed)
+}
+
+/// One representative session; returns the full log bytes. The still-open
+/// transaction's records are in the file (an explicit `wal_flush` while it
+/// is open) but its rollback is not — the capture happens "at the crash".
+fn run_session(log: &PathBuf) -> Vec<u8> {
+    let db = wal_db(log);
+    db.execute(
+        "CREATE TABLE accounts (id INTEGER NOT NULL, balance INTEGER, \
+         note VARCHAR(20), PRIMARY KEY (id))",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX acc_bal ON accounts (balance)").unwrap();
+    // Autocommit inserts: each an implicit transaction in the log.
+    for i in 0..12 {
+        db.execute(&format!("INSERT INTO accounts VALUES ({i}, {}, 'init')", i * 100)).unwrap();
+    }
+    // Bulk-load rows: system records, committed-if-present.
+    for i in 100..103 {
+        db.insert_row("accounts", &[Value::Int(i), Value::Int(7), Value::str("bulk")]).unwrap();
+    }
+    db.execute("ANALYZE accounts").unwrap();
+    // A committed transaction touching all three DML kinds.
+    let mut t = db.begin();
+    t.execute("UPDATE accounts SET balance = 0 WHERE id = 3").unwrap();
+    t.execute("INSERT INTO accounts VALUES (200, 555, 'txn')").unwrap();
+    t.execute("DELETE FROM accounts WHERE id = 7").unwrap();
+    t.commit().unwrap();
+    // A fuzzy checkpoint mid-history.
+    db.checkpoint().unwrap();
+    // A transaction rolled back before the crash: CLRs + Abort in the log.
+    let mut t = db.begin();
+    t.execute("UPDATE accounts SET balance = 999 WHERE id = 5").unwrap();
+    t.execute("INSERT INTO accounts VALUES (201, 1, 'gone')").unwrap();
+    t.rollback().unwrap();
+    // More autocommit work after the checkpoint.
+    db.execute("UPDATE accounts SET note = 'post' WHERE id < 2").unwrap();
+    db.execute("DELETE FROM accounts WHERE id = 11").unwrap();
+    // A transaction still open at the crash — a loser.
+    let mut t = db.begin();
+    t.execute("INSERT INTO accounts VALUES (300, -5, 'open')").unwrap();
+    t.execute("UPDATE accounts SET balance = -1 WHERE id = 10").unwrap();
+    db.wal_flush().unwrap();
+    // Capture the log *before* the open transaction is dropped (its drop
+    // would append CLRs and an Abort — that is the post-crash world).
+    let bytes = std::fs::read(log).unwrap();
+    drop(t);
+    bytes
+}
+
+#[test]
+fn crash_at_any_offset_recovers_committed_and_rolls_back_losers() {
+    let log = tmp("session");
+    let bytes = run_session(&log);
+    std::fs::remove_file(&log).ok();
+
+    // Cut points: every record boundary, plus offsets inside the following
+    // record (torn writes), plus inside the file header.
+    let (records, end) = scan_records(&bytes);
+    assert!(records.len() > 40, "workload should produce a rich log: {}", records.len());
+    let mut cuts: Vec<usize> = vec![0, 3, 8];
+    for r in &records {
+        cuts.push(r.lsn as usize);
+        cuts.push(r.lsn as usize + 5);
+    }
+    cuts.push(end as usize);
+    cuts.retain(|&c| c <= bytes.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let cut_log = tmp("cut");
+    for &cut in &cuts {
+        std::fs::write(&cut_log, &bytes[..cut]).unwrap();
+        let (db, report) = recover_from(&cut_log);
+        let (expected, committed) = expected_state(&bytes[..cut]);
+        assert_eq!(report.committed, committed, "cut={cut}");
+        let observed = observed_state(&db);
+        assert_eq!(
+            observed, expected,
+            "state mismatch at cut={cut} ({} records survive)",
+            report.records_scanned
+        );
+        // Losers and winners are disjoint.
+        for l in &report.losers {
+            assert!(!report.committed.contains(l), "cut={cut}: loser {l} also committed");
+        }
+    }
+    std::fs::remove_file(&cut_log).ok();
+}
+
+#[test]
+fn recovery_is_idempotent_and_resumable() {
+    let log = tmp("idempotent");
+    let bytes = run_session(&log);
+    std::fs::write(&log, &bytes).unwrap();
+
+    let (db1, report1) = recover_from(&log);
+    let state1 = observed_state(&db1).unwrap();
+    assert!(!report1.losers.is_empty(), "the open transaction must be a loser");
+    drop(db1);
+
+    // Recovering the recovered log (now containing restart's own CLRs and
+    // Abort) reproduces the same state: recovery of recovery is a no-op.
+    let (db2, report2) = recover_from(&log);
+    assert_eq!(observed_state(&db2).unwrap(), state1);
+    assert!(report2.losers.is_empty(), "restart already aborted every loser");
+
+    // The recovered database keeps logging: new work survives another crash.
+    db2.execute("INSERT INTO accounts VALUES (400, 42, 'resumed')").unwrap();
+    drop(db2);
+    let (db3, _) = recover_from(&log);
+    let r = db3.query("SELECT balance FROM accounts WHERE id = 400").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(42));
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn checkpoint_bounds_analysis_and_reports_tables() {
+    let log = tmp("ckpt");
+    let db = wal_db(&log);
+    db.execute(
+        "CREATE TABLE accounts (id INTEGER NOT NULL, balance INTEGER, \
+                note VARCHAR(20), PRIMARY KEY (id))",
+    )
+    .unwrap();
+    db.execute("INSERT INTO accounts VALUES (1, 10, 'a')").unwrap();
+    // Checkpoint with a transaction in flight: its id must be in the logged
+    // active-transaction table and it must still roll back at restart.
+    let mut t = db.begin();
+    t.execute("UPDATE accounts SET balance = 77 WHERE id = 1").unwrap();
+    let ckpt_lsn = db.checkpoint().unwrap();
+    db.execute("INSERT INTO accounts VALUES (2, 20, 'b')").unwrap();
+    db.wal_flush().unwrap();
+    let bytes = std::fs::read(&log).unwrap();
+    drop(t);
+    drop(db);
+    std::fs::write(&log, &bytes).unwrap();
+
+    let (db, report) = recover_from(&log);
+    assert_eq!(report.checkpoint_lsn, Some(ckpt_lsn));
+    assert!(!report.dirty_pages.is_empty(), "update before checkpoint dirtied pages");
+    assert_eq!(report.losers.len(), 1, "in-flight transaction at checkpoint is the loser");
+    let r = db.query("SELECT id, balance FROM accounts ORDER BY id").unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(20)]],
+        "loser's update rolled back, both committed inserts present"
+    );
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn dropped_txn_with_failing_rollback_still_logs_abort() {
+    let log = tmp("drop-abort");
+    let db = wal_db(&log);
+    db.execute(
+        "CREATE TABLE accounts (id INTEGER NOT NULL, balance INTEGER, \
+                note VARCHAR(20), PRIMARY KEY (id))",
+    )
+    .unwrap();
+    let before = db.meter().snapshot().rollback_errors();
+    {
+        let mut t = db.begin();
+        t.execute("INSERT INTO accounts VALUES (1, 5, 'mine')").unwrap();
+        // Sabotage the undo: an autocommit DELETE removes the row underneath
+        // the open transaction (autocommit takes no locks), so the drop-time
+        // rollback's delete of the already-dead slot fails.
+        db.execute("DELETE FROM accounts WHERE id = 1").unwrap();
+        drop(t);
+    }
+    assert!(db.meter().snapshot().rollback_errors() > before, "the failed undo must be observable");
+    // Regression: even though the rollback errored, the transaction's Abort
+    // record must reach the log *file* without any explicit flush — restart
+    // must not treat the transaction as a loser with live effects.
+    let records = rdbms::wal::read_log(&log).unwrap();
+    let txn_id = records
+        .iter()
+        .find(|r| matches!(r.payload, LogPayload::Insert { .. }) && r.txn != SYSTEM_TXN)
+        .map(|r| r.txn)
+        .expect("the insert was logged");
+    assert!(
+        records.iter().any(|r| r.txn == txn_id && matches!(r.payload, LogPayload::Abort)),
+        "abort record missing from the on-disk log"
+    );
+    drop(db);
+    let (db, report) = recover_from(&log);
+    assert!(report.losers.is_empty(), "aborted transaction is not a loser");
+    // The committed autocommit DELETE stands; the aborted insert is gone.
+    let r = db.query("SELECT COUNT(*) FROM accounts").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(0));
+    std::fs::remove_file(&log).ok();
+}

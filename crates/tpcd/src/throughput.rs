@@ -109,6 +109,111 @@ impl ClaimKind {
     }
 }
 
+/// How commit durability is charged in virtual time (DESIGN.md §10.6).
+///
+/// The engine's write-ahead log is real file I/O; the deterministic
+/// throughput driver models its cost instead, the same way it models lock
+/// interference: each commit visits a shared [`LogDevice`] whose flush
+/// slots take [`Calibration::ms_wal_flush`] simulated milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityModel {
+    /// No log force on commit — the pre-WAL behaviour. Charges exactly
+    /// nothing, so results are bit-identical to runs before the model
+    /// existed.
+    #[default]
+    Off,
+    /// Every commit forces its own log flush, serialized on the device.
+    CommitFsync,
+    /// Commits arriving while a flush is in progress park and share the
+    /// next flush — one fsync covers the whole batch ([`rdbms::wal`]'s
+    /// group commit, in virtual time).
+    GroupCommit,
+}
+
+impl DurabilityModel {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DurabilityModel::Off => "off",
+            DurabilityModel::CommitFsync => "fsync-per-commit",
+            DurabilityModel::GroupCommit => "group-commit",
+        }
+    }
+}
+
+/// The virtual-time log device: a single flusher whose fsync slots take a
+/// fixed number of simulated seconds. Mirrors the engine's group-commit
+/// protocol — a commit that arrives before a scheduled flush *starts* is
+/// covered by it (its records are in the buffer the leader writes); a
+/// commit that arrives while a flush is in progress parks for the next one.
+#[derive(Debug)]
+pub struct LogDevice {
+    model: DurabilityModel,
+    flush_s: f64,
+    /// Start/end of the most recently scheduled flush slot.
+    slot: Option<(f64, f64)>,
+    /// Commits charged through the device.
+    pub commits: u64,
+    /// Flush slots scheduled (the virtual fsync count).
+    pub flushes: u64,
+}
+
+impl LogDevice {
+    pub fn new(model: DurabilityModel, flush_s: f64) -> LogDevice {
+        LogDevice { model, flush_s, slot: None, commits: 0, flushes: 0 }
+    }
+
+    /// A commit reaches the log at virtual second `t`; returns the virtual
+    /// second it is durable (== `t` with durability off).
+    pub fn commit(&mut self, t: f64) -> f64 {
+        if self.model == DurabilityModel::Off {
+            return t;
+        }
+        self.commits += 1;
+        match self.model {
+            DurabilityModel::Off => unreachable!(),
+            DurabilityModel::CommitFsync => {
+                // A private flush, queued behind whatever the device is doing.
+                let start = match self.slot {
+                    Some((_, end)) if end > t => end,
+                    _ => t,
+                };
+                let end = start + self.flush_s;
+                self.slot = Some((start, end));
+                self.flushes += 1;
+                end
+            }
+            DurabilityModel::GroupCommit => match self.slot {
+                // The scheduled flush has not started: join its batch.
+                Some((start, end)) if start >= t => end,
+                // A flush is in progress: park; the follower batch flushes
+                // the moment it completes.
+                Some((_, end)) if end > t => {
+                    self.slot = Some((end, end + self.flush_s));
+                    self.flushes += 1;
+                    end + self.flush_s
+                }
+                // Device idle: lead a new flush.
+                _ => {
+                    self.slot = Some((t, t + self.flush_s));
+                    self.flushes += 1;
+                    t + self.flush_s
+                }
+            },
+        }
+    }
+
+    /// Charge `n` sequential commits from one caller (each waits for its
+    /// own durability before issuing the next), returning the final
+    /// completion time.
+    pub fn commit_n(&mut self, t: f64, n: u64) -> f64 {
+        let mut done = t;
+        for _ in 0..n {
+            done = self.commit(done);
+        }
+        done
+    }
+}
+
 /// Which locking granularity the interference model simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LockModel {
@@ -157,6 +262,12 @@ pub trait StreamWorkload {
     fn uf1_locks(&self, stream: u64) -> Vec<LockClaim>;
     /// Locks UF2 (the RF2 deletes for `stream`) holds.
     fn uf2_locks(&self, stream: u64) -> Vec<LockClaim>;
+    /// How many commits one UF unit for `stream` issues. The isolated
+    /// RDBMS runs each refresh function as a single transaction; the SAP
+    /// configurations COMMIT WORK once per batch-input document.
+    fn uf_commits(&self, _stream: u64) -> u64 {
+        1
+    }
 }
 
 /// Throughput-test configuration.
@@ -169,11 +280,18 @@ pub struct ThroughputConfig {
     pub seed: u64,
     /// Locking granularity the interference model simulates.
     pub lock_model: LockModel,
+    /// How commit durability is charged in virtual time.
+    pub durability: DurabilityModel,
 }
 
 impl Default for ThroughputConfig {
     fn default() -> Self {
-        ThroughputConfig { query_streams: 4, seed: 42, lock_model: LockModel::default() }
+        ThroughputConfig {
+            query_streams: 4,
+            seed: 42,
+            lock_model: LockModel::default(),
+            durability: DurabilityModel::default(),
+        }
     }
 }
 
@@ -189,6 +307,9 @@ pub struct UnitResult {
     pub lock_wait: f64,
     /// Simulated execution seconds (excluding lock wait).
     pub seconds: f64,
+    /// Simulated seconds the unit waited for its commits to become
+    /// durable on the log device (0 with durability off and for queries).
+    pub commit_wait: f64,
     /// Answer rows (queries) or rows touched (update functions).
     pub rows: u64,
     /// Deadlock aborts this unit rolled back and retried.
@@ -223,6 +344,12 @@ pub struct ThroughputResult {
     pub query_streams: usize,
     /// Locking granularity the run was modeled with.
     pub lock_model: String,
+    /// Durability mode the run was modeled with.
+    pub durability: String,
+    /// Commits charged to the virtual log device.
+    pub commits: u64,
+    /// Flush slots (virtual fsyncs) the log device scheduled.
+    pub wal_flushes: u64,
     /// Elapsed virtual seconds (start of test to last unit end).
     pub elapsed_seconds: f64,
     /// TPC-D composite throughput metric `QthD@Size`.
@@ -354,6 +481,7 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
     });
 
     let mut granted = GrantedLocks::default();
+    let mut log = LogDevice::new(config.durability, cal.ms_wal_flush / 1000.0);
     // Pick the most-behind stream with work left (ties: lowest index).
     while let Some(idx) = streams
         .iter()
@@ -408,7 +536,22 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
         let work = workload.snapshot().since(&before);
         let seconds = cal.seconds(&work);
         let start = stream.vtime + lock_wait;
-        let end = start + seconds;
+        let mut end = start + seconds;
+        // The unit's commits visit the virtual log device; the stream is
+        // not done until its last commit is durable. Off charges nothing
+        // (and performs no arithmetic), keeping pre-WAL runs bit-identical.
+        let mut commit_wait = 0.0;
+        if config.durability != DurabilityModel::Off {
+            let commits = match unit {
+                Unit::Query(_) => 0,
+                Unit::Uf1(p) | Unit::Uf2(p) => workload.uf_commits(*p),
+            };
+            if commits > 0 {
+                let durable = log.commit_n(end, commits);
+                commit_wait = durable - end;
+                end = durable;
+            }
+        }
         granted.hold(&claims, end);
 
         stream.result.units.push(UnitResult {
@@ -416,13 +559,14 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
             start,
             lock_wait,
             seconds,
+            commit_wait,
             rows,
             retries,
             work,
         });
         stream.result.busy_seconds += seconds;
         stream.result.lock_wait_seconds += lock_wait;
-        stream.result.latency_us.record(((lock_wait + seconds) * 1e6) as u64);
+        stream.result.latency_us.record(((lock_wait + seconds + commit_wait) * 1e6) as u64);
         stream.vtime = end;
         stream.result.finished_at = end;
     }
@@ -435,6 +579,9 @@ pub fn run_throughput_test<W: StreamWorkload + ?Sized>(
         sf,
         query_streams: config.query_streams,
         lock_model: config.lock_model.as_str().to_string(),
+        durability: config.durability.as_str().to_string(),
+        commits: log.commits,
+        wal_flushes: log.flushes,
         elapsed_seconds: elapsed,
         qthd,
         streams: streams.into_iter().map(|s| s.result).collect(),
@@ -660,6 +807,71 @@ mod tests {
     }
 
     #[test]
+    fn log_device_batches_group_commits_but_not_fsyncs() {
+        // Four commits close together: per-commit fsync serializes four
+        // flushes; group commit needs two (leader, then one shared
+        // follower batch).
+        let f = 0.0055;
+        let mut fsync = LogDevice::new(DurabilityModel::CommitFsync, f);
+        let mut group = LogDevice::new(DurabilityModel::GroupCommit, f);
+        let arrivals = [0.0, 0.001, 0.002, 0.003];
+        let fsync_done: Vec<f64> = arrivals.iter().map(|&t| fsync.commit(t)).collect();
+        let group_done: Vec<f64> = arrivals.iter().map(|&t| group.commit(t)).collect();
+        assert_eq!(fsync.flushes, 4);
+        assert_eq!(fsync.commits, 4);
+        assert!((fsync_done[3] - 4.0 * f).abs() < 1e-12, "serialized: {fsync_done:?}");
+        assert_eq!(group.flushes, 2, "leader flush + one follower batch");
+        assert_eq!(group.commits, 4);
+        assert!((group_done[1] - 2.0 * f).abs() < 1e-12);
+        assert_eq!(group_done[2], group_done[1], "commit 3 joins the follower batch");
+        assert_eq!(group_done[3], group_done[1], "commit 4 joins the follower batch");
+        // A lone committer gets no batching: group commit == fsync.
+        let mut lone = LogDevice::new(DurabilityModel::GroupCommit, f);
+        assert!((lone.commit_n(0.0, 3) - 3.0 * f).abs() < 1e-12);
+        assert_eq!(lone.flushes, 3);
+        // Off charges nothing and schedules nothing.
+        let mut off = LogDevice::new(DurabilityModel::Off, f);
+        assert_eq!(off.commit(1.5).to_bits(), 1.5f64.to_bits());
+        assert_eq!(off.flushes, 0);
+        assert_eq!(off.commits, 0);
+    }
+
+    #[test]
+    fn durability_model_charges_only_update_commits() {
+        let run = |durability| {
+            let (db, gen) = fresh(0.002);
+            let params = QueryParams::for_scale(gen.sf);
+            let workload = IsolatedWorkload { db: &db, gen: &gen };
+            let config =
+                ThroughputConfig { query_streams: 2, seed: 7, durability, ..Default::default() };
+            run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
+        };
+        let off = run(DurabilityModel::Off);
+        let fsync = run(DurabilityModel::CommitFsync);
+        assert_eq!(off.durability, "off");
+        assert_eq!(off.commits, 0);
+        assert_eq!(off.wal_flushes, 0);
+        assert_eq!(fsync.durability, "fsync-per-commit");
+        // One transaction per refresh function: 2 UF1/UF2 pairs = 4 commits.
+        assert_eq!(fsync.commits, 4);
+        assert_eq!(fsync.wal_flushes, 4, "per-commit fsync never batches");
+        // Only UPD units pay; every query unit's commit wait is zero.
+        for s in &fsync.streams {
+            for u in &s.units {
+                if s.stream == "UPD" {
+                    assert!(u.commit_wait > 0.0, "UF must wait for its fsync: {u:?}");
+                } else {
+                    assert_eq!(u.commit_wait, 0.0, "queries do not commit: {u:?}");
+                }
+            }
+        }
+        let off_upd = off.stream("UPD").unwrap();
+        let fsync_upd = fsync.stream("UPD").unwrap();
+        assert!(fsync_upd.finished_at > off_upd.finished_at);
+        assert!(fsync.qthd <= off.qthd, "durability cannot raise QthD");
+    }
+
+    #[test]
     fn throughput_test_runs_and_is_deterministic() {
         let config = ThroughputConfig { query_streams: 2, seed: 7, ..Default::default() };
         let run = |_| {
@@ -776,7 +988,12 @@ mod tests {
                 inner: IsolatedWorkload { db: &db, gen: &gen },
                 uf1_deadlocks: Cell::new(0),
             };
-            let config = ThroughputConfig { query_streams: 2, seed: 7, lock_model: model };
+            let config = ThroughputConfig {
+                query_streams: 2,
+                seed: 7,
+                lock_model: model,
+                ..Default::default()
+            };
             run_throughput_test(&workload, &params, gen.sf, &config).unwrap()
         };
         let table = run(LockModel::Table);

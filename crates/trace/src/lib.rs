@@ -9,7 +9,7 @@
 //! * [`meter`] — the cost clock itself ([`CostMeter`], [`Counter`],
 //!   [`MeterSnapshot`], [`MeterScope`], [`Calibration`]), moved here from
 //!   `rdbms::clock` so layers above and below the engine can share it.
-//! * [`span`] — span-based tracing. A [`TraceSession`] installs a
+//! * [`mod@span`] — span-based tracing. A [`TraceSession`] installs a
 //!   thread-local tracer; every [`span`](span::span) records the
 //!   [`MeterSnapshot`] delta across its lifetime and the spans form a tree
 //!   (plan nodes, SQL calls, report phases). Rendering multiplies the

@@ -76,10 +76,20 @@ pub enum Counter {
     /// Times a throughput-driver unit was retried after being picked as a
     /// deadlock victim (TPC-D refresh functions retry with backoff).
     DeadlockRetries,
+    /// Log records appended to the write-ahead log.
+    WalRecords,
+    /// Bytes appended to the write-ahead log (frame headers included).
+    WalBytes,
+    /// Log forces: `fsync` calls issued against the log file. Under group
+    /// commit this is the number of *batched* flushes, not commits.
+    WalFlushes,
+    /// Commits made durable, summed over group-commit flushes; divided by
+    /// [`Counter::WalFlushes`] this gives the mean group-commit batch size.
+    GroupCommitBatch,
 }
 
 impl Counter {
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 22;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::SeqPageReads,
@@ -100,6 +110,10 @@ impl Counter {
         Counter::UpgradeWaits,
         Counter::RollbackErrors,
         Counter::DeadlockRetries,
+        Counter::WalRecords,
+        Counter::WalBytes,
+        Counter::WalFlushes,
+        Counter::GroupCommitBatch,
     ];
 
     /// Stable snake_case name, used for JSON export and display.
@@ -123,6 +137,10 @@ impl Counter {
             Counter::UpgradeWaits => "upgrade_waits",
             Counter::RollbackErrors => "rollback_errors",
             Counter::DeadlockRetries => "deadlock_retries",
+            Counter::WalRecords => "wal_records",
+            Counter::WalBytes => "wal_bytes",
+            Counter::WalFlushes => "wal_flushes",
+            Counter::GroupCommitBatch => "group_commit_batch",
         }
     }
 }
@@ -336,6 +354,22 @@ impl MeterSnapshot {
         self.get(Counter::DeadlockRetries)
     }
 
+    pub fn wal_records(&self) -> u64 {
+        self.get(Counter::WalRecords)
+    }
+
+    pub fn wal_bytes(&self) -> u64 {
+        self.get(Counter::WalBytes)
+    }
+
+    pub fn wal_flushes(&self) -> u64 {
+        self.get(Counter::WalFlushes)
+    }
+
+    pub fn group_commit_batch(&self) -> u64 {
+        self.get(Counter::GroupCommitBatch)
+    }
+
     pub fn cache_hit_ratio(&self) -> f64 {
         if self.cache_probes() == 0 {
             0.0
@@ -380,6 +414,10 @@ pub struct Calibration {
     pub ms_app_spill_page: f64,
     pub ms_check_unit: f64,
     pub ms_cache_probe: f64,
+    /// Cost of forcing the log to disk (one `fsync` of the tail). Dominated
+    /// by rotational latency on the 5400 rpm Seagate disks of the paper's
+    /// era: ~5.5 ms per revolution.
+    pub ms_wal_flush: f64,
 }
 
 impl Default for Calibration {
@@ -413,6 +451,7 @@ impl Calibration {
             ms_app_spill_page: 3.0,
             ms_check_unit: 150.0,
             ms_cache_probe: 0.08,
+            ms_wal_flush: 5.5,
         }
     }
 
@@ -431,6 +470,7 @@ impl Calibration {
             Counter::AppSpillPages => self.ms_app_spill_page,
             Counter::CheckUnits => self.ms_check_unit,
             Counter::CacheProbes => self.ms_cache_probe,
+            Counter::WalFlushes => self.ms_wal_flush,
             Counter::CacheHits
             | Counter::IndexNodeReads
             | Counter::LockWaits
@@ -438,7 +478,10 @@ impl Calibration {
             | Counter::LockEscalations
             | Counter::UpgradeWaits
             | Counter::RollbackErrors
-            | Counter::DeadlockRetries => 0.0,
+            | Counter::DeadlockRetries
+            | Counter::WalRecords
+            | Counter::WalBytes
+            | Counter::GroupCommitBatch => 0.0,
         }
     }
 

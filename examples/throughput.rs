@@ -53,7 +53,8 @@ fn main() {
     tpcd::schema::load(&db, &gen).expect("load");
     let params = QueryParams::for_scale(sf);
     for lock_model in models {
-        let config = ThroughputConfig { query_streams: 4, seed: 42, lock_model };
+        let config =
+            ThroughputConfig { query_streams: 4, seed: 42, lock_model, ..Default::default() };
         let workload = IsolatedWorkload { db: &db, gen: &gen };
         let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
         report(&result);
@@ -64,7 +65,8 @@ fn main() {
         let sys = R3System::install_default(Release::R30).expect("install");
         sys.load_tpcd(&gen).expect("load");
         for lock_model in models {
-            let config = ThroughputConfig { query_streams: 4, seed: 42, lock_model };
+            let config =
+                ThroughputConfig { query_streams: 4, seed: 42, lock_model, ..Default::default() };
             let workload = SapWorkload { sys: &sys, iface, gen: &gen };
             println!("running {} ({} locking) ...", workload.name(), lock_model.as_str());
             let result = run_throughput_test(&workload, &params, sf, &config).expect("throughput");
