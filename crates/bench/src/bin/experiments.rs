@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--sf <scale>] [table1 .. table9 | figures | all | trace [qN]
-//!              | durability]
+//!              | durability | server]
 //! ```
 //!
 //! `trace` runs the end-to-end observability demo for one query (default
@@ -12,6 +12,11 @@
 //! `durability` runs the commit-durability experiment (QthD and order
 //! entry/posting under WAL off, per-commit fsync, and group commit) and
 //! records the baseline in `BENCH_durability.json`.
+//!
+//! `server` runs the wire-protocol experiment (simple vs extended protocol
+//! over real loopback sockets, plan-cache hit rates, and a 100+-connection
+//! stress phase) and records the baseline in `BENCH_server.json`. Its
+//! default scale is 0.02 unless `--sf` is given explicitly.
 //!
 //! Results print as text tables (paper numbers alongside) and are also
 //! dumped as JSON under `target/experiments/`.
@@ -139,6 +144,27 @@ fn main() {
         }
         Err(e) => eprintln!("{name} failed: {e}"),
     };
+
+    if which.first().map(String::as_str) == Some("server") {
+        let sf = if args.iter().any(|a| a == "--sf") { sf } else { 0.02 };
+        match bench::serverexp::run_server_experiment(sf) {
+            Ok(doc) => {
+                let json = serde_json::to_string_pretty(&doc).expect("server doc serializes");
+                if let Err(e) = serde_json::from_str(&json) {
+                    eprintln!("BENCH_server.json: emitted JSON does not parse: {e}");
+                    std::process::exit(1);
+                }
+                let out = "BENCH_server.json";
+                fs::write(out, json).expect("write baseline");
+                println!("\n  (written to {out})");
+            }
+            Err(e) => {
+                eprintln!("server experiment failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if which.first().map(String::as_str) == Some("durability") {
         if let Err(e) = run_durability(sf) {

@@ -112,8 +112,14 @@ fn main() {
          key-range granularity — diff the two to see the update stream's lock-wait drop",
         "per configuration the database is loaded once and reused across stream counts \
          (UF1/UF2 pairs are net-zero), so rerunning a series reproduces it bit-for-bit",
+        "isolated-extended is the same database driven through prepared parameterized \
+         statements (the wire server's extended protocol): plans come from the shared plan \
+         cache and selective predicates probe rows instead of scanning tables. At small SF \
+         that wins (QthD up, lock waits down vs plain isolated); at SF 0.2 the \
+         parameter-blind index probes lose badly to the literal plans' scans — the paper's \
+         section 4.1 blind-plan penalty (Table 6) measured at throughput scale",
         "regenerate: cargo run --release -p bench --bin throughput -- --sf 0.2 --configs \
-         isolated  /  --sf 0.02 --configs native,open",
+         isolated,isolated-extended  /  --sf 0.02 --configs native,open",
     ];
     let doc = Json::object()
         .field("benchmark", "tpcd_throughput")

@@ -677,17 +677,25 @@ pub fn table9(sf: f64) -> DbResult<ExpTable> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThroughputSystem {
     Isolated,
+    /// Isolated RDBMS driven through the extended (Parse/Bind/Execute)
+    /// path: shared plan cache, parameterized plans, row-level locks.
+    IsolatedExtended,
     Native,
     Open,
 }
 
 impl ThroughputSystem {
-    pub const ALL: [ThroughputSystem; 3] =
-        [ThroughputSystem::Isolated, ThroughputSystem::Native, ThroughputSystem::Open];
+    pub const ALL: [ThroughputSystem; 4] = [
+        ThroughputSystem::Isolated,
+        ThroughputSystem::IsolatedExtended,
+        ThroughputSystem::Native,
+        ThroughputSystem::Open,
+    ];
 
     pub fn parse(s: &str) -> Option<ThroughputSystem> {
         match s {
             "isolated" => Some(ThroughputSystem::Isolated),
+            "isolated-extended" => Some(ThroughputSystem::IsolatedExtended),
             "native" => Some(ThroughputSystem::Native),
             "open" => Some(ThroughputSystem::Open),
             _ => None,
@@ -761,6 +769,11 @@ pub fn run_throughput_matrix(
             let db = Database::with_defaults();
             tpcd::schema::load(&db, &gen)?;
             run_all(&tpcd::IsolatedWorkload { db: &db, gen: &gen }, &mut progress)
+        }
+        ThroughputSystem::IsolatedExtended => {
+            let db = Database::with_defaults();
+            tpcd::schema::load(&db, &gen)?;
+            run_all(&tpcd::ExtendedIsolatedWorkload::new(&db, &gen), &mut progress)
         }
         ThroughputSystem::Native | ThroughputSystem::Open => {
             let iface = match system {

@@ -4,6 +4,7 @@
 pub mod durability;
 pub mod experiments;
 pub mod paper;
+pub mod serverexp;
 pub mod tracecmd;
 
 pub use durability::{

@@ -46,6 +46,12 @@ pub enum SqlOp {
     /// COMMIT WORK: the database commit at the end of a logical unit of
     /// work (group commit parks here until a log force covers it).
     Commit,
+    /// Wire protocol: Parse message — statement text parsed, normalized,
+    /// and planned (or fetched from the shared plan cache).
+    Parse,
+    /// Wire protocol: Bind message — host variables bound to a prepared
+    /// statement, producing an executable portal.
+    Bind,
 }
 
 impl SqlOp {
@@ -58,6 +64,8 @@ impl SqlOp {
             SqlOp::Insert => "INSERT",
             SqlOp::Delete => "DELETE",
             SqlOp::Commit => "COMMIT",
+            SqlOp::Parse => "PARSE",
+            SqlOp::Bind => "BIND",
         }
     }
 }

@@ -9,6 +9,7 @@ use crate::storage::{HeapFile, Pager, Rid};
 use crate::types::Value;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-column statistics gathered by ANALYZE.
@@ -93,15 +94,49 @@ pub struct Catalog {
     pager: Arc<Pager>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     views: RwLock<HashMap<String, Arc<SelectStmt>>>,
+    /// Monotonic DDL version: bumped by every schema change (CREATE/DROP
+    /// TABLE/INDEX/VIEW and ANALYZE). Plan caches record the version they
+    /// planned under and treat any entry whose referenced objects changed
+    /// since as stale (see [`crate::plancache`]).
+    ddl_version: AtomicU64,
+    /// Per-object DDL versions, keyed by upper-cased table/view name: the
+    /// [`Catalog::version`] at which the object (or one of its indexes, or
+    /// its statistics) last changed. Objects never touched by DDL since the
+    /// catalog was created are absent (version 0).
+    object_versions: RwLock<HashMap<String, u64>>,
 }
 
 impl Catalog {
     pub fn new(pager: Arc<Pager>) -> Self {
-        Catalog { pager, tables: RwLock::new(HashMap::new()), views: RwLock::new(HashMap::new()) }
+        Catalog {
+            pager,
+            tables: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
+            ddl_version: AtomicU64::new(0),
+            object_versions: RwLock::new(HashMap::new()),
+        }
     }
 
     pub fn pager(&self) -> &Arc<Pager> {
         &self.pager
+    }
+
+    /// Current global DDL version (0 for a catalog no DDL ever touched).
+    pub fn version(&self) -> u64 {
+        self.ddl_version.load(Ordering::Acquire)
+    }
+
+    /// The global version at which `name` (a table or view, upper-cased or
+    /// not) last changed; 0 if never.
+    pub fn object_version(&self, name: &str) -> u64 {
+        self.object_versions.read().get(&name.to_ascii_uppercase()).copied().unwrap_or(0)
+    }
+
+    /// Record a schema change to `name`: bump the global DDL version and
+    /// stamp the object with it.
+    fn bump_version(&self, name: &str) {
+        let v = self.ddl_version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.object_versions.write().insert(name.to_ascii_uppercase(), v);
     }
 
     pub fn create_table(
@@ -132,6 +167,7 @@ impl Catalog {
             }),
         });
         self.tables.write().insert(name.clone(), Arc::clone(&table));
+        self.bump_version(&name);
         // Primary key implies a unique index.
         if !primary_key.is_empty() {
             self.create_index_ordinals(&format!("{name}_PKEY"), &name, primary_key, true)?;
@@ -184,6 +220,7 @@ impl Catalog {
             tree: Mutex::new(tree),
         });
         table.indexes.write().push(Arc::clone(&index));
+        self.bump_version(&table.name);
         Ok(index)
     }
 
@@ -193,6 +230,8 @@ impl Catalog {
             let mut idxs = table.indexes.write();
             if let Some(pos) = idxs.iter().position(|i| i.name == name) {
                 idxs.remove(pos);
+                drop(idxs);
+                self.bump_version(&table.name);
                 return Ok(());
             }
         }
@@ -202,7 +241,10 @@ impl Catalog {
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
         let name = name.to_ascii_uppercase();
         match self.tables.write().remove(&name) {
-            Some(_) => Ok(()),
+            Some(_) => {
+                self.bump_version(&name);
+                Ok(())
+            }
             None => Err(DbError::catalog(format!("no table '{name}'"))),
         }
     }
@@ -212,13 +254,17 @@ impl Catalog {
         if self.tables.read().contains_key(&name) || self.views.read().contains_key(&name) {
             return Err(DbError::catalog(format!("table or view '{name}' already exists")));
         }
-        self.views.write().insert(name, Arc::new(query));
+        self.views.write().insert(name.clone(), Arc::new(query));
+        self.bump_version(&name);
         Ok(())
     }
 
     pub fn drop_view(&self, name: &str) -> DbResult<()> {
         match self.views.write().remove(&name.to_ascii_uppercase()) {
-            Some(_) => Ok(()),
+            Some(_) => {
+                self.bump_version(name);
+                Ok(())
+            }
             None => Err(DbError::catalog(format!("no view '{name}'"))),
         }
     }
@@ -354,6 +400,10 @@ impl Catalog {
                 null_count: nulls[i],
             })
             .collect();
+        drop(stats);
+        // New statistics change what the planner would choose: cached plans
+        // for this table are stale (for quality, not correctness).
+        self.bump_version(&table.name);
         Ok(())
     }
 

@@ -114,6 +114,17 @@ pub struct Prepared {
     pub n_params: usize,
     /// EXPLAIN text captured at prepare time.
     pub plan_description: String,
+    /// Read locks a transaction takes before running this plan, computed
+    /// once at prepare time from the planner's access paths (probes →
+    /// shared row locks, scans → whole-table shared). Re-deriving this on
+    /// every execute would replan the statement, defeating the point of
+    /// preparing it.
+    pub lock_plan: Vec<(String, crate::txn::ReadLockPlan)>,
+    /// Base tables/views the statement depends on (uppercase), for
+    /// catalog-version invalidation by a plan cache.
+    pub dependencies: Vec<String>,
+    /// [`crate::catalog::Catalog::version`] observed at prepare time.
+    pub catalog_version: u64,
 }
 
 /// The database engine.
@@ -313,19 +324,33 @@ impl Database {
     pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
         let stmt = parse_statement(sql)?;
         match stmt {
-            Statement::Select(q) => {
-                let planner = Planner::with_config(&self.catalog, self.planner_config());
-                let pq: PlannedQuery = planner.plan_query(&q)?;
-                let desc = pq.plan.describe();
-                Ok(Prepared {
-                    plan: Arc::new(pq.plan),
-                    schema: pq.schema,
-                    n_params: pq.n_params,
-                    plan_description: desc,
-                })
-            }
+            Statement::Select(q) => self.prepare_select(&q),
             other => Err(DbError::analysis(format!("can only prepare SELECT, got {other:?}"))),
         }
+    }
+
+    /// Prepare an already-parsed SELECT (the plan cache's entry point:
+    /// it normalizes the AST before planning and must not round-trip
+    /// through text).
+    pub fn prepare_select(&self, q: &SelectStmt) -> DbResult<Prepared> {
+        // Snapshot the version *before* planning so a DDL racing with this
+        // prepare invalidates the entry rather than being missed.
+        let catalog_version = self.catalog.version();
+        let planner = Planner::with_config(&self.catalog, self.planner_config());
+        let pq: PlannedQuery = planner.plan_query(q)?;
+        let desc = pq.plan.describe();
+        let lock_plan = crate::txn::select_read_locks(self, q);
+        let (reads, _) =
+            crate::txn::referenced_tables(&Statement::Select(Box::new(q.clone())), &self.catalog);
+        Ok(Prepared {
+            plan: Arc::new(pq.plan),
+            schema: pq.schema,
+            n_params: pq.n_params,
+            plan_description: desc,
+            lock_plan,
+            dependencies: reads.into_iter().collect(),
+            catalog_version,
+        })
     }
 
     /// Execute a prepared query with bindings (cursor OPEN / REOPEN).
@@ -692,6 +717,23 @@ impl Database {
         }
     }
 
+    /// Evaluate constant expressions (no column references) to values. The
+    /// plan cache uses this to turn the literals stripped by
+    /// [`SelectStmt::parameterized_collect`] into bind values.
+    pub fn eval_const_exprs(&self, exprs: &[Expr]) -> DbResult<Vec<Value>> {
+        let planner = Planner::with_config(&self.catalog, self.planner_config());
+        let empty = Schema::new(Vec::new());
+        let mut used = HashSet::new();
+        let ctx = ExecCtx::new(&[], &self.meter);
+        exprs
+            .iter()
+            .map(|e| {
+                let be = planner.bind_expr(e, &empty, &[], &mut used)?;
+                be.eval(&[], &ctx)
+            })
+            .collect()
+    }
+
     fn build_insert_row(
         &self,
         table: &crate::catalog::Table,
@@ -759,7 +801,7 @@ impl Database {
 
 /// Is this statement DDL (logged by statement text and replayed by
 /// re-execution, rather than physiologically)?
-fn stmt_is_ddl(stmt: &Statement) -> bool {
+pub fn stmt_is_ddl(stmt: &Statement) -> bool {
     matches!(
         stmt,
         Statement::CreateTable { .. }

@@ -23,6 +23,7 @@ pub mod error;
 pub mod exec;
 pub mod index;
 pub mod lock;
+pub mod plancache;
 pub mod planner;
 pub mod schema;
 pub mod sql;
@@ -35,6 +36,7 @@ pub use clock::{Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
 pub use db::{Database, DbConfig, ExecOutcome, Prepared, QueryResult};
 pub use error::{DbError, DbResult};
 pub use lock::{KeyRange, LockManager, LockMode, RowLock, RowMode, TxnId};
+pub use plancache::{CachedPlan, PlanCache};
 pub use schema::{Column, Row, Schema};
 pub use txn::{Txn, TxnStats};
 pub use types::{DataType, Date, Decimal, Value};

@@ -431,122 +431,240 @@ impl SelectStmt {
     /// built from the result shows the access paths the parameter-blind
     /// optimizer picks (§4.1).
     pub fn parameterized(&self) -> SelectStmt {
+        self.parameterized_collect().0
+    }
+
+    /// [`SelectStmt::parameterized`], also returning the constant expression
+    /// each introduced parameter replaced, in parameter-index order. A plan
+    /// cache evaluates these to bind values: plan from the parameterized
+    /// statement (shared across literal variants), execute with the values
+    /// extracted from the concrete text — the wire protocol's Parse/Bind
+    /// split over a single literal statement.
+    pub fn parameterized_collect(&self) -> (SelectStmt, Vec<Expr>) {
         let mut q = self.clone();
         let mut n = 0usize;
-        parameterize_select(&mut q, &mut n);
-        q
+        let mut bound = Vec::new();
+        parameterize_select(&mut q, &mut n, &mut bound);
+        (q, bound)
+    }
+
+    /// Does this statement already contain positional parameters (`?`)?
+    /// Such a statement is its own normalized form: re-parameterizing it
+    /// would renumber markers, so plan caches key it as written.
+    pub fn has_params(&self) -> bool {
+        select_has_params(self)
     }
 }
 
-fn parameterize_select(q: &mut SelectStmt, n: &mut usize) {
-    for t in &mut q.from {
-        parameterize_tableref(t, n);
-    }
-    if let Some(w) = &mut q.where_clause {
-        parameterize_pred(w, n);
-    }
-    if let Some(h) = &mut q.having {
-        parameterize_pred(h, n);
-    }
-    for item in &mut q.projections {
-        if let SelectItem::Expr { expr, .. } = item {
-            parameterize_pred(expr, n);
+fn select_has_params(q: &SelectStmt) -> bool {
+    let mut found = false;
+    let mut check = |e: &Expr| {
+        visit_with_subqueries(e, &mut |x| {
+            if matches!(x, Expr::Param(_)) {
+                found = true;
+            }
+        });
+    };
+    for t in &q.from {
+        if tableref_has_params(t) {
+            return true;
         }
     }
+    for item in &q.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            check(expr);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        check(w);
+    }
+    for e in &q.group_by {
+        check(e);
+    }
+    if let Some(h) = &q.having {
+        check(h);
+    }
+    for o in &q.order_by {
+        check(&o.expr);
+    }
+    found
 }
 
-fn parameterize_tableref(t: &mut TableRef, n: &mut usize) {
+fn tableref_has_params(t: &TableRef) -> bool {
+    match t {
+        TableRef::Named { .. } => false,
+        TableRef::Join { left, right, on, .. } => {
+            let mut found = false;
+            visit_with_subqueries(on, &mut |x| {
+                if matches!(x, Expr::Param(_)) {
+                    found = true;
+                }
+            });
+            found || tableref_has_params(left) || tableref_has_params(right)
+        }
+        TableRef::Subquery { query, .. } => select_has_params(query),
+    }
+}
+
+/// Like [`Expr::visit`] but descending into subquery bodies too.
+fn visit_with_subqueries(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    e.visit(f);
+    match e {
+        Expr::InSubquery { query, .. } | Expr::Exists { query, .. } => {
+            visit_select_exprs(query, f);
+        }
+        Expr::ScalarSubquery(query) => visit_select_exprs(query, f),
+        _ => {}
+    }
+}
+
+fn visit_select_exprs(q: &SelectStmt, f: &mut impl FnMut(&Expr)) {
+    for item in &q.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            visit_with_subqueries(expr, f);
+        }
+    }
+    for t in &q.from {
+        visit_tableref_exprs(t, f);
+    }
+    if let Some(w) = &q.where_clause {
+        visit_with_subqueries(w, f);
+    }
+    for e in &q.group_by {
+        visit_with_subqueries(e, f);
+    }
+    if let Some(h) = &q.having {
+        visit_with_subqueries(h, f);
+    }
+    for o in &q.order_by {
+        visit_with_subqueries(&o.expr, f);
+    }
+}
+
+fn visit_tableref_exprs(t: &TableRef, f: &mut impl FnMut(&Expr)) {
     match t {
         TableRef::Named { .. } => {}
         TableRef::Join { left, right, on, .. } => {
-            parameterize_tableref(left, n);
-            parameterize_tableref(right, n);
-            parameterize_pred(on, n);
+            visit_tableref_exprs(left, f);
+            visit_tableref_exprs(right, f);
+            visit_with_subqueries(on, f);
         }
-        TableRef::Subquery { query, .. } => parameterize_select(query, n),
+        TableRef::Subquery { query, .. } => visit_select_exprs(query, f),
     }
 }
 
-fn bind(e: &mut Expr, n: &mut usize) {
+fn parameterize_select(q: &mut SelectStmt, n: &mut usize, bound: &mut Vec<Expr>) {
+    for t in &mut q.from {
+        parameterize_tableref(t, n, bound);
+    }
+    if let Some(w) = &mut q.where_clause {
+        parameterize_pred(w, n, bound);
+    }
+    if let Some(h) = &mut q.having {
+        parameterize_pred(h, n, bound);
+    }
+    for item in &mut q.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            parameterize_pred(expr, n, bound);
+        }
+    }
+}
+
+fn parameterize_tableref(t: &mut TableRef, n: &mut usize, bound: &mut Vec<Expr>) {
+    match t {
+        TableRef::Named { .. } => {}
+        TableRef::Join { left, right, on, .. } => {
+            parameterize_tableref(left, n, bound);
+            parameterize_tableref(right, n, bound);
+            parameterize_pred(on, n, bound);
+        }
+        TableRef::Subquery { query, .. } => parameterize_select(query, n, bound),
+    }
+}
+
+fn bind(e: &mut Expr, n: &mut usize, bound: &mut Vec<Expr>) {
+    bound.push(e.clone());
     *e = Expr::Param(*n);
     *n += 1;
 }
 
-fn parameterize_pred(e: &mut Expr, n: &mut usize) {
+fn parameterize_pred(e: &mut Expr, n: &mut usize, bound: &mut Vec<Expr>) {
     match e {
         Expr::Binary { left, op, right } => {
             if op.is_comparison() {
                 match (left.is_bind_constant(), right.is_bind_constant()) {
                     (false, true) => {
-                        parameterize_pred(left, n);
-                        bind(right, n);
+                        parameterize_pred(left, n, bound);
+                        bind(right, n, bound);
                     }
                     (true, false) => {
-                        bind(left, n);
-                        parameterize_pred(right, n);
+                        bind(left, n, bound);
+                        parameterize_pred(right, n, bound);
                     }
                     _ => {
-                        parameterize_pred(left, n);
-                        parameterize_pred(right, n);
+                        parameterize_pred(left, n, bound);
+                        parameterize_pred(right, n, bound);
                     }
                 }
             } else {
-                parameterize_pred(left, n);
-                parameterize_pred(right, n);
+                parameterize_pred(left, n, bound);
+                parameterize_pred(right, n, bound);
             }
         }
         Expr::Between { expr, low, high, .. } => {
-            parameterize_pred(expr, n);
+            parameterize_pred(expr, n, bound);
             if low.is_bind_constant() {
-                bind(low, n);
+                bind(low, n, bound);
             } else {
-                parameterize_pred(low, n);
+                parameterize_pred(low, n, bound);
             }
             if high.is_bind_constant() {
-                bind(high, n);
+                bind(high, n, bound);
             } else {
-                parameterize_pred(high, n);
+                parameterize_pred(high, n, bound);
             }
         }
         Expr::InList { expr, list, .. } => {
-            parameterize_pred(expr, n);
+            parameterize_pred(expr, n, bound);
             for item in list {
                 if item.is_bind_constant() {
-                    bind(item, n);
+                    bind(item, n, bound);
                 } else {
-                    parameterize_pred(item, n);
+                    parameterize_pred(item, n, bound);
                 }
             }
         }
         Expr::InSubquery { expr, query, .. } => {
-            parameterize_pred(expr, n);
-            parameterize_select(query, n);
+            parameterize_pred(expr, n, bound);
+            parameterize_select(query, n, bound);
         }
-        Expr::Exists { query, .. } => parameterize_select(query, n),
-        Expr::ScalarSubquery(query) => parameterize_select(query, n),
-        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => parameterize_pred(expr, n),
+        Expr::Exists { query, .. } => parameterize_select(query, n, bound),
+        Expr::ScalarSubquery(query) => parameterize_select(query, n, bound),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => parameterize_pred(expr, n, bound),
         Expr::Like { expr, pattern, .. } => {
-            parameterize_pred(expr, n);
-            parameterize_pred(pattern, n);
+            parameterize_pred(expr, n, bound);
+            parameterize_pred(pattern, n, bound);
         }
         Expr::Case { branches, else_expr } => {
             for (c, r) in branches {
-                parameterize_pred(c, n);
-                parameterize_pred(r, n);
+                parameterize_pred(c, n, bound);
+                parameterize_pred(r, n, bound);
             }
             if let Some(el) = else_expr {
-                parameterize_pred(el, n);
+                parameterize_pred(el, n, bound);
             }
         }
         Expr::Agg { arg, .. } => {
             if let Some(a) = arg {
-                parameterize_pred(a, n);
+                parameterize_pred(a, n, bound);
             }
         }
-        Expr::Extract { expr, .. } | Expr::IntervalAdd { expr, .. } => parameterize_pred(expr, n),
+        Expr::Extract { expr, .. } | Expr::IntervalAdd { expr, .. } => {
+            parameterize_pred(expr, n, bound)
+        }
         Expr::Func { args, .. } => {
             for a in args {
-                parameterize_pred(a, n);
+                parameterize_pred(a, n, bound);
             }
         }
         Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => {}

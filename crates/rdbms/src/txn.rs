@@ -31,7 +31,7 @@
 
 use crate::catalog::Catalog;
 use crate::clock::{CostMeter, Counter, MeterScope, MeterSnapshot};
-use crate::db::{Database, ExecOutcome, QueryResult};
+use crate::db::{Database, ExecOutcome, Prepared, QueryResult};
 use crate::error::{DbError, DbResult};
 use crate::exec::plan::TableRead;
 use crate::planner::sarg_helpers::pk_lock_range;
@@ -133,6 +133,24 @@ impl<'db> Txn<'db> {
     /// Execute a SELECT and return its rows.
     pub fn query(&mut self, sql: &str) -> DbResult<QueryResult> {
         self.execute(sql)?.rows()
+    }
+
+    /// Execute a prepared SELECT under this transaction's locks (the wire
+    /// protocol's Execute message for a bound portal). Read locks come from
+    /// the lock plan computed at prepare time — no replanning here.
+    pub fn execute_prepared(&mut self, p: &Prepared, params: &[Value]) -> DbResult<QueryResult> {
+        for (table, plan) in &p.lock_plan {
+            match plan {
+                ReadLockPlan::Table => self.lock_table(table, LockMode::Shared)?,
+                ReadLockPlan::Rows(locks) => {
+                    for lock in locks {
+                        self.lock_row(table, lock.clone())?;
+                    }
+                }
+            }
+        }
+        let _scope = MeterScope::enter(Arc::clone(&self.meter));
+        self.db.execute_prepared(p, params)
     }
 
     /// Bulk-path insert of a pre-built row (the benchmark kit's refresh

@@ -1,0 +1,28 @@
+//! Wire-protocol front end for the `rdbms` engine.
+//!
+//! The paper's 2.2G-vs-3.0E story (section 4) is a story about the
+//! client/server interface: release 2.2G ships literal SQL on every call
+//! (OPEN — parse, plan, execute each time), release 3.0E re-executes an
+//! already-prepared parameterized statement (REOPEN — plan once, bind and
+//! execute many times). This crate turns the in-process engine into a
+//! multi-user server exposing exactly that contrast:
+//!
+//! * a **simple protocol** — `Query` carries literal SQL, the OPEN path;
+//! * an **extended protocol** — `Parse`/`Bind`/`Execute`/`Sync` with named
+//!   prepared statements and portals, the REOPEN path, backed by a shared
+//!   size-bounded [`rdbms::PlanCache`] so the parse cost is paid roughly
+//!   once per distinct statement across *all* connections.
+//!
+//! Framing is pgwire-style (1-byte tag + length-prefixed payload) over
+//! `std::net::TcpListener`; one thread per connection; each connection
+//! owns a session (`session::Session`) with its transaction state,
+//! statement handles, and trace context. See DESIGN.md §12.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+mod session;
+
+pub use client::{Client, ClientError, ClientResult, ParseReply, Rows, ServerError};
+pub use protocol::{Malformed, MAX_FRAME};
+pub use server::{Server, ServerConfig, ServerStats, StatsSnapshot};

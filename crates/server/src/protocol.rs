@@ -1,0 +1,276 @@
+//! Frame and payload codec for the wire protocol.
+//!
+//! Every message is one frame: a 1-byte tag, a big-endian `u32` payload
+//! length, then the payload. Strings inside payloads are `u32`-length-
+//! prefixed UTF-8; values carry a 1-byte type tag (see [`write_value`]).
+//! The grammar (DESIGN.md §12):
+//!
+//! ```text
+//! client → server                      server → client
+//! 'Q' Query      sql                   '1' ParseComplete  cache_hit n_params
+//! 'P' Parse      name sql              '2' BindComplete
+//! 'B' Bind       portal stmt values    '3' CloseComplete
+//! 'E' Execute    portal                'T' RowDescription col*
+//! 'C' Close      kind name             'D' DataRow        value*
+//! 'S' Sync                             'C' CommandComplete tag
+//! 'X' Terminate                        'E' ErrorResponse  message
+//!                                      'Z' ReadyForQuery  status
+//! ```
+//!
+//! A frame whose declared length exceeds the server's cap, a tag outside
+//! the grammar, or a payload with trailing or missing bytes is a *protocol
+//! error*: the server answers with ErrorResponse and drops the connection
+//! (framing cannot be resynchronized), rolling back any open transaction.
+
+use rdbms::{Date, Decimal, Value};
+use std::io::{self, Read, Write};
+
+/// Default cap on a frame's payload length (16 MiB).
+pub const MAX_FRAME: usize = 1 << 24;
+
+// Client → server tags.
+pub const MSG_QUERY: u8 = b'Q';
+pub const MSG_PARSE: u8 = b'P';
+pub const MSG_BIND: u8 = b'B';
+pub const MSG_EXECUTE: u8 = b'E';
+pub const MSG_SYNC: u8 = b'S';
+pub const MSG_CLOSE: u8 = b'C';
+pub const MSG_TERMINATE: u8 = b'X';
+
+// Server → client tags.
+pub const MSG_PARSE_COMPLETE: u8 = b'1';
+pub const MSG_BIND_COMPLETE: u8 = b'2';
+pub const MSG_CLOSE_COMPLETE: u8 = b'3';
+pub const MSG_ROW_DESC: u8 = b'T';
+pub const MSG_DATA_ROW: u8 = b'D';
+pub const MSG_COMMAND_COMPLETE: u8 = b'C';
+pub const MSG_ERROR: u8 = b'E';
+pub const MSG_READY: u8 = b'Z';
+
+/// ReadyForQuery status bytes.
+pub const STATUS_IDLE: u8 = b'I';
+pub const STATUS_IN_TXN: u8 = b'T';
+pub const STATUS_FAILED: u8 = b'E';
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let mut head = [0u8; 5];
+    head[0] = tag;
+    head[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Read one frame. `Ok(None)` on clean EOF at a frame boundary;
+/// `InvalidData` when the declared length exceeds `max`; `UnexpectedEof`
+/// when the peer dies mid-frame.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut head = [0u8; 5];
+    match r.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((head[0], payload)))
+}
+
+/// Append a length-prefixed string.
+pub fn write_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append a tagged value. Tags: 0 Null, 1 Int (i64 BE), 2 Decimal
+/// (string), 3 Str, 4 Date (string), 5 Bool (1 byte).
+pub fn write_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Decimal(d) => {
+            buf.push(2);
+            write_string(buf, &d.to_string());
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            write_string(buf, s);
+        }
+        Value::Date(d) => {
+            buf.push(4);
+            write_string(buf, &d.to_string());
+        }
+        Value::Bool(b) => {
+            buf.push(5);
+            buf.push(*b as u8);
+        }
+    }
+}
+
+/// Malformed payload: the byte stream does not decode under the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Malformed(pub String);
+
+impl std::fmt::Display for Malformed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for Malformed {}
+
+/// Sequential reader over a frame payload. Every `take_*` fails cleanly on
+/// truncation; [`PayloadReader::finish`] rejects trailing bytes so a
+/// payload must decode *exactly*.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], Malformed> {
+        if self.buf.len() - self.pos < n {
+            return Err(Malformed(format!(
+                "truncated {what}: need {n} bytes, have {}",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn take_u8(&mut self, what: &str) -> Result<u8, Malformed> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn take_u16(&mut self, what: &str) -> Result<u16, Malformed> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub fn take_u32(&mut self, what: &str) -> Result<u32, Malformed> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn take_i64(&mut self, what: &str) -> Result<i64, Malformed> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub fn take_string(&mut self, what: &str) -> Result<String, Malformed> {
+        let len = self.take_u32(what)? as usize;
+        let b = self.take(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| Malformed(format!("{what} is not UTF-8")))
+    }
+
+    pub fn take_value(&mut self) -> Result<Value, Malformed> {
+        let tag = self.take_u8("value tag")?;
+        match tag {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.take_i64("int value")?)),
+            2 => {
+                let s = self.take_string("decimal value")?;
+                Decimal::parse(&s).map(Value::Decimal).map_err(|e| Malformed(e.to_string()))
+            }
+            3 => Ok(Value::Str(self.take_string("string value")?)),
+            4 => {
+                let s = self.take_string("date value")?;
+                Date::parse(&s).map(Value::Date).map_err(|e| Malformed(e.to_string()))
+            }
+            5 => Ok(Value::Bool(self.take_u8("bool value")? != 0)),
+            other => Err(Malformed(format!("unknown value tag {other}"))),
+        }
+    }
+
+    /// Reject trailing bytes.
+    pub fn finish(self) -> Result<(), Malformed> {
+        if self.pos != self.buf.len() {
+            return Err(Malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MSG_QUERY, b"SELECT 1").unwrap();
+        let mut cur = io::Cursor::new(buf);
+        let (tag, payload) = read_frame(&mut cur, MAX_FRAME).unwrap().unwrap();
+        assert_eq!(tag, MSG_QUERY);
+        assert_eq!(payload, b"SELECT 1");
+        assert!(read_frame(&mut cur, MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_invalid_data() {
+        let mut buf = Vec::new();
+        buf.push(MSG_QUERY);
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf), MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MSG_QUERY, b"SELECT 1").unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut io::Cursor::new(buf), MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Decimal(Decimal::parse("12.34").unwrap()),
+            Value::Str("hello".into()),
+            Value::Date(Date::parse("1997-06-01").unwrap()),
+            Value::Bool(true),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            write_value(&mut buf, v);
+        }
+        let mut r = PayloadReader::new(&buf);
+        for v in &vals {
+            assert_eq!(&r.take_value().unwrap(), v);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        write_string(&mut buf, "x");
+        buf.push(0xff);
+        let mut r = PayloadReader::new(&buf);
+        r.take_string("s").unwrap();
+        assert!(r.finish().is_err());
+    }
+}

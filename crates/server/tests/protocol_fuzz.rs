@@ -1,0 +1,127 @@
+//! Protocol-layer fuzzing: malformed, truncated, and oversized frames must
+//! produce a protocol error (or a clean close) — never a server panic or a
+//! leaked session.
+
+use proptest::prelude::*;
+use rdbms::Database;
+use server::{Client, Server, ServerConfig};
+use std::sync::Arc;
+
+fn serve() -> (Server, String) {
+    let db = Arc::new(Database::with_defaults());
+    db.execute("CREATE TABLE t (a INTEGER NOT NULL, b INTEGER, PRIMARY KEY (a))").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// Drive raw bytes at the server, then drain whatever it answers until it
+/// closes the connection or goes quiet.
+fn poke(addr: &str, bytes: &[u8]) {
+    let mut c = Client::connect(addr).unwrap();
+    // Garbage can decode as a legal frame header whose payload never
+    // arrives; the server is then (correctly) blocked reading, so bound
+    // our reads instead of waiting forever.
+    c.set_read_timeout(Some(std::time::Duration::from_millis(200))).unwrap();
+    if c.send_raw(bytes).is_err() {
+        return; // server already dropped us; that's a legal outcome
+    }
+    // Drain replies; any error (EOF, reset) is fine — panics show up as
+    // stats on the server side, not here.
+    for _ in 0..64 {
+        if c.recv_raw().is_err() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary byte soup as a frame stream.
+    #[test]
+    fn random_bytes_never_panic_or_leak(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let (server, addr) = serve();
+        poke(&addr, &bytes);
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.panics, 0);
+        prop_assert_eq!(stats.sessions_active, 0);
+    }
+
+    /// Well-formed header, garbage payload, for every known message tag.
+    #[test]
+    fn malformed_payloads_answer_error_not_panic(
+        tag_ix in 0usize..6,
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let tags = [b'Q', b'P', b'B', b'E', b'C', b'S'];
+        let tag = tags[tag_ix];
+        let mut frame = vec![tag];
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        let (server, addr) = serve();
+        poke(&addr, &frame);
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.panics, 0);
+        prop_assert_eq!(stats.sessions_active, 0);
+    }
+
+    /// Truncated frames: a valid message cut off mid-payload.
+    #[test]
+    fn truncated_frames_are_handled(cut in 1usize..20) {
+        let mut frame = vec![b'Q'];
+        let sql = b"SELECT b FROM t WHERE a = 1";
+        frame.extend_from_slice(&(sql.len() as u32).to_be_bytes());
+        frame.extend_from_slice(sql);
+        let cut = cut.min(frame.len() - 1);
+        let (server, addr) = serve();
+        poke(&addr, &frame[..frame.len() - cut]);
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.panics, 0);
+        prop_assert_eq!(stats.sessions_active, 0);
+    }
+}
+
+/// An oversized frame declaration gets an explicit protocol error reply
+/// before the connection drops.
+#[test]
+fn oversized_frame_is_answered_with_protocol_error() {
+    let (server, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+    let mut frame = vec![b'Q'];
+    frame.extend_from_slice(&u32::MAX.to_be_bytes());
+    c.send_raw(&frame).unwrap();
+    let (tag, _) = c.recv_raw().expect("server should answer before closing");
+    assert_eq!(tag, b'E', "expected ErrorResponse, got {tag:#04x}");
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.sessions_active, 0);
+    assert!(stats.protocol_errors >= 1);
+}
+
+/// A malformed frame mid-transaction rolls the transaction back (locks
+/// released), like any other disconnect.
+#[test]
+fn malformed_frame_mid_transaction_rolls_back() {
+    let (server, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+    c.simple_query("BEGIN").unwrap();
+    c.simple_query("UPDATE t SET b = -1 WHERE a = 1").unwrap();
+    // Unknown tag: the server answers and drops the connection.
+    c.send_raw(&[0xFF, 0, 0, 0, 0]).unwrap();
+    let _ = c.recv_raw();
+    drop(c);
+
+    // The update must be rolled back and the lock released.
+    let mut c2 = Client::connect(&addr).unwrap();
+    let rows = c2.simple_query("SELECT b FROM t WHERE a = 1").unwrap();
+    assert_eq!(rows.rows, vec![vec![rdbms::Value::Int(10)]]);
+    c2.terminate().unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.sessions_active, 0);
+    assert_eq!(stats.disconnect_rollbacks, 1);
+    assert!(stats.protocol_errors >= 1);
+}

@@ -1,0 +1,214 @@
+//! End-to-end tests over a real loopback socket: both protocols,
+//! transactions, disconnect rollback, and DDL invalidation.
+
+use rdbms::{Database, Value};
+use server::{Client, ClientError, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serve() -> (Server, String) {
+    let db = Arc::new(Database::with_defaults());
+    db.execute("CREATE TABLE t (a INTEGER NOT NULL, b INTEGER, PRIMARY KEY (a))").unwrap();
+    for i in 0..50 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 10)).unwrap();
+    }
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn simple_protocol_query_dml_and_transactions() {
+    let (server, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let rows = c.simple_query("SELECT b FROM t WHERE a = 7").unwrap();
+    assert_eq!(rows.columns, vec!["B"]);
+    assert_eq!(rows.rows, vec![vec![Value::Int(70)]]);
+
+    // Autocommit DML.
+    let r = c.simple_query("UPDATE t SET b = 0 WHERE a = 7").unwrap();
+    assert_eq!(r.tag, "OK 1");
+
+    // Explicit transaction with rollback.
+    c.simple_query("BEGIN").unwrap();
+    c.simple_query("UPDATE t SET b = 999 WHERE a = 8").unwrap();
+    c.simple_query("ROLLBACK").unwrap();
+    let rows = c.simple_query("SELECT b FROM t WHERE a = 8").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(80)]]);
+
+    // Explicit transaction with commit.
+    c.simple_query("BEGIN").unwrap();
+    c.simple_query("UPDATE t SET b = 111 WHERE a = 9").unwrap();
+    c.simple_query("COMMIT").unwrap();
+    let rows = c.simple_query("SELECT b FROM t WHERE a = 9").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(111)]]);
+
+    // Statement error does not kill the connection.
+    let err = c.simple_query("SELECT nope FROM missing").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)));
+    let rows = c.simple_query("SELECT b FROM t WHERE a = 1").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(10)]]);
+
+    c.terminate().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.sessions_active, 0);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.disconnect_rollbacks, 0);
+}
+
+#[test]
+fn extended_protocol_shares_plans_across_connections() {
+    let (server, addr) = serve();
+
+    let mut a = Client::connect(&addr).unwrap();
+    let pa = a.parse("s1", "SELECT b FROM t WHERE a = 5").unwrap();
+    assert!(!pa.cache_hit, "first parse anywhere must miss");
+    assert_eq!(pa.n_params, 0, "literal fully normalized server-side");
+    a.bind("p1", "s1", &[]).unwrap();
+    let rows = a.execute("p1").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(50)]]);
+    a.sync().unwrap();
+
+    // A different literal from a different connection hits the shared plan.
+    let mut b = Client::connect(&addr).unwrap();
+    let pb = b.parse("s1", "SELECT b FROM t WHERE a = 13").unwrap();
+    assert!(pb.cache_hit, "same normalized statement must hit the shared cache");
+    b.bind("p1", "s1", &[]).unwrap();
+    let rows = b.execute("p1").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(130)]]);
+    b.sync().unwrap();
+
+    // Client-supplied binds over an explicit `?` statement.
+    let p = b.parse("s2", "SELECT b FROM t WHERE a = ?").unwrap();
+    assert_eq!(p.n_params, 1);
+    b.bind("p2", "s2", &[Value::Int(21)]).unwrap();
+    let rows = b.execute("p2").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(210)]]);
+    b.sync().unwrap();
+
+    // Re-execute the same portal with no rebind (REOPEN economics).
+    let rows = b.execute("p2").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(210)]]);
+    b.sync().unwrap();
+
+    // Error recovery: unknown portal, then Sync restores the session.
+    let err = b.execute("missing").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)));
+    b.sync().unwrap();
+    let rows = b.extended_query("SELECT b FROM t WHERE a = 2", &[]).unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(20)]]);
+
+    a.terminate().unwrap();
+    b.terminate().unwrap();
+    // "a = 5" normalizes to the same AST as the explicit "a = ?", so the
+    // cache holds a single shared plan.
+    assert_eq!(server.plan_cache_len(), 1);
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.sessions_active, 0);
+}
+
+/// Satellite: a client disconnect mid-transaction must roll back, release
+/// its row locks (unblocking other sessions), and count as a disconnect
+/// rollback.
+#[test]
+fn disconnect_mid_transaction_rolls_back_and_unblocks_waiters() {
+    let (server, addr) = serve();
+
+    // Session A: open a transaction and take a row X lock.
+    let mut a = Client::connect(&addr).unwrap();
+    a.simple_query("BEGIN").unwrap();
+    a.simple_query("UPDATE t SET b = -1 WHERE a = 30").unwrap();
+
+    // Session B: conflicting update blocks on A's lock.
+    let addr_b = addr.clone();
+    let waiter = std::thread::spawn(move || {
+        let mut b = Client::connect(&addr_b).unwrap();
+        let r = b.simple_query("UPDATE t SET b = -2 WHERE a = 30");
+        b.terminate().unwrap();
+        r
+    });
+    // Give B time to actually block on the lock.
+    std::thread::sleep(Duration::from_millis(150));
+    assert!(!waiter.is_finished(), "B should be blocked behind A's row lock");
+
+    // Kill A's connection without Terminate: drop the socket.
+    drop(a);
+
+    // B must now acquire the lock and complete.
+    let res = waiter.join().unwrap();
+    assert_eq!(res.unwrap().tag, "OK 1");
+
+    // A's update rolled back; B's committed.
+    let mut c = Client::connect(&addr).unwrap();
+    let rows = c.simple_query("SELECT b FROM t WHERE a = 30").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(-2)]]);
+    c.terminate().unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.disconnect_rollbacks, 1);
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.sessions_active, 0);
+}
+
+/// Satellite: executing a cached plan after DDL must re-plan, not run a
+/// stale plan — including a portal bound *before* the DDL.
+#[test]
+fn cached_plan_replans_after_ddl() {
+    let (server, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+
+    c.parse("s", "SELECT b FROM t WHERE a = 4").unwrap();
+    c.bind("p", "s", &[]).unwrap();
+    assert_eq!(c.execute("p").unwrap().rows, vec![vec![Value::Int(40)]]);
+    c.sync().unwrap();
+
+    // DDL from another connection: add an index on the queried table.
+    let mut ddl = Client::connect(&addr).unwrap();
+    ddl.simple_query("CREATE INDEX t_b ON t (b)").unwrap();
+    ddl.terminate().unwrap();
+
+    // A fresh parse of the same text misses (the stale entry was dropped).
+    let p = c.parse("s2", "SELECT b FROM t WHERE a = 4").unwrap();
+    assert!(!p.cache_hit, "DDL must invalidate the cached plan");
+
+    // The old portal still answers correctly (re-prepared under the new
+    // catalog version, not executed stale).
+    assert_eq!(c.execute("p").unwrap().rows, vec![vec![Value::Int(40)]]);
+    c.sync().unwrap();
+
+    // Destructive DDL: drop the table entirely, then execute the portal —
+    // must fail with a server error, not a stale read or a panic.
+    let mut ddl = Client::connect(&addr).unwrap();
+    ddl.simple_query("DROP TABLE t").unwrap();
+    ddl.terminate().unwrap();
+    let err = c.execute("p").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "stale plan must not run: {err}");
+    c.sync().unwrap();
+
+    c.terminate().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.sessions_active, 0);
+}
+
+/// Extended protocol inside an explicit transaction takes row locks that
+/// conflict with writers, and COMMIT releases them.
+#[test]
+fn extended_protocol_under_explicit_transaction() {
+    let (server, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+
+    c.simple_query("BEGIN").unwrap();
+    let rows = c.extended_query("SELECT b FROM t WHERE a = 11", &[]).unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(110)]]);
+    assert_eq!(c.sync().unwrap(), server::protocol::STATUS_IN_TXN);
+    c.simple_query("COMMIT").unwrap();
+    assert_eq!(c.sync().unwrap(), server::protocol::STATUS_IDLE);
+
+    c.terminate().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+}

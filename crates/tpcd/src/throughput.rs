@@ -44,7 +44,7 @@ use rdbms::exec::plan::TableRead;
 use rdbms::sql::ast::Statement;
 use rdbms::sql::parse_statement;
 use rdbms::txn::referenced_tables;
-use rdbms::{Counter, Database};
+use rdbms::{Counter, Database, PlanCache};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use trace::Histogram;
@@ -641,6 +641,87 @@ impl StreamWorkload for IsolatedWorkload<'_> {
     }
 }
 
+/// The isolated-RDBMS configuration through the wire protocol's extended
+/// path: every SELECT goes through a shared [`PlanCache`] (Parse once,
+/// REOPEN thereafter) and executes via [`rdbms::Txn::execute_prepared`],
+/// so selective predicates plan as index probes and claim row locks
+/// instead of the table S a literal full scan takes. Q15's CREATE/DROP
+/// VIEW statements stay literal — DDL has no prepared path — and its
+/// per-execution view churn exercises the cache's per-object
+/// invalidation.
+pub struct ExtendedIsolatedWorkload<'a> {
+    pub db: &'a Database,
+    pub gen: &'a DbGen,
+    pub cache: PlanCache,
+}
+
+impl<'a> ExtendedIsolatedWorkload<'a> {
+    pub fn new(db: &'a Database, gen: &'a DbGen) -> Self {
+        ExtendedIsolatedWorkload { db, gen, cache: PlanCache::new(256) }
+    }
+}
+
+impl StreamWorkload for ExtendedIsolatedWorkload<'_> {
+    fn name(&self) -> String {
+        "isolated RDBMS (extended protocol)".to_string()
+    }
+
+    fn run_query(&self, n: usize, params: &QueryParams) -> DbResult<u64> {
+        let mut rows = 0u64;
+        for stmt in queries::sql(n, params) {
+            match parse_statement(&stmt)? {
+                Statement::Select(q) => {
+                    let cached = self.cache.prepare_select(self.db, &q)?;
+                    let mut txn = self.db.begin();
+                    let res = txn.execute_prepared(&cached.prepared, &cached.extracted_params)?;
+                    txn.commit()?;
+                    rows = res.rows.len() as u64;
+                }
+                _ => {
+                    self.db.execute(&stmt)?;
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    fn run_uf1(&self, stream: u64) -> DbResult<u64> {
+        crate::updates::uf1_txn(self.db, self.gen, stream)
+    }
+
+    fn run_uf2(&self, stream: u64) -> DbResult<u64> {
+        crate::updates::uf2_txn(self.db, self.gen, stream)
+    }
+
+    fn snapshot(&self) -> MeterSnapshot {
+        self.db.snapshot()
+    }
+
+    fn calibration(&self) -> Calibration {
+        self.db.calibration()
+    }
+
+    fn note_lock_wait(&self) {
+        self.db.meter().bump(Counter::LockWaits);
+    }
+
+    fn note_deadlock_retry(&self) {
+        self.db.meter().bump(Counter::DeadlockRetries);
+    }
+
+    fn query_locks(&self, n: usize, params: &QueryParams) -> Vec<LockClaim> {
+        query_lock_claims_extended(self.db, n, params)
+    }
+
+    fn uf1_locks(&self, stream: u64) -> Vec<LockClaim> {
+        update_stream_claims(self.gen, stream, true)
+    }
+
+    fn uf2_locks(&self, stream: u64) -> Vec<LockClaim> {
+        update_stream_claims(self.gen, stream, false)
+    }
+}
+
 /// Union of base tables referenced by every statement of query `n`
 /// (derived from the SQL text itself, so it stays correct as queries
 /// change).
@@ -662,6 +743,25 @@ pub fn query_read_set(db: &Database, n: usize, params: &QueryParams) -> BTreeSet
 /// existing-row locks, and tables only reachable through expression
 /// subqueries (or statements the planner rejects) fall back to table S.
 pub fn query_lock_claims(db: &Database, n: usize, params: &QueryParams) -> Vec<LockClaim> {
+    query_lock_claims_inner(db, n, params, false)
+}
+
+/// Lock claims for query `n` when executed through the extended protocol:
+/// each SELECT is normalized ([`rdbms::sql::ast::SelectStmt::parameterized`])
+/// before deriving access paths, matching what
+/// [`ExtendedIsolatedWorkload::run_query`] actually executes — parameter
+/// markers are sargable, so selective predicates claim row probes instead
+/// of table scans.
+pub fn query_lock_claims_extended(db: &Database, n: usize, params: &QueryParams) -> Vec<LockClaim> {
+    query_lock_claims_inner(db, n, params, true)
+}
+
+fn query_lock_claims_inner(
+    db: &Database,
+    n: usize,
+    params: &QueryParams,
+    parameterize: bool,
+) -> Vec<LockClaim> {
     let mut kinds: BTreeMap<String, ClaimKind> = BTreeMap::new();
     let claim = |kinds: &mut BTreeMap<String, ClaimKind>, table: String, kind: ClaimKind| {
         let entry = kinds.entry(table).or_insert(kind);
@@ -673,6 +773,7 @@ pub fn query_lock_claims(db: &Database, n: usize, params: &QueryParams) -> Vec<L
         let Ok(parsed) = parse_statement(&stmt) else { continue };
         let (reads, writes) = referenced_tables(&parsed, db.catalog());
         let accesses = match &parsed {
+            Statement::Select(q) if parameterize => db.table_accesses(&q.parameterized()).ok(),
             Statement::Select(q) => db.table_accesses(q).ok(),
             _ => None,
         };

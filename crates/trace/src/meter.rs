@@ -86,10 +86,23 @@ pub enum Counter {
     /// Commits made durable, summed over group-commit flushes; divided by
     /// [`Counter::WalFlushes`] this gives the mean group-commit batch size.
     GroupCommitBatch,
+    /// Shared-plan-cache lookups satisfied by a cached, still-valid plan
+    /// (the wire protocol's REOPEN path: Parse skips planning entirely).
+    PlanCacheHits,
+    /// Shared-plan-cache lookups that had to parse and plan (first
+    /// execution of a statement shape, or a stale entry).
+    PlanCacheMisses,
+    /// Plan-cache entries discarded — capacity (LRU) evictions plus
+    /// catalog-version invalidations after DDL.
+    PlanCacheEvictions,
+    /// Wire-protocol frames processed by the server (client messages in).
+    NetFrames,
+    /// Wire-protocol payload bytes received by the server.
+    NetBytes,
 }
 
 impl Counter {
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 27;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::SeqPageReads,
@@ -114,6 +127,11 @@ impl Counter {
         Counter::WalBytes,
         Counter::WalFlushes,
         Counter::GroupCommitBatch,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
+        Counter::NetFrames,
+        Counter::NetBytes,
     ];
 
     /// Stable snake_case name, used for JSON export and display.
@@ -141,6 +159,11 @@ impl Counter {
             Counter::WalBytes => "wal_bytes",
             Counter::WalFlushes => "wal_flushes",
             Counter::GroupCommitBatch => "group_commit_batch",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
+            Counter::NetFrames => "net_frames",
+            Counter::NetBytes => "net_bytes",
         }
     }
 }
@@ -370,6 +393,36 @@ impl MeterSnapshot {
         self.get(Counter::GroupCommitBatch)
     }
 
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.get(Counter::PlanCacheHits)
+    }
+
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.get(Counter::PlanCacheMisses)
+    }
+
+    pub fn plan_cache_evictions(&self) -> u64 {
+        self.get(Counter::PlanCacheEvictions)
+    }
+
+    pub fn net_frames(&self) -> u64 {
+        self.get(Counter::NetFrames)
+    }
+
+    pub fn net_bytes(&self) -> u64 {
+        self.get(Counter::NetBytes)
+    }
+
+    /// Fraction of plan-cache lookups served from the cache.
+    pub fn plan_cache_hit_ratio(&self) -> f64 {
+        let probes = self.plan_cache_hits() + self.plan_cache_misses();
+        if probes == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits() as f64 / probes as f64
+        }
+    }
+
     pub fn cache_hit_ratio(&self) -> f64 {
         if self.cache_probes() == 0 {
             0.0
@@ -481,7 +534,12 @@ impl Calibration {
             | Counter::DeadlockRetries
             | Counter::WalRecords
             | Counter::WalBytes
-            | Counter::GroupCommitBatch => 0.0,
+            | Counter::GroupCommitBatch
+            | Counter::PlanCacheHits
+            | Counter::PlanCacheMisses
+            | Counter::PlanCacheEvictions
+            | Counter::NetFrames
+            | Counter::NetBytes => 0.0,
         }
     }
 
