@@ -1,0 +1,73 @@
+//! Gate a regenerated benchmark against its committed baseline.
+//!
+//! ```text
+//! benchdiff <generated.json> <baseline.json> [--tolerance <fraction>]
+//! ```
+//!
+//! Compares the QthD ratio metrics in both documents' `comparison`
+//! objects (see [`bench::diff`]) and exits non-zero if any ratio
+//! regressed more than the tolerance (default 0.10 = 10%) below the
+//! baseline. Ratios rather than absolute QthD so a fast baseline machine
+//! does not fail every slower CI runner.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<serde_json::Json, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--tolerance needs a fraction"));
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [generated, baseline] = match paths.as_slice() {
+        [g, b] => [g.clone(), b.clone()],
+        _ => {
+            eprintln!("usage: benchdiff <generated.json> <baseline.json> [--tolerance <fraction>]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (gen, base) = match (load(&generated), load(&baseline)) {
+        (Ok(g), Ok(b)) => (g, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = bench::diff::compare_ratios(&gen, &base, tolerance);
+    for (metric, g, b) in &outcome.checked {
+        println!("{metric}: generated={g:.4} baseline={b:.4}");
+    }
+    if outcome.passed() {
+        println!(
+            "benchdiff: ok ({} ratio(s) within {:.0}%)",
+            outcome.checked.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &outcome.failures {
+            eprintln!("benchdiff: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--sf <scale>] [table1 .. table9 | figures | all | trace [qN]
-//!              | durability | server]
+//!              | durability | server | observe [--smoke]]
 //! ```
 //!
 //! `trace` runs the end-to-end observability demo for one query (default
@@ -17,6 +17,12 @@
 //! over real loopback sockets, plan-cache hit rates, and a 100+-connection
 //! stress phase) and records the baseline in `BENCH_server.json`. Its
 //! default scale is 0.02 unless `--sf` is given explicitly.
+//!
+//! `observe` runs the live-monitoring experiment (collectors-off vs
+//! collectors-on QthD, a live monitor connection polling the six `M$`
+//! views mid-run, and the §4.1 blind-plan lock-wait diagnosis) and records
+//! the baseline in `BENCH_observe.json`. `observe --smoke` is the CI-sized
+//! variant, written to `target/experiments/BENCH_observe_smoke.json`.
 //!
 //! Results print as text tables (paper numbers alongside) and are also
 //! dumped as JSON under `target/experiments/`.
@@ -160,6 +166,38 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("server experiment failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if which.first().map(String::as_str) == Some("observe") {
+        let smoke = which.iter().any(|w| w == "--smoke" || w == "smoke");
+        let sf = if args.iter().any(|a| a == "--sf") {
+            sf
+        } else if smoke {
+            0.005
+        } else {
+            0.02
+        };
+        match bench::observe::run_observe_experiment(sf, smoke) {
+            Ok(doc) => {
+                let json = serde_json::to_string_pretty(&doc).expect("observe doc serializes");
+                if let Err(e) = serde_json::from_str(&json) {
+                    eprintln!("observe: emitted JSON does not parse: {e}");
+                    std::process::exit(1);
+                }
+                let out = if smoke {
+                    format!("{out_dir}/BENCH_observe_smoke.json")
+                } else {
+                    "BENCH_observe.json".to_string()
+                };
+                fs::write(&out, json).expect("write baseline");
+                println!("\n  (written to {out})");
+            }
+            Err(e) => {
+                eprintln!("observe experiment failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -1,8 +1,10 @@
 //! Experiment harness for the paper reproduction: regenerates every table
 //! and figure (see DESIGN.md section 4 for the index).
 
+pub mod diff;
 pub mod durability;
 pub mod experiments;
+pub mod observe;
 pub mod paper;
 pub mod serverexp;
 pub mod tracecmd;

@@ -19,6 +19,9 @@
 //!   ([`batch_input`]),
 //! * an **ST05-style SQL trace** recording every statement that crosses
 //!   the RDBMS interface ([`sqltrace`]),
+//! * **ST03-style workload statistics** rolled up per task type and
+//!   work-process class, published as the `M$WORKLOAD` monitor view
+//!   ([`workload`]),
 //! * **EIS warehouse extraction** ([`extract`]),
 //! * and the TPC-D **reports** in four variants each — Native/Open SQL ×
 //!   Release 2.2/3.0 ([`reports`]).
@@ -36,9 +39,11 @@ pub mod schema;
 pub mod sqltrace;
 pub mod system;
 pub mod throughput;
+pub mod workload;
 
 pub use sqltrace::{SqlOp, SqlTrace, SqlTraceEntry};
 pub use system::R3System;
+pub use workload::{TaskStats, WorkloadMonitor};
 
 /// SAP R/3 release. Gates Open SQL features and the KONV representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

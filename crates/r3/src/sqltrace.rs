@@ -19,6 +19,7 @@
 use rdbms::clock::{CostMeter, MeterScope, MeterSnapshot};
 use rdbms::types::Value;
 use serde_json::Json;
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -107,14 +108,43 @@ impl SqlTraceEntry {
 
 /// The trace facility. Lives on [`crate::R3System`]; disabled (and nearly
 /// free) unless a caller enables it.
-#[derive(Debug, Default)]
+///
+/// The buffer is a bounded ring: once `capacity` entries are held, each
+/// new entry evicts the oldest and bumps [`SqlTrace::dropped`]. A
+/// long-running traced workload therefore keeps the most recent window
+/// (what ST05 shows) at a fixed memory ceiling instead of growing without
+/// bound.
+#[derive(Debug)]
 pub struct SqlTrace {
     enabled: AtomicBool,
     next_seq: AtomicU64,
-    entries: Mutex<Vec<SqlTraceEntry>>,
+    capacity: usize,
+    entries: Mutex<VecDeque<SqlTraceEntry>>,
+    dropped: AtomicU64,
+}
+
+/// Default ring capacity — comfortably above the largest single-query
+/// trace in the workspace (TPC-D Q3 on the R/3 schema records ~35k calls).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+impl Default for SqlTrace {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl SqlTrace {
+    /// A trace whose ring holds at most `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SqlTrace {
+            enabled: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
     pub fn enable(&self) {
         self.enabled.store(true, Ordering::Relaxed);
     }
@@ -127,15 +157,28 @@ impl SqlTrace {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Ring capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted from the ring since the last [`SqlTrace::clear`]
+    /// (drained entries do not count as dropped).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Drain the recorded entries (ordered by sequence number).
     pub fn take(&self) -> Vec<SqlTraceEntry> {
-        let mut entries = std::mem::take(&mut *self.entries.lock().unwrap());
+        let mut entries: Vec<SqlTraceEntry> =
+            std::mem::take(&mut *self.entries.lock().unwrap()).into();
         entries.sort_by_key(|e| e.seq);
         entries
     }
 
     pub fn clear(&self) {
         self.entries.lock().unwrap().clear();
+        self.dropped.store(0, Ordering::Relaxed);
     }
 
     /// Begin recording one interface call; `None` when tracing is off.
@@ -171,7 +214,12 @@ impl SqlTraceGuard<'_> {
     ) {
         let work = self.meter.snapshot();
         let seq = self.trace.next_seq.fetch_add(1, Ordering::Relaxed);
-        self.trace.entries.lock().unwrap().push(SqlTraceEntry {
+        let mut entries = self.trace.entries.lock().unwrap();
+        if entries.len() == self.trace.capacity {
+            entries.pop_front();
+            self.trace.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(SqlTraceEntry {
             seq,
             op,
             statement: statement.into(),
@@ -281,5 +329,39 @@ pub fn to_json(
 impl fmt::Display for SqlOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_entries_and_counts_drops() {
+        let trace = SqlTrace::with_capacity(4);
+        trace.enable();
+        for i in 0..10 {
+            trace.begin().unwrap().finish(SqlOp::Exec, format!("S{i}"), &[], 0, 1);
+        }
+        assert_eq!(trace.dropped(), 6);
+        let entries = trace.take();
+        let stmts: Vec<&str> = entries.iter().map(|e| e.statement.as_str()).collect();
+        assert_eq!(stmts, vec!["S6", "S7", "S8", "S9"]);
+        // Draining is not dropping; clear resets the counter.
+        assert_eq!(trace.dropped(), 6);
+        trace.clear();
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn default_capacity_is_large_and_ring_is_inert_below_it() {
+        let trace = SqlTrace::default();
+        assert_eq!(trace.capacity(), DEFAULT_TRACE_CAPACITY);
+        trace.enable();
+        for i in 0..100 {
+            trace.begin().unwrap().finish(SqlOp::Open, format!("S{i}"), &[], 1, 1);
+        }
+        assert_eq!(trace.dropped(), 0);
+        assert_eq!(trace.take().len(), 100);
     }
 }

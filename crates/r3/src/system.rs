@@ -10,6 +10,7 @@ use crate::dict::{
 };
 use crate::schema::{build_dict, physical_ddl, MANDT};
 use crate::sqltrace::{SqlOp, SqlTrace};
+use crate::workload::WorkloadMonitor;
 use crate::Release;
 use parking_lot::Mutex;
 use rdbms::clock::{Calibration, CostMeter, Counter, MeterSnapshot};
@@ -38,6 +39,8 @@ pub struct R3System {
     pub(crate) number_range_lock: Mutex<()>,
     /// ST05-style SQL trace; disabled unless a caller enables it.
     pub sql_trace: SqlTrace,
+    /// ST03-style workload roll-up, published as `M$WORKLOAD`.
+    pub workload: Arc<WorkloadMonitor>,
 }
 
 impl R3System {
@@ -50,6 +53,8 @@ impl R3System {
             db.execute(&stmt)?;
         }
         let buffer = TableBuffer::new(Arc::clone(db.meter()));
+        let workload = WorkloadMonitor::new();
+        db.catalog().register_monitor_view(workload.view());
         Ok(R3System {
             release,
             db,
@@ -58,6 +63,7 @@ impl R3System {
             cursor_cache: Mutex::new(HashMap::new()),
             number_range_lock: Mutex::new(()),
             sql_trace: SqlTrace::default(),
+            workload,
         })
     }
 

@@ -104,6 +104,10 @@ pub struct Catalog {
     /// its statistics) last changed. Objects never touched by DDL since the
     /// catalog was created are absent (version 0).
     object_versions: RwLock<HashMap<String, u64>>,
+    /// Virtual `M$` monitoring views (see [`crate::monitor`]). Kept apart
+    /// from base tables and SQL views: they take no locks, are never
+    /// plan-cache dependencies, and DDL cannot touch them.
+    monitor_views: RwLock<HashMap<String, Arc<crate::monitor::MonitorView>>>,
 }
 
 impl Catalog {
@@ -114,7 +118,25 @@ impl Catalog {
             views: RwLock::new(HashMap::new()),
             ddl_version: AtomicU64::new(0),
             object_versions: RwLock::new(HashMap::new()),
+            monitor_views: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Register (or replace) a virtual monitoring view. The name must be
+    /// in the `M$` namespace.
+    pub fn register_monitor_view(&self, view: Arc<crate::monitor::MonitorView>) {
+        debug_assert!(crate::monitor::is_monitor_name(view.name()));
+        self.monitor_views.write().insert(view.name().to_string(), view);
+    }
+
+    pub fn monitor_view(&self, name: &str) -> Option<Arc<crate::monitor::MonitorView>> {
+        self.monitor_views.read().get(&name.to_ascii_uppercase()).cloned()
+    }
+
+    pub fn monitor_view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.monitor_views.read().keys().cloned().collect();
+        names.sort();
+        names
     }
 
     pub fn pager(&self) -> &Arc<Pager> {
@@ -146,6 +168,9 @@ impl Catalog {
         primary_key_names: &[String],
     ) -> DbResult<Arc<Table>> {
         let name = name.to_ascii_uppercase();
+        if crate::monitor::is_monitor_name(&name) {
+            return Err(DbError::catalog(format!("'{name}' is in the reserved M$ namespace")));
+        }
         if self.tables.read().contains_key(&name) || self.views.read().contains_key(&name) {
             return Err(DbError::catalog(format!("table or view '{name}' already exists")));
         }
@@ -251,6 +276,9 @@ impl Catalog {
 
     pub fn create_view(&self, name: &str, query: SelectStmt) -> DbResult<()> {
         let name = name.to_ascii_uppercase();
+        if crate::monitor::is_monitor_name(&name) {
+            return Err(DbError::catalog(format!("'{name}' is in the reserved M$ namespace")));
+        }
         if self.tables.read().contains_key(&name) || self.views.read().contains_key(&name) {
             return Err(DbError::catalog(format!("table or view '{name}' already exists")));
         }

@@ -6,3 +6,4 @@
 //! This module re-exports it under the historical `rdbms::clock` path.
 
 pub use trace::meter::{fmt_duration, Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
+pub use trace::wait::{WaitEvent, WaitScope, WaitSnapshot, WaitStats, WaitTimer};

@@ -1,24 +1,25 @@
 //! The `Database` façade: parse, plan, execute.
 
 use crate::catalog::Catalog;
-use crate::clock::{Calibration, CostMeter, MeterSnapshot};
+use crate::clock::{Calibration, CostMeter, MeterSnapshot, WaitEvent, WaitStats};
 use crate::error::{DbError, DbResult};
 use crate::exec::expr::ExecCtx;
 use crate::exec::plan::{Plan, TableAccess};
 use crate::lock::{LockManager, DEFAULT_ESCALATION_THRESHOLD};
+use crate::monitor::{MonitorView, StatementCollector};
 use crate::planner::{PlannedQuery, Planner, PlannerConfig};
 use crate::schema::{Column, Row, Schema};
 use crate::sql::ast::{Expr, SelectStmt, Statement};
 use crate::sql::parse_statement;
 use crate::storage::{Pager, PagerConfig};
 use crate::txn::{Txn, Undo};
-use crate::types::Value;
+use crate::types::{DataType, Value};
 use crate::wal::{LogPayload, Lsn, RecoveryReport, UndoAction, Wal, WalConfig, SYSTEM_TXN};
 use parking_lot::RwLock;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Database configuration.
 #[derive(Debug, Clone)]
@@ -134,9 +135,21 @@ pub struct Database {
     meter: Arc<CostMeter>,
     planner_config: RwLock<PlannerConfig>,
     calibration: Calibration,
-    locks: LockManager,
+    locks: Arc<LockManager>,
     next_txn_id: AtomicU64,
     wal: Option<Arc<Wal>>,
+    /// Engine-wide wait-event accumulators (lock waits, log forces,
+    /// group-commit parks, buffer misses, exec time) behind M$WAIT_EVENTS.
+    wait: Arc<WaitStats>,
+    /// Per-statement collector behind M$STATEMENTS, fed by the server
+    /// session layer (and anything else that calls
+    /// [`StatementCollector::record`]).
+    statements: Arc<StatementCollector>,
+    /// Gates the per-statement Exec timers so the observe experiment can
+    /// measure collectors-off throughput. Wait events recorded at genuine
+    /// block points (locks, log forces) stay on — they cost nothing unless
+    /// the thread actually waited.
+    monitor_enabled: AtomicBool,
 }
 
 impl Database {
@@ -151,7 +164,9 @@ impl Database {
     pub fn open(config: DbConfig) -> DbResult<Self> {
         let mut db = Database::fresh_for_recovery(&config);
         if let Some(wal_cfg) = &config.wal {
-            db.wal = Some(Arc::new(Wal::create(wal_cfg, Arc::clone(&db.meter))?));
+            let wal = Arc::new(Wal::create(wal_cfg, Arc::clone(&db.meter))?);
+            wal.set_wait_stats(Arc::clone(&db.wait));
+            db.wal = Some(wal);
         }
         Ok(db)
     }
@@ -168,13 +183,15 @@ impl Database {
     /// recovery replay runs against, hence the name).
     pub(crate) fn fresh_for_recovery(config: &DbConfig) -> Self {
         let meter = CostMeter::new();
+        let wait = WaitStats::new();
         let pager = Pager::new(config.pager, Arc::clone(&meter));
-        let locks = LockManager::configured(
+        pager.set_wait_stats(Arc::clone(&wait));
+        let locks = Arc::new(LockManager::configured(
             config.lock_timeout,
             config.lock_escalation_threshold,
             Some(Arc::clone(&meter)),
-        );
-        Database {
+        ));
+        let db = Database {
             catalog: Catalog::new(Arc::clone(&pager)),
             pager,
             meter,
@@ -183,12 +200,54 @@ impl Database {
             locks,
             next_txn_id: AtomicU64::new(1),
             wal: None,
-        }
+            wait,
+            statements: StatementCollector::new(),
+            monitor_enabled: AtomicBool::new(true),
+        };
+        db.register_builtin_monitor_views();
+        db
+    }
+
+    /// Register the engine-level `M$` views: M$WAIT_EVENTS over the wait
+    /// accumulators, M$STATEMENTS over the per-statement collector, and
+    /// M$LOCKS over the lock manager. The server and R/3 layers register
+    /// their own views (M$SESSIONS, M$PLAN_CACHE, M$WORKLOAD) on top.
+    fn register_builtin_monitor_views(&self) {
+        self.catalog
+            .register_monitor_view(crate::monitor::wait_events_view(Arc::clone(&self.wait)));
+        self.catalog.register_monitor_view(self.statements.view());
+        let locks = Arc::clone(&self.locks);
+        self.catalog.register_monitor_view(MonitorView::new(
+            "M$LOCKS",
+            vec![
+                Column::new("TABLE_NAME", DataType::VarChar(64)),
+                Column::new("TXN", DataType::Int),
+                Column::new("STATE", DataType::VarChar(8)),
+                Column::new("MODE", DataType::VarChar(16)),
+                Column::new("ROW_LOCKS", DataType::Int),
+            ],
+            move || {
+                locks
+                    .snapshot_locks()
+                    .into_iter()
+                    .map(|l| {
+                        vec![
+                            Value::Str(l.table),
+                            Value::Int(l.txn as i64),
+                            Value::str(l.state),
+                            Value::Str(l.mode),
+                            Value::Int(l.row_locks as i64),
+                        ]
+                    })
+                    .collect()
+            },
+        ));
     }
 
     /// Attach the reopened log after the redo/undo passes and advance the
     /// transaction-id counter past every id seen in the log.
     pub(crate) fn finish_recovery(&mut self, wal: Arc<Wal>, next_txn_id: u64) {
+        wal.set_wait_stats(Arc::clone(&self.wait));
         self.wal = Some(wal);
         self.next_txn_id.store(next_txn_id.max(1), Ordering::Relaxed);
     }
@@ -226,9 +285,35 @@ impl Database {
         self.meter.snapshot()
     }
 
+    /// Engine-wide wait-event accumulators (the data behind M$WAIT_EVENTS).
+    pub fn wait_stats(&self) -> &Arc<WaitStats> {
+        &self.wait
+    }
+
+    /// The per-statement collector (the data behind M$STATEMENTS).
+    pub fn statement_collector(&self) -> &Arc<StatementCollector> {
+        &self.statements
+    }
+
+    /// Toggle the per-statement Exec timers and collector feeds. Lock/WAL
+    /// wait events always record — a thread that did not block records
+    /// nothing, so they are free when idle.
+    pub fn set_monitor_enabled(&self, on: bool) {
+        self.monitor_enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn monitor_enabled(&self) -> bool {
+        self.monitor_enabled.load(Ordering::Relaxed)
+    }
+
     /// The hierarchical lock manager (strict 2PL for open transactions).
     pub fn lock_manager(&self) -> &LockManager {
         &self.locks
+    }
+
+    /// Shared handle to the lock manager (monitor-view providers).
+    pub fn lock_manager_arc(&self) -> Arc<LockManager> {
+        Arc::clone(&self.locks)
     }
 
     /// The write-ahead log, if this database was configured with one.
@@ -358,8 +443,12 @@ impl Database {
         if params.len() < p.n_params {
             return Err(DbError::UnboundParameter(params.len()));
         }
+        let exec_started = self.monitor_enabled().then(Instant::now);
         let ctx = ExecCtx::new(params, &self.meter);
         let rows = p.plan.execute(&ctx)?;
+        if let Some(started) = exec_started {
+            self.wait.record(WaitEvent::Exec, started.elapsed());
+        }
         Ok(QueryResult { schema: p.schema.clone(), rows })
     }
 
@@ -368,8 +457,12 @@ impl Database {
             Statement::Select(q) => {
                 let planner = Planner::with_config(&self.catalog, self.planner_config());
                 let pq = planner.plan_query(q)?;
+                let exec_started = self.monitor_enabled().then(Instant::now);
                 let ctx = ExecCtx::new(&[], &self.meter);
                 let rows = pq.plan.execute(&ctx)?;
+                if let Some(started) = exec_started {
+                    self.wait.record(WaitEvent::Exec, started.elapsed());
+                }
                 Ok(ExecOutcome::Rows(QueryResult { schema: pq.schema, rows }))
             }
             Statement::Insert { .. } | Statement::Delete { .. } | Statement::Update { .. } => {
@@ -438,7 +531,8 @@ impl Database {
         stmt: &Statement,
         undo: &mut Vec<Undo>,
     ) -> DbResult<ExecOutcome> {
-        match stmt {
+        let exec_started = self.monitor_enabled().then(Instant::now);
+        let out = match stmt {
             Statement::Insert { table, columns, rows } => Ok(ExecOutcome::Count(
                 self.apply_insert(table, columns.as_deref(), rows, Some(undo))?,
             )),
@@ -448,8 +542,12 @@ impl Database {
             Statement::Update { table, assignments, filter } => Ok(ExecOutcome::Count(
                 self.apply_update(table, assignments, filter.as_ref(), Some(undo))?,
             )),
-            other => self.execute_statement(other),
+            other => return self.execute_statement(other),
+        };
+        if let Some(started) = exec_started {
+            self.wait.record(WaitEvent::Exec, started.elapsed());
         }
+        out
     }
 
     /// Autocommit DML. With a WAL every statement is an *implicit

@@ -47,6 +47,12 @@ pub enum Plan {
     Values {
         rows: Vec<Vec<BExpr>>,
     },
+    /// Virtual `M$` monitoring view: rows come from the view's provider
+    /// closure at *execute* time, so every read — including through a
+    /// cached plan — sees the live accumulators. Takes no locks.
+    MonitorScan {
+        view: Arc<crate::monitor::MonitorView>,
+    },
     Filter {
         input: Box<Plan>,
         pred: BExpr,
@@ -171,7 +177,7 @@ impl Plan {
                 };
                 out.push(TableAccess { table: table.name.clone(), read });
             }
-            Plan::Values { .. } => {}
+            Plan::Values { .. } | Plan::MonitorScan { .. } => {}
             Plan::Filter { input, .. }
             | Plan::Project { input, .. }
             | Plan::Sort { input, .. }
@@ -208,6 +214,9 @@ impl Plan {
             }
             Plan::Values { rows } => {
                 out.push_str(&format!("{pad}Values ({} rows)\n", rows.len()));
+            }
+            Plan::MonitorScan { view } => {
+                out.push_str(&format!("{pad}MonitorScan {}\n", view.name()));
             }
             Plan::Filter { input, .. } => {
                 out.push_str(&format!("{pad}Filter\n"));
@@ -280,6 +289,7 @@ impl Plan {
                 format!("IndexScan {} via {}", table.name, index.name)
             }
             Plan::Values { rows } => format!("Values ({} rows)", rows.len()),
+            Plan::MonitorScan { view } => format!("MonitorScan {}", view.name()),
             Plan::Filter { .. } => "Filter".to_string(),
             Plan::Project { exprs, .. } => format!("Project ({} cols)", exprs.len()),
             Plan::NLJoin { kind, .. } => format!("NLJoin {kind:?}"),
@@ -350,6 +360,11 @@ impl Plan {
                     out.push(row);
                 }
                 Ok(out)
+            }
+            Plan::MonitorScan { view } => {
+                let rows = view.rows();
+                ctx.meter.add(Counter::DbTuples, rows.len() as u64);
+                Ok(rows)
             }
             Plan::Filter { input, pred } => {
                 let rows = input.execute(ctx)?;

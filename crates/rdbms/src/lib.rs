@@ -23,6 +23,7 @@ pub mod error;
 pub mod exec;
 pub mod index;
 pub mod lock;
+pub mod monitor;
 pub mod plancache;
 pub mod planner;
 pub mod schema;
@@ -33,10 +34,12 @@ pub mod types;
 pub mod wal;
 
 pub use clock::{Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
+pub use clock::{WaitEvent, WaitScope, WaitSnapshot, WaitStats, WaitTimer};
 pub use db::{Database, DbConfig, ExecOutcome, Prepared, QueryResult};
 pub use error::{DbError, DbResult};
-pub use lock::{KeyRange, LockManager, LockMode, RowLock, RowMode, TxnId};
-pub use plancache::{CachedPlan, PlanCache};
+pub use lock::{KeyRange, LockInfo, LockManager, LockMode, RowLock, RowMode, TxnId};
+pub use monitor::{MonitorView, StatementCollector, StatementSample, StatementStats};
+pub use plancache::{CachedPlan, PlanCache, PlanCacheEntryInfo};
 pub use schema::{Column, Row, Schema};
 pub use txn::{Txn, TxnStats};
 pub use types::{DataType, Date, Decimal, Value};

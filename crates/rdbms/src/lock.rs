@@ -227,6 +227,30 @@ enum Request {
     Row(RowLock),
 }
 
+/// One row of the `M$LOCKS` monitoring view: a holder of (or waiter for)
+/// locks on one table. See [`LockManager::snapshot_locks`].
+#[derive(Debug, Clone)]
+pub struct LockInfo {
+    pub table: String,
+    pub txn: TxnId,
+    /// `"HELD"` or `"WAITING"`.
+    pub state: &'static str,
+    /// Held table modes (`"IX,S"`; empty for row-only holders) or the
+    /// blocked request (`"TABLE X"`, `"ROW S"`, `"ROW X"`).
+    pub mode: String,
+    /// Key-range locks this transaction holds on this table.
+    pub row_locks: u64,
+}
+
+fn mode_short(m: LockMode) -> &'static str {
+    match m {
+        LockMode::IntentShared => "IS",
+        LockMode::IntentExclusive => "IX",
+        LockMode::Shared => "S",
+        LockMode::Exclusive => "X",
+    }
+}
+
 #[derive(Default)]
 struct TableLocks {
     /// Table-mode bitmask per holder (a transaction can hold e.g. S|IX).
@@ -404,6 +428,53 @@ impl LockManager {
     pub fn is_quiescent(&self) -> bool {
         let st = self.state.lock();
         st.tables.is_empty() && st.waiting.is_empty()
+    }
+
+    /// Point-in-time picture of the whole lock table for the M$LOCKS
+    /// monitoring view: one entry per (table, holder) and one per waiter,
+    /// sorted by table then transaction. Takes the state mutex briefly;
+    /// never blocks on any lock.
+    pub fn snapshot_locks(&self) -> Vec<LockInfo> {
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        for (name, t) in &st.tables {
+            let mut holders: Vec<TxnId> = t.held.keys().copied().collect();
+            holders.extend(t.rows.iter().map(|(txn, _)| *txn));
+            holders.sort_unstable();
+            holders.dedup();
+            for txn in holders {
+                let bits = t.held.get(&txn).copied().unwrap_or(0);
+                let mode = LockMode::ALL
+                    .into_iter()
+                    .filter(|m| bits & m.bit() != 0)
+                    .map(mode_short)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let row_locks = t.rows.iter().filter(|(holder, _)| *holder == txn).count() as u64;
+                out.push(LockInfo { table: name.clone(), txn, state: "HELD", mode, row_locks });
+            }
+        }
+        for (txn, (table, req)) in &st.waiting {
+            let mode = match req {
+                Request::Table(m) => format!("TABLE {}", mode_short(*m)),
+                Request::Row(r) => match r.mode {
+                    RowMode::Shared => "ROW S".to_string(),
+                    RowMode::Exclusive => "ROW X".to_string(),
+                },
+            };
+            out.push(LockInfo {
+                table: table.clone(),
+                txn: *txn,
+                state: "WAITING",
+                mode,
+                row_locks: 0,
+            });
+        }
+        drop(st);
+        out.sort_by(|a, b| {
+            a.table.cmp(&b.table).then(a.txn.cmp(&b.txn)).then(a.state.cmp(b.state))
+        });
+        out
     }
 
     /// Block until `req` is grantable (the caller applies the grant while

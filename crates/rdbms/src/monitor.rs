@@ -1,0 +1,377 @@
+//! Live monitoring: virtual `M$` system views and the per-statement
+//! collector behind `M$STATEMENTS`.
+//!
+//! The paper's diagnosis workflow is SAP's live monitors — ST03 workload
+//! statistics, SM50 process overview, DB01 lock waits — read *while the
+//! workload runs*, not post-hoc log dumps. This module gives the engine
+//! the same surface: a [`MonitorView`] is a virtual table whose rows are
+//! produced by a closure at **execute** time, registered in the catalog
+//! under an `M$...` name and resolved by the planner like any base table.
+//! A second wire connection can therefore `SELECT * FROM M$WAIT_EVENTS`
+//! and see the current accumulators, every time, even through a cached
+//! plan.
+//!
+//! Monitor views take no locks, have no catalog version, and are invisible
+//! to DDL — reading them never blocks the workload being observed.
+
+use crate::clock::{WaitEvent, WaitSnapshot, WaitStats};
+use crate::schema::{Column, Row, Schema};
+use crate::types::{DataType, Value};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// True if `name` is in the reserved monitoring namespace (`M$` prefix,
+/// case-insensitive). Such names never reach the catalog's base-table
+/// maps, take no locks, and are not plan-cache dependencies.
+pub fn is_monitor_name(name: &str) -> bool {
+    let b = name.as_bytes();
+    b.len() > 2 && (b[0] == b'M' || b[0] == b'm') && b[1] == b'$'
+}
+
+/// A virtual system table: a schema plus a row producer evaluated at
+/// execute time, so every read — including through a cached plan — sees
+/// fresh data.
+pub struct MonitorView {
+    name: String,
+    schema: Schema,
+    rows: Box<dyn Fn() -> Vec<Row> + Send + Sync>,
+}
+
+impl MonitorView {
+    pub fn new<F>(name: &str, columns: Vec<Column>, rows: F) -> Arc<MonitorView>
+    where
+        F: Fn() -> Vec<Row> + Send + Sync + 'static,
+    {
+        let name = name.to_ascii_uppercase();
+        let schema = Schema::qualified(columns, &name);
+        Arc::new(MonitorView { name, schema, rows: Box::new(rows) })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Produce the view's rows *now*.
+    pub fn rows(&self) -> Vec<Row> {
+        (self.rows)()
+    }
+}
+
+impl std::fmt::Debug for MonitorView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorView").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(v as i64)
+}
+
+/// Build the `M$WAIT_EVENTS` view over a [`WaitStats`]: one row per
+/// [`WaitEvent`] with its occurrence count and total waited microseconds.
+pub fn wait_events_view(stats: Arc<WaitStats>) -> Arc<MonitorView> {
+    MonitorView::new(
+        "M$WAIT_EVENTS",
+        vec![
+            Column::new("EVENT", DataType::VarChar(32)),
+            Column::new("WAITS", DataType::Int),
+            Column::new("WAITED_US", DataType::Int),
+        ],
+        move || {
+            let snap = stats.snapshot();
+            WaitEvent::ALL
+                .iter()
+                .map(|&ev| vec![Value::str(ev.name()), int(snap.count(ev)), int(snap.micros(ev))])
+                .collect()
+        },
+    )
+}
+
+/// One recent execution of a statement (the `M$STATEMENTS` sample ring).
+#[derive(Debug, Clone, Copy)]
+pub struct StatementSample {
+    pub micros: u64,
+    pub rows: u64,
+}
+
+/// Cumulative statistics for one normalized statement shape.
+#[derive(Debug, Clone)]
+pub struct StatementStats {
+    /// Display text: the first concrete SQL seen for this shape.
+    pub statement: String,
+    pub calls: u64,
+    pub rows: u64,
+    pub total_micros: u64,
+    pub min_micros: u64,
+    pub max_micros: u64,
+    /// Wait breakdown summed over all calls (mirrored into the caller's
+    /// [`WaitScope`](crate::clock::WaitScope) during execution).
+    pub waits: WaitSnapshot,
+    /// Ring of the most recent executions, oldest first.
+    pub recent: Vec<StatementSample>,
+}
+
+struct StatementEntry {
+    statement: String,
+    calls: u64,
+    rows: u64,
+    total_micros: u64,
+    min_micros: u64,
+    max_micros: u64,
+    waits: WaitSnapshot,
+    recent: VecDeque<StatementSample>,
+}
+
+/// pg_stat_statements-style collector: cumulative per-statement counters
+/// keyed on the plan cache's normalized statement shape, so `SELECT ... =
+/// 1` and `SELECT ... = 2` aggregate into one row while distinct shapes
+/// stay separate.
+#[derive(Debug)]
+pub struct StatementCollector {
+    inner: Mutex<HashMap<String, StatementEntry>>,
+    /// Recent-sample ring capacity per statement shape.
+    samples_per_statement: usize,
+}
+
+impl std::fmt::Debug for StatementEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatementEntry").field("calls", &self.calls).finish_non_exhaustive()
+    }
+}
+
+impl Default for StatementCollector {
+    fn default() -> Self {
+        StatementCollector { inner: Mutex::new(HashMap::new()), samples_per_statement: 16 }
+    }
+}
+
+impl StatementCollector {
+    pub fn new() -> Arc<Self> {
+        Arc::new(StatementCollector::default())
+    }
+
+    /// Record one completed execution. `key` is the normalized statement
+    /// shape (the plan-cache key where available, the raw SQL otherwise);
+    /// `statement` is the concrete text kept for display.
+    pub fn record(
+        &self,
+        key: &str,
+        statement: &str,
+        elapsed: Duration,
+        rows: u64,
+        waits: &WaitSnapshot,
+    ) {
+        let micros = elapsed.as_micros() as u64;
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(key.to_string()).or_insert_with(|| StatementEntry {
+            statement: display_text(statement),
+            calls: 0,
+            rows: 0,
+            total_micros: 0,
+            min_micros: u64::MAX,
+            max_micros: 0,
+            waits: WaitSnapshot::default(),
+            recent: VecDeque::with_capacity(self.samples_per_statement),
+        });
+        entry.calls += 1;
+        entry.rows += rows;
+        entry.total_micros += micros;
+        entry.min_micros = entry.min_micros.min(micros);
+        entry.max_micros = entry.max_micros.max(micros);
+        entry.waits = entry.waits.plus(waits);
+        if entry.recent.len() == self.samples_per_statement {
+            entry.recent.pop_front();
+        }
+        entry.recent.push_back(StatementSample { micros, rows });
+    }
+
+    /// Number of distinct statement shapes seen.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Snapshot of all statements, hottest (most total time) first.
+    pub fn snapshot(&self) -> Vec<StatementStats> {
+        let inner = self.inner.lock();
+        let mut out: Vec<StatementStats> = inner
+            .values()
+            .map(|e| StatementStats {
+                statement: e.statement.clone(),
+                calls: e.calls,
+                rows: e.rows,
+                total_micros: e.total_micros,
+                min_micros: if e.calls == 0 { 0 } else { e.min_micros },
+                max_micros: e.max_micros,
+                waits: e.waits,
+                recent: e.recent.iter().copied().collect(),
+            })
+            .collect();
+        drop(inner);
+        out.sort_by(|a, b| b.total_micros.cmp(&a.total_micros).then(a.statement.cmp(&b.statement)));
+        out
+    }
+
+    /// Sum of per-statement wait breakdowns (for reconciliation against
+    /// the engine-wide [`WaitStats`] and cost meters).
+    pub fn total_waits(&self) -> WaitSnapshot {
+        self.inner.lock().values().fold(WaitSnapshot::default(), |acc, e| acc.plus(&e.waits))
+    }
+
+    /// Forget everything (between experiment phases).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Build the `M$STATEMENTS` view over this collector.
+    pub fn view(self: &Arc<Self>) -> Arc<MonitorView> {
+        let collector = Arc::clone(self);
+        MonitorView::new(
+            "M$STATEMENTS",
+            vec![
+                Column::new("STATEMENT", DataType::VarChar(200)),
+                Column::new("CALLS", DataType::Int),
+                Column::new("TOTAL_ROWS", DataType::Int),
+                Column::new("TOTAL_US", DataType::Int),
+                Column::new("MEAN_US", DataType::Int),
+                Column::new("MIN_US", DataType::Int),
+                Column::new("MAX_US", DataType::Int),
+                Column::new("LAST_US", DataType::Int),
+                Column::new("LOCK_WAITS", DataType::Int),
+                Column::new("LOCK_US", DataType::Int),
+                Column::new("WAL_FLUSH_US", DataType::Int),
+                Column::new("GROUP_COMMIT_US", DataType::Int),
+                Column::new("BUFFER_MISSES", DataType::Int),
+            ],
+            move || {
+                collector
+                    .snapshot()
+                    .into_iter()
+                    .map(|s| {
+                        vec![
+                            Value::Str(s.statement),
+                            int(s.calls),
+                            int(s.rows),
+                            int(s.total_micros),
+                            int(s.total_micros.checked_div(s.calls).unwrap_or(0)),
+                            int(s.min_micros),
+                            int(s.max_micros),
+                            int(s.recent.last().map_or(0, |r| r.micros)),
+                            int(s.waits.count(WaitEvent::Lock)),
+                            int(s.waits.micros(WaitEvent::Lock)),
+                            int(s.waits.micros(WaitEvent::WalFlush)),
+                            int(s.waits.micros(WaitEvent::GroupCommitWait)),
+                            int(s.waits.count(WaitEvent::BufferMiss)),
+                        ]
+                    })
+                    .collect()
+            },
+        )
+    }
+}
+
+/// Normalize statement text for display: collapse whitespace, bound the
+/// length to the view's column width.
+pub(crate) fn display_text(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len().min(200));
+    let mut last_space = false;
+    for ch in sql.trim().chars() {
+        let ch = if ch.is_whitespace() { ' ' } else { ch };
+        if ch == ' ' && last_space {
+            continue;
+        }
+        last_space = ch == ' ';
+        out.push(ch);
+        if out.len() >= 200 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_names_recognized() {
+        assert!(is_monitor_name("M$WAIT_EVENTS"));
+        assert!(is_monitor_name("m$sessions"));
+        assert!(!is_monitor_name("M$"));
+        assert!(!is_monitor_name("MANDT"));
+        assert!(!is_monitor_name("VBAK"));
+    }
+
+    #[test]
+    fn view_rows_are_fresh_per_call() {
+        let stats = WaitStats::new();
+        let view = wait_events_view(Arc::clone(&stats));
+        assert_eq!(view.name(), "M$WAIT_EVENTS");
+        assert_eq!(view.schema().len(), 3);
+        let before = view.rows();
+        assert_eq!(before.len(), WaitEvent::COUNT);
+        assert_eq!(before[0][1], Value::Int(0));
+        stats.record(WaitEvent::Lock, Duration::from_micros(40));
+        let after = view.rows();
+        assert_eq!(after[0], vec![Value::str("lock"), Value::Int(1), Value::Int(40)]);
+    }
+
+    #[test]
+    fn collector_aggregates_by_key() {
+        let c = StatementCollector::new();
+        let mut w = WaitStats::new().snapshot();
+        c.record("K1", "SELECT * FROM T WHERE A = 1", Duration::from_micros(100), 5, &w);
+        let stats = WaitStats::new();
+        stats.record(WaitEvent::Lock, Duration::from_micros(30));
+        w = stats.snapshot();
+        c.record("K1", "SELECT * FROM T WHERE A = 2", Duration::from_micros(300), 7, &w);
+        c.record("K2", "INSERT INTO T VALUES (1)", Duration::from_micros(10), 0, &w);
+        assert_eq!(c.len(), 2);
+        let snap = c.snapshot();
+        assert_eq!(snap[0].statement, "SELECT * FROM T WHERE A = 1", "first-seen text kept");
+        assert_eq!(snap[0].calls, 2);
+        assert_eq!(snap[0].rows, 12);
+        assert_eq!(snap[0].total_micros, 400);
+        assert_eq!(snap[0].min_micros, 100);
+        assert_eq!(snap[0].max_micros, 300);
+        assert_eq!(snap[0].waits.micros(WaitEvent::Lock), 30);
+        assert_eq!(snap[0].recent.len(), 2);
+        assert_eq!(c.total_waits().count(WaitEvent::Lock), 2);
+        c.reset();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sample_ring_is_bounded() {
+        let c = StatementCollector::new();
+        let w = WaitSnapshot::default();
+        for i in 0..100 {
+            c.record("K", "Q", Duration::from_micros(i), 1, &w);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap[0].calls, 100);
+        assert_eq!(snap[0].recent.len(), 16, "ring bounded");
+        assert_eq!(snap[0].recent.last().unwrap().micros, 99, "newest kept");
+    }
+
+    #[test]
+    fn statements_view_shape() {
+        let c = StatementCollector::new();
+        c.record("K", "SELECT   1", Duration::from_micros(50), 1, &WaitSnapshot::default());
+        let view = c.view();
+        let rows = view.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), view.schema().len());
+        assert_eq!(rows[0][0], Value::str("SELECT 1"), "whitespace collapsed");
+        assert_eq!(rows[0][1], Value::Int(1));
+    }
+}

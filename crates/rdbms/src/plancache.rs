@@ -27,7 +27,8 @@
 use crate::clock::Counter;
 use crate::db::{Database, Prepared};
 use crate::error::{DbError, DbResult};
-use crate::sql::ast::{SelectStmt, Statement};
+use crate::monitor::is_monitor_name;
+use crate::sql::ast::{self, SelectStmt, Statement};
 use crate::sql::parse_statement;
 use crate::types::Value;
 use parking_lot::Mutex;
@@ -45,10 +46,36 @@ pub struct CachedPlan {
     pub extracted_params: Vec<Value>,
     /// Whether the plan came from the cache (vs. freshly planned).
     pub cache_hit: bool,
+    /// Canonical render of the normalized AST — the cache key. Stable
+    /// across literal variants of the same statement, which makes it the
+    /// natural aggregation key for per-statement monitoring
+    /// ([`crate::monitor::StatementCollector`]).
+    pub key: Arc<str>,
+}
+
+/// One cached plan as reported by [`PlanCache::entries_snapshot`] (the
+/// M$PLAN_CACHE monitoring view).
+#[derive(Debug, Clone)]
+pub struct PlanCacheEntryInfo {
+    /// Display text of the statement (first literal text seen for this
+    /// normal form, whitespace-collapsed and bounded).
+    pub statement: String,
+    /// Cache hits served by this entry since insertion.
+    pub hits: u64,
+    /// Logical clock of the last lookup (larger = more recent).
+    pub last_used: u64,
+    /// Parameter markers the normalized plan carries.
+    pub n_params: usize,
+    /// Base tables/views the plan depends on (invalidation set).
+    pub dependencies: Vec<String>,
 }
 
 struct Entry {
     prepared: Arc<Prepared>,
+    /// Display text of the statement (first literal text seen).
+    display: String,
+    /// Cache hits served by this entry since insertion.
+    hits: u64,
     /// Logical clock of the last lookup, for LRU eviction.
     last_used: u64,
 }
@@ -61,7 +88,7 @@ pub struct PlanCache {
 }
 
 struct Inner {
-    entries: HashMap<String, Entry>,
+    entries: HashMap<Arc<str>, Entry>,
     tick: u64,
 }
 
@@ -93,30 +120,52 @@ impl PlanCache {
     pub fn prepare(&self, db: &Database, sql: &str) -> DbResult<CachedPlan> {
         let stmt = parse_statement(sql)?;
         match stmt {
-            Statement::Select(q) => self.prepare_select(db, &q),
+            Statement::Select(q) => self.prepare_inner(db, &q, Some(sql)),
             other => Err(DbError::analysis(format!("can only cache SELECT plans, got {other:?}"))),
         }
     }
 
     /// [`PlanCache::prepare`] for an already-parsed SELECT.
     pub fn prepare_select(&self, db: &Database, q: &SelectStmt) -> DbResult<CachedPlan> {
+        self.prepare_inner(db, q, None)
+    }
+
+    fn prepare_inner(
+        &self,
+        db: &Database,
+        q: &SelectStmt,
+        sql: Option<&str>,
+    ) -> DbResult<CachedPlan> {
         // Normalize: statements that already carry `?` markers are their
         // own normal form (re-parameterizing would renumber the client's
         // binds); literal statements get predicate constants stripped.
         let (normalized, stripped) =
             if q.has_params() { (q.clone(), Vec::new()) } else { q.parameterized_collect() };
         let extracted_params = db.eval_const_exprs(&stripped)?;
-        let key = format!("{normalized:?}");
+        let key: Arc<str> = format!("{normalized:?}").into();
+
+        // Monitoring views produce their rows at execute time and carry no
+        // catalog version to revalidate against; their queries are also
+        // exactly the traffic we do not want evicting workload plans. They
+        // bypass the cache entirely and are metered as misses.
+        let mut monitor = false;
+        ast::visit_referenced_tables(&normalized, &mut |name| monitor |= is_monitor_name(name));
+        if monitor {
+            db.meter().bump(Counter::PlanCacheMisses);
+            let prepared = Arc::new(db.prepare_select(&normalized)?);
+            return Ok(CachedPlan { prepared, extracted_params, cache_hit: false, key });
+        }
 
         if let Some(prepared) = self.lookup(db, &key) {
             db.meter().bump(Counter::PlanCacheHits);
-            return Ok(CachedPlan { prepared, extracted_params, cache_hit: true });
+            return Ok(CachedPlan { prepared, extracted_params, cache_hit: true, key });
         }
 
         db.meter().bump(Counter::PlanCacheMisses);
         let prepared = Arc::new(db.prepare_select(&normalized)?);
-        self.insert(db, key, Arc::clone(&prepared));
-        Ok(CachedPlan { prepared, extracted_params, cache_hit: false })
+        let display = crate::monitor::display_text(sql.unwrap_or("<select prepared from AST>"));
+        self.insert(db, Arc::clone(&key), display, Arc::clone(&prepared));
+        Ok(CachedPlan { prepared, extracted_params, cache_hit: false, key })
     }
 
     /// Return the entry for `key` if present and still valid against the
@@ -133,6 +182,7 @@ impl PlanCache {
             .all(|dep| db.catalog().object_version(dep) <= entry.prepared.catalog_version);
         if valid {
             entry.last_used = tick;
+            entry.hits += 1;
             Some(Arc::clone(&entry.prepared))
         } else {
             // Stale plan: DDL touched a dependency after prepare. Drop the
@@ -142,7 +192,7 @@ impl PlanCache {
         }
     }
 
-    fn insert(&self, db: &Database, key: String, prepared: Arc<Prepared>) {
+    fn insert(&self, db: &Database, key: Arc<str>, display: String, prepared: Arc<Prepared>) {
         if self.capacity == 0 {
             return;
         }
@@ -154,12 +204,31 @@ impl PlanCache {
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+                .map(|(k, _)| Arc::clone(k))
                 .expect("non-empty map at capacity");
             inner.entries.remove(&victim);
             db.meter().bump(Counter::PlanCacheEvictions);
         }
-        inner.entries.insert(key, Entry { prepared, last_used: tick });
+        inner.entries.insert(key, Entry { prepared, display, hits: 0, last_used: tick });
+    }
+
+    /// A point-in-time listing of the cached plans, most recently used
+    /// first. Backs the M$PLAN_CACHE monitoring view.
+    pub fn entries_snapshot(&self) -> Vec<PlanCacheEntryInfo> {
+        let inner = self.inner.lock();
+        let mut out: Vec<PlanCacheEntryInfo> = inner
+            .entries
+            .values()
+            .map(|e| PlanCacheEntryInfo {
+                statement: e.display.clone(),
+                hits: e.hits,
+                last_used: e.last_used,
+                n_params: e.prepared.n_params,
+                dependencies: e.prepared.dependencies.clone(),
+            })
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.last_used));
+        out
     }
 }
 
@@ -251,6 +320,56 @@ mod tests {
         // The survivor still hits; the victim replans.
         assert!(cache.prepare(&db, "SELECT b FROM t WHERE a = 9").unwrap().cache_hit);
         assert!(!cache.prepare(&db, "SELECT a FROM t WHERE b = 9").unwrap().cache_hit);
+    }
+
+    #[test]
+    fn monitor_view_queries_bypass_the_cache() {
+        let db = db_with_table();
+        let cache = PlanCache::new(8);
+        let a = cache.prepare(&db, "SELECT EVENT, WAITS FROM M$WAIT_EVENTS").unwrap();
+        assert!(!a.cache_hit);
+        let b = cache.prepare(&db, "SELECT EVENT, WAITS FROM M$WAIT_EVENTS").unwrap();
+        assert!(!b.cache_hit, "M$ statements must not be cached");
+        assert_eq!(cache.len(), 0);
+        // A subquery reference bypasses too.
+        let c = cache
+            .prepare(&db, "SELECT b FROM t WHERE a = (SELECT COUNT(*) FROM M$WAIT_EVENTS)")
+            .unwrap();
+        assert!(!c.cache_hit);
+        assert_eq!(cache.len(), 0);
+        // Regular statements still cache.
+        cache.prepare(&db, "SELECT b FROM t WHERE a = 1").unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn entries_snapshot_reports_hits_and_display_text() {
+        let db = db_with_table();
+        let cache = PlanCache::new(8);
+        cache.prepare(&db, "SELECT b  FROM\n  t WHERE a = 3").unwrap();
+        cache.prepare(&db, "SELECT b FROM t WHERE a = 4").unwrap();
+        cache.prepare(&db, "SELECT a FROM t WHERE b = 0").unwrap();
+        let entries = cache.entries_snapshot();
+        assert_eq!(entries.len(), 2);
+        // Most recently used first.
+        assert_eq!(entries[0].statement, "SELECT a FROM t WHERE b = 0");
+        assert_eq!(entries[0].hits, 0);
+        // Display text is the first-seen literal, whitespace-collapsed.
+        assert_eq!(entries[1].statement, "SELECT b FROM t WHERE a = 3");
+        assert_eq!(entries[1].hits, 1);
+        assert_eq!(entries[1].dependencies, vec!["T".to_string()]);
+        assert_eq!(entries[1].n_params, 1);
+    }
+
+    #[test]
+    fn cached_plan_key_is_stable_across_literals() {
+        let db = db_with_table();
+        let cache = PlanCache::new(8);
+        let a = cache.prepare(&db, "SELECT b FROM t WHERE a = 3").unwrap();
+        let b = cache.prepare(&db, "SELECT b FROM t WHERE a = 99").unwrap();
+        assert_eq!(a.key, b.key, "literal variants must share a statement key");
+        let c = cache.prepare(&db, "SELECT a FROM t WHERE b = 3").unwrap();
+        assert_ne!(a.key, c.key);
     }
 
     #[test]

@@ -372,6 +372,15 @@ impl<'a> Planner<'a> {
                     });
                     return Ok(());
                 }
+                if let Some(mv) = self.catalog.monitor_view(name) {
+                    rels.push(Rel {
+                        schema: mv.schema().with_qualifier(binding),
+                        source: RelSource::Derived(Plan::MonitorScan { view: mv }),
+                        preds: Vec::new(),
+                        est_rows: 100.0,
+                    });
+                    return Ok(());
+                }
                 Err(DbError::catalog(format!("no table or view '{name}'")))
             }
             TableRef::Subquery { query, alias } => {
@@ -424,6 +433,10 @@ impl<'a> Planner<'a> {
                     let mut sub_used = HashSet::new();
                     let pq = self.plan_select(&view, &[], &mut sub_used)?;
                     return Ok((pq.plan, pq.schema.with_qualifier(binding)));
+                }
+                if let Some(mv) = self.catalog.monitor_view(name) {
+                    let schema = mv.schema().with_qualifier(binding);
+                    return Ok((Plan::MonitorScan { view: mv }, schema));
                 }
                 Err(DbError::catalog(format!("no table or view '{name}'")))
             }

@@ -117,7 +117,11 @@ pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                // `$` continues (but cannot start) an identifier, for the
+                // `M$...` monitoring views.
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
                     i += 1;
                 }
                 out.push(Token::Word(sql[start..i].to_ascii_uppercase()));

@@ -9,12 +9,13 @@
 //! bill depends only on its access pattern and the pool size, never on
 //! host-machine timing.
 
-use crate::clock::{CostMeter, Counter};
+use crate::clock::{CostMeter, Counter, WaitEvent, WaitStats};
 use crate::error::{DbError, DbResult};
 use crate::storage::page::{Page, PageId, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Declared access pattern of a page read, used to split I/O metering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,17 +74,18 @@ impl PagerInner {
         self.lru.push_back((pid, stamp));
     }
 
-    /// Make `pid` resident, charging I/O if it was not.
+    /// Make `pid` resident, charging I/O if it was not. Returns true when
+    /// a read was charged (a metered buffer miss).
     fn ensure_resident(
         &mut self,
         pid: PageId,
         pattern: AccessPattern,
         meter: &CostMeter,
         charge_read: bool,
-    ) {
+    ) -> bool {
         if self.resident.contains_key(&pid) {
             self.touch(pid);
-            return;
+            return false;
         }
         if charge_read {
             match pattern {
@@ -94,6 +96,7 @@ impl PagerInner {
         self.evict_if_needed(meter);
         self.resident.insert(pid, Resident { dirty: false, stamp: 0 });
         self.touch(pid);
+        charge_read
     }
 
     fn evict_if_needed(&mut self, meter: &CostMeter) {
@@ -119,6 +122,10 @@ impl PagerInner {
 pub struct Pager {
     inner: Mutex<PagerInner>,
     meter: Arc<CostMeter>,
+    /// Wait-event sink for M$WAIT_EVENTS buffer-miss counts; set once by
+    /// the owning [`crate::Database`]. The in-memory "disk" makes misses
+    /// stalls of zero duration — the count is the signal.
+    wait: OnceLock<Arc<WaitStats>>,
 }
 
 impl Pager {
@@ -134,11 +141,25 @@ impl Pager {
                 dirty_lsn: HashMap::new(),
             }),
             meter,
+            wait: OnceLock::new(),
         })
     }
 
     pub fn meter(&self) -> &Arc<CostMeter> {
         &self.meter
+    }
+
+    /// Attach the wait-event sink (idempotent; first caller wins).
+    pub(crate) fn set_wait_stats(&self, wait: Arc<WaitStats>) {
+        let _ = self.wait.set(wait);
+    }
+
+    fn note_miss(&self, missed: bool) {
+        if missed {
+            if let Some(w) = self.wait.get() {
+                w.record(WaitEvent::BufferMiss, Duration::ZERO);
+            }
+        }
     }
 
     /// Allocate a fresh page; it enters the pool dirty (no read charge).
@@ -206,8 +227,11 @@ impl Pager {
         if pid as usize >= g.pages.len() {
             return Err(DbError::storage(format!("page {pid} does not exist")));
         }
-        g.ensure_resident(pid, pattern, &self.meter, true);
-        Ok(f(&g.pages[pid as usize]))
+        let missed = g.ensure_resident(pid, pattern, &self.meter, true);
+        let out = f(&g.pages[pid as usize]);
+        drop(g);
+        self.note_miss(missed);
+        Ok(out)
     }
 
     /// Write access to a page; marks it dirty.
@@ -221,9 +245,12 @@ impl Pager {
         if pid as usize >= g.pages.len() {
             return Err(DbError::storage(format!("page {pid} does not exist")));
         }
-        g.ensure_resident(pid, pattern, &self.meter, true);
+        let missed = g.ensure_resident(pid, pattern, &self.meter, true);
         g.resident.get_mut(&pid).expect("resident").dirty = true;
-        Ok(f(&mut g.pages[pid as usize]))
+        let out = f(&mut g.pages[pid as usize]);
+        drop(g);
+        self.note_miss(missed);
+        Ok(out)
     }
 
     /// Total pages ever allocated minus freed (database footprint).

@@ -30,7 +30,7 @@
 //! the right stream.
 
 use crate::catalog::Catalog;
-use crate::clock::{CostMeter, Counter, MeterScope, MeterSnapshot};
+use crate::clock::{CostMeter, Counter, MeterScope, MeterSnapshot, WaitEvent};
 use crate::db::{Database, ExecOutcome, Prepared, QueryResult};
 use crate::error::{DbError, DbResult};
 use crate::exec::plan::TableRead;
@@ -334,6 +334,9 @@ impl<'db> Txn<'db> {
             self.lock_wait += waited;
             self.meter.bump(Counter::LockWaits);
             self.db.meter().bump(Counter::LockWaits);
+            // Same condition as the LockWaits meter so M$WAIT_EVENTS lock
+            // counts reconcile with it exactly.
+            self.db.wait_stats().record(WaitEvent::Lock, waited);
         }
     }
 
@@ -722,6 +725,11 @@ fn walk_tableref(t: &TableRef, catalog: &Catalog, reads: &mut BTreeSet<String>) 
     match t {
         TableRef::Named { name, .. } => {
             let upper = name.to_ascii_uppercase();
+            // Virtual M$ monitoring views take no locks and are not
+            // plan-cache dependencies.
+            if crate::monitor::is_monitor_name(&upper) {
+                return;
+            }
             if let Some(view) = catalog.view(&upper) {
                 // Views cannot be self-referential (a view must plan at
                 // CREATE time, before its own name exists), so recursion

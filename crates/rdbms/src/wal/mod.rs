@@ -36,7 +36,7 @@
 
 pub mod recovery;
 
-use crate::clock::{CostMeter, Counter};
+use crate::clock::{CostMeter, Counter, WaitEvent, WaitStats};
 use crate::error::{DbError, DbResult};
 use crate::schema::Row;
 use crate::storage::codec::{decode_row, encode_row};
@@ -47,7 +47,8 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 pub use recovery::{recover, RecoveryReport};
 
@@ -515,6 +516,9 @@ pub struct Wal {
     path: PathBuf,
     policy: CommitPolicy,
     meter: Arc<CostMeter>,
+    /// Wait-event sink for M$WAIT_EVENTS (log forces, group-commit parks);
+    /// set once by the owning [`crate::Database`] after construction.
+    wait: OnceLock<Arc<WaitStats>>,
     state: Mutex<WalState>,
     file: Mutex<File>,
     flushed: Condvar,
@@ -551,6 +555,7 @@ impl Wal {
             path: config.path.clone(),
             policy: config.policy,
             meter,
+            wait: OnceLock::new(),
             state: Mutex::new(WalState {
                 buf: Vec::new(),
                 next_lsn: end,
@@ -563,6 +568,11 @@ impl Wal {
             file: Mutex::new(file),
             flushed: Condvar::new(),
         }
+    }
+
+    /// Attach the wait-event sink (idempotent; first caller wins).
+    pub(crate) fn set_wait_stats(&self, wait: Arc<WaitStats>) {
+        let _ = self.wait.set(wait);
     }
 
     pub fn path(&self) -> &Path {
@@ -689,12 +699,16 @@ impl Wal {
             return Ok(());
         }
         st.commit_queue.push(lsn);
-        loop {
+        // Total time this thread spends parked as a follower, recorded as
+        // one GroupCommitWait event when the commit completes.
+        let mut parked: Option<Instant> = None;
+        let result = loop {
             if st.durable_lsn > lsn {
-                return Ok(());
+                break Ok(());
             }
             if st.flush_in_progress {
                 // Park as a follower; the leader's force may cover us.
+                parked.get_or_insert_with(Instant::now);
                 self.flushed.wait(&mut st);
                 continue;
             }
@@ -704,7 +718,9 @@ impl Wal {
             let bytes = std::mem::take(&mut st.buf);
             let end = st.next_lsn;
             drop(st);
+            let forced = Instant::now();
             let io = self.write_and_sync(&bytes, true);
+            let force_time = forced.elapsed();
             st = self.state.lock();
             st.flush_in_progress = false;
             if io.is_ok() {
@@ -715,10 +731,24 @@ impl Wal {
                 let batch = (before - st.commit_queue.len()) as u64;
                 self.meter.bump(Counter::WalFlushes);
                 self.meter.add(Counter::GroupCommitBatch, batch);
+                // Same condition as the WalFlushes meter so the two
+                // reconcile exactly.
+                if let Some(w) = self.wait.get() {
+                    w.record(WaitEvent::WalFlush, force_time);
+                }
             }
             self.flushed.notify_all();
-            io?;
+            if let Err(e) = io {
+                break Err(e);
+            }
+        };
+        drop(st);
+        if let Some(started) = parked {
+            if let Some(w) = self.wait.get() {
+                w.record(WaitEvent::GroupCommitWait, started.elapsed());
+            }
         }
+        result
     }
 
     /// Write + optionally fsync everything buffered, holding the state
@@ -730,12 +760,16 @@ impl Wal {
     ) -> DbResult<()> {
         let bytes = std::mem::take(&mut st.buf);
         let end = st.next_lsn;
+        let forced = Instant::now();
         self.write_and_sync(&bytes, sync)?;
         st.written_lsn = st.written_lsn.max(end);
         if sync {
             st.durable_lsn = st.durable_lsn.max(end);
             self.meter.bump(Counter::WalFlushes);
             self.meter.add(Counter::GroupCommitBatch, 1);
+            if let Some(w) = self.wait.get() {
+                w.record(WaitEvent::WalFlush, forced.elapsed());
+            }
         }
         Ok(())
     }

@@ -1,0 +1,118 @@
+//! `M$` system views are read without locks from provider closures, so
+//! they must stay correct while the catalog churns underneath them: DDL
+//! invalidating plan-cache entries, tables appearing and disappearing,
+//! and statements being re-planned concurrently.
+
+use rdbms::{Database, PlanCache, Value, WaitSnapshot};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn db_with_table() -> Arc<Database> {
+    let db = Arc::new(Database::with_defaults());
+    db.execute("CREATE TABLE t (a INTEGER NOT NULL, b INTEGER, PRIMARY KEY (a))").unwrap();
+    for i in 0..50 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 10)).unwrap();
+    }
+    db
+}
+
+/// Monitor-view reads race DDL churn and the plan-cache invalidation it
+/// causes. Readers must never see an error while tables come and go; the
+/// cache must actually be invalidated by every index touch on `t`.
+#[test]
+fn m_view_reads_race_ddl_and_plan_cache_invalidation() {
+    const DDL_ROUNDS: usize = 40;
+
+    let db = db_with_table();
+    let cache = PlanCache::new(16);
+    let done = Arc::new(AtomicBool::new(false));
+    let view_reads = Arc::new(AtomicU64::new(0));
+
+    // Two monitor readers sweeping the engine-level views the whole time
+    // the churn below runs.
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (db, done, view_reads) =
+                (Arc::clone(&db), Arc::clone(&done), Arc::clone(&view_reads));
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    for view in ["M$WAIT_EVENTS", "M$STATEMENTS", "M$LOCKS"] {
+                        let rows = db
+                            .query(&format!("SELECT * FROM {view}"))
+                            .unwrap_or_else(|e| panic!("{view} read failed mid-DDL: {e}"));
+                        if view == "M$WAIT_EVENTS" {
+                            assert_eq!(rows.rows.len(), 6);
+                        }
+                        view_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The churn: tables appear and disappear, every index touch on `t`
+    // invalidates its cached plan, and the statement is re-prepared and
+    // re-run against the new catalog version each round.
+    let mut misses = 0u64;
+    let mut hits = 0u64;
+    for i in 0..DDL_ROUNDS {
+        db.execute(&format!("CREATE TABLE u{i} (x INTEGER NOT NULL, PRIMARY KEY (x))")).unwrap();
+        db.execute(&format!("CREATE INDEX t_b{i} ON t (b)")).unwrap();
+        db.execute(&format!("DROP TABLE u{i}")).unwrap();
+        let plan = cache.prepare(&db, "SELECT b FROM t WHERE a = 7").unwrap();
+        misses += (!plan.cache_hit) as u64;
+        let rows = db.execute_prepared(&plan.prepared, &plan.extracted_params).unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(70)]]);
+        let again = cache.prepare(&db, "SELECT b FROM t WHERE a = 7").unwrap();
+        hits += again.cache_hit as u64;
+    }
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    assert_eq!(misses, DDL_ROUNDS as u64, "every index DDL on t must force a replan");
+    assert_eq!(hits, DDL_ROUNDS as u64, "re-prepares between DDL must hit");
+    assert!(view_reads.load(Ordering::Relaxed) > 0, "monitor readers never got a sweep in");
+}
+
+/// Monitor plans produce rows at execute time, not plan time: re-running
+/// the same prepared `M$` plan must see state recorded after it was
+/// prepared, and the shared plan cache must refuse to cache it at all.
+#[test]
+fn monitor_rows_stay_fresh_through_prepared_plans() {
+    let db = db_with_table();
+    let cache = PlanCache::new(8);
+    let first = cache.prepare(&db, "SELECT * FROM M$STATEMENTS").unwrap();
+    let n_before =
+        db.execute_prepared(&first.prepared, &first.extracted_params).unwrap().rows.len();
+
+    // New statements land in the collector after the plan was built (the
+    // server session layer is the production caller of `record`).
+    let waits = WaitSnapshot::default();
+    db.statement_collector().record(
+        "k1",
+        "SELECT b FROM t WHERE a = ?",
+        Duration::from_micros(120),
+        1,
+        &waits,
+    );
+    db.statement_collector().record(
+        "k2",
+        "UPDATE t SET b = ? WHERE a = ?",
+        Duration::from_micros(250),
+        1,
+        &waits,
+    );
+
+    let again = cache.prepare(&db, "SELECT * FROM M$STATEMENTS").unwrap();
+    assert!(!again.cache_hit, "M$ statements must bypass the shared plan cache");
+    let n_after = db.execute_prepared(&again.prepared, &again.extracted_params).unwrap().rows.len();
+    assert_eq!(n_after, n_before + 2, "prepared M$ plan must see post-prepare state");
+
+    // And the very first prepared plan, re-executed, sees them too.
+    let n_stale_plan =
+        db.execute_prepared(&first.prepared, &first.extracted_params).unwrap().rows.len();
+    assert_eq!(n_stale_plan, n_after, "rows are produced at execute time, not plan time");
+}

@@ -4,13 +4,14 @@ use crate::protocol::{read_frame, write_frame, write_string, MSG_ERROR};
 use crate::session::{Disposition, Session};
 use parking_lot::Mutex;
 use r3::SqlTrace;
-use rdbms::{Database, PlanCache};
+use rdbms::monitor::MonitorView;
+use rdbms::{Column, DataType, Database, PlanCache, Value};
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use trace::Histogram;
@@ -66,6 +67,32 @@ pub struct StatsSnapshot {
     pub extended_executes: u64,
 }
 
+/// Live per-connection facts behind the `M$SESSIONS` view — SM50's process
+/// overview: who is connected, in a transaction or idle, doing what.
+/// Updated with cheap atomics on the connection's own thread.
+pub(crate) struct SessionInfo {
+    pub id: u64,
+    pub started: Instant,
+    pub in_txn: AtomicBool,
+    pub queries: AtomicU64,
+    pub executes: AtomicU64,
+    /// Most recent statement text (display-normalized, bounded).
+    pub last_statement: Mutex<String>,
+}
+
+impl SessionInfo {
+    fn new(id: u64) -> Arc<SessionInfo> {
+        Arc::new(SessionInfo {
+            id,
+            started: Instant::now(),
+            in_txn: AtomicBool::new(false),
+            queries: AtomicU64::new(0),
+            executes: AtomicU64::new(0),
+            last_statement: Mutex::new(String::new()),
+        })
+    }
+}
+
 struct Shared {
     db: Arc<Database>,
     cache: PlanCache,
@@ -79,6 +106,8 @@ struct Shared {
     conns: Mutex<HashMap<u64, TcpStream>>,
     /// Per-message-type service time (µs), keyed by client tag.
     latencies: Mutex<HashMap<u8, Arc<Histogram>>>,
+    /// Live sessions, for `M$SESSIONS`.
+    sessions: Mutex<HashMap<u64, Arc<SessionInfo>>>,
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] aborts the
@@ -111,7 +140,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             latencies: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
         });
+        register_server_monitor_views(&shared);
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("server-accept".into())
@@ -175,6 +206,77 @@ impl Server {
     }
 }
 
+/// Register the server-scoped `M$` views on the shared database. The
+/// closures hold a [`Weak`] reference — a dropped server leaves the views
+/// registered but empty, and never keeps the server alive through its own
+/// monitoring surface.
+fn register_server_monitor_views(shared: &Arc<Shared>) {
+    fn int(v: u64) -> Value {
+        Value::Int(v as i64)
+    }
+    let weak: Weak<Shared> = Arc::downgrade(shared);
+    let sessions = MonitorView::new(
+        "M$SESSIONS",
+        vec![
+            Column::new("SESSION_ID", DataType::Int),
+            Column::new("STATE", DataType::VarChar(8)),
+            Column::new("QUERIES", DataType::Int),
+            Column::new("EXECUTES", DataType::Int),
+            Column::new("AGE_US", DataType::Int),
+            Column::new("LAST_STATEMENT", DataType::VarChar(200)),
+        ],
+        move || {
+            let Some(s) = weak.upgrade() else { return Vec::new() };
+            let mut infos: Vec<Arc<SessionInfo>> = s.sessions.lock().values().cloned().collect();
+            infos.sort_by_key(|i| i.id);
+            infos
+                .iter()
+                .map(|i| {
+                    let state = if i.in_txn.load(Ordering::Relaxed) { "IN_TXN" } else { "IDLE" };
+                    vec![
+                        Value::Int(i.id as i64),
+                        Value::str(state),
+                        int(i.queries.load(Ordering::Relaxed)),
+                        int(i.executes.load(Ordering::Relaxed)),
+                        int(i.started.elapsed().as_micros() as u64),
+                        Value::str(i.last_statement.lock().clone()),
+                    ]
+                })
+                .collect()
+        },
+    );
+    shared.db.catalog().register_monitor_view(sessions);
+
+    let weak: Weak<Shared> = Arc::downgrade(shared);
+    let plans = MonitorView::new(
+        "M$PLAN_CACHE",
+        vec![
+            Column::new("STATEMENT", DataType::VarChar(200)),
+            Column::new("HITS", DataType::Int),
+            Column::new("N_PARAMS", DataType::Int),
+            Column::new("LAST_USED", DataType::Int),
+            Column::new("DEPENDS_ON", DataType::VarChar(128)),
+        ],
+        move || {
+            let Some(s) = weak.upgrade() else { return Vec::new() };
+            s.cache
+                .entries_snapshot()
+                .into_iter()
+                .map(|e| {
+                    vec![
+                        Value::str(e.statement),
+                        int(e.hits),
+                        int(e.n_params as u64),
+                        int(e.last_used),
+                        Value::str(e.dependencies.join(",")),
+                    ]
+                })
+                .collect()
+        },
+    );
+    shared.db.catalog().register_monitor_view(plans);
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut next_id = 0u64;
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -206,10 +308,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 fn connection_thread(id: u64, stream: TcpStream, shared: Arc<Shared>) {
     shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
     shared.stats.sessions_active.fetch_add(1, Ordering::SeqCst);
-    let result = catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &shared)));
+    let info = SessionInfo::new(id);
+    shared.sessions.lock().insert(id, Arc::clone(&info));
+    let result = catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &shared, info)));
     if result.is_err() {
         shared.stats.panics.fetch_add(1, Ordering::Relaxed);
     }
+    shared.sessions.lock().remove(&id);
     shared.conns.lock().remove(&id);
     shared.stats.sessions_active.fetch_sub(1, Ordering::SeqCst);
 }
@@ -222,11 +327,11 @@ fn record_latency(shared: &Shared, tag: u8, micros: u64) {
     hist.record(micros);
 }
 
-fn serve_connection(stream: TcpStream, shared: &Shared) {
+fn serve_connection(stream: TcpStream, shared: &Shared, info: Arc<SessionInfo>) {
     let mut reader = stream.try_clone().expect("clone stream");
     let mut writer = BufWriter::new(stream);
     let trace = shared.sql_trace.then_some(&shared.trace);
-    let mut session = Session::new(&shared.db, &shared.cache, trace);
+    let mut session = Session::new(&shared.db, &shared.cache, trace, info);
     let mut out = Vec::new();
     loop {
         let frame = match read_frame(&mut reader, shared.max_frame) {

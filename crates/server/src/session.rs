@@ -22,12 +22,16 @@
 //! unit of work back); the following ReadyForQuery reports Idle.
 
 use crate::protocol::*;
+use crate::server::SessionInfo;
 use r3::sqltrace::{SqlOp, SqlTrace};
 use rdbms::db::stmt_is_ddl;
+use rdbms::sql::ast::Statement;
 use rdbms::sql::parse_statement;
-use rdbms::{Database, PlanCache, Prepared, QueryResult, Txn, Value};
+use rdbms::{Database, PlanCache, Prepared, QueryResult, Txn, Value, WaitScope, WaitStats};
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A named prepared statement: the shared plan plus the bind values that
 /// were stripped from the literal text at normalization time.
@@ -37,6 +41,8 @@ pub(crate) struct StatementHandle {
     pub prepared: Arc<Prepared>,
     pub extracted: Vec<Value>,
     pub cache_hit: bool,
+    /// Normalized-AST cache key, the M$STATEMENTS aggregation key.
+    pub key: Arc<str>,
 }
 
 /// A bound portal: statement + the client's bind values (the full
@@ -66,10 +72,17 @@ pub(crate) struct Session<'db> {
     portals: HashMap<String, Portal>,
     /// Extended-protocol error state: skip messages until Sync.
     error_until_sync: bool,
+    /// Live facts published to `M$SESSIONS`.
+    info: Arc<SessionInfo>,
 }
 
 impl<'db> Session<'db> {
-    pub fn new(db: &'db Database, cache: &'db PlanCache, trace: Option<&'db SqlTrace>) -> Self {
+    pub fn new(
+        db: &'db Database,
+        cache: &'db PlanCache,
+        trace: Option<&'db SqlTrace>,
+        info: Arc<SessionInfo>,
+    ) -> Self {
         Session {
             db,
             cache,
@@ -78,6 +91,48 @@ impl<'db> Session<'db> {
             statements: HashMap::new(),
             portals: HashMap::new(),
             error_until_sync: false,
+            info,
+        }
+    }
+
+    /// Publish `sql` as this session's most recent statement (collapsed
+    /// and bounded for the `M$SESSIONS` display column).
+    fn note_statement(&self, sql: &str) {
+        let mut text = String::with_capacity(sql.len().min(200));
+        for word in sql.split_whitespace() {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            if text.len() + word.len() > 200 {
+                text.push('…');
+                break;
+            }
+            text.push_str(word);
+        }
+        *self.info.last_statement.lock() = text;
+    }
+
+    /// Start a per-statement wait capture when monitoring is enabled: a
+    /// scratch [`WaitStats`] scoped to this thread, so every wait the
+    /// engine records while the statement runs (lock queues, WAL flushes,
+    /// buffer misses) is mirrored into it, plus the wall-clock start.
+    fn begin_statement_capture(&self) -> Option<(WaitScope, Instant)> {
+        self.db.monitor_enabled().then(|| (WaitScope::enter(WaitStats::new()), Instant::now()))
+    }
+
+    /// Complete a capture: fold the statement into the database's
+    /// [`StatementCollector`](rdbms::StatementCollector) under `key`.
+    fn finish_statement_capture(
+        &self,
+        capture: Option<(WaitScope, Instant)>,
+        key: &str,
+        sql: &str,
+        rows: u64,
+    ) {
+        if let Some((scope, started)) = capture {
+            let waits = scope.stats().snapshot();
+            drop(scope);
+            self.db.statement_collector().record(key, sql, started.elapsed(), rows, &waits);
         }
     }
 
@@ -148,7 +203,7 @@ impl<'db> Session<'db> {
         if self.error_until_sync && !matches!(tag, MSG_SYNC | MSG_TERMINATE) {
             return Disposition::Continue;
         }
-        match tag {
+        let disposition = match tag {
             MSG_TERMINATE => Disposition::Terminate,
             MSG_SYNC => {
                 self.error_until_sync = false;
@@ -164,7 +219,9 @@ impl<'db> Session<'db> {
                 self.send_error(out, &format!("unknown message tag {other:#04x}"));
                 Disposition::Fatal
             }
-        }
+        };
+        self.info.in_txn.store(self.txn.is_some(), Ordering::Relaxed);
+        disposition
     }
 
     /// Extended-protocol failure: report, then ignore until Sync.
@@ -189,9 +246,18 @@ impl<'db> Session<'db> {
             Ok(s) => s,
             Err(_) => return self.payload_error(out, &Malformed("query is not UTF-8".into())),
         };
+        self.info.queries.fetch_add(1, Ordering::Relaxed);
+        self.note_statement(&sql);
+        // The capture wraps the whole statement including COMMIT, so WAL
+        // flush and group-commit waits show up on the statement that paid
+        // them. Errors record nothing (partial waits would not reconcile).
+        let capture = self.begin_statement_capture();
         match self.run_simple(&sql, out) {
-            Ok(()) => {}
+            Ok(rows) => {
+                self.finish_statement_capture(capture, &simple_statement_key(&sql), &sql, rows);
+            }
             Err(msg) => {
+                drop(capture);
                 self.abort_txn_on_error();
                 self.send_error(out, &msg);
             }
@@ -200,7 +266,7 @@ impl<'db> Session<'db> {
         Disposition::Continue
     }
 
-    fn run_simple(&mut self, sql: &str, out: &mut Vec<u8>) -> Result<(), String> {
+    fn run_simple(&mut self, sql: &str, out: &mut Vec<u8>) -> Result<u64, String> {
         let head = sql.trim().trim_end_matches(';').trim();
         if head.eq_ignore_ascii_case("BEGIN") {
             if self.txn.is_some() {
@@ -208,19 +274,19 @@ impl<'db> Session<'db> {
             }
             self.txn = Some(self.db.begin());
             self.send_command_complete(out, "BEGIN");
-            return Ok(());
+            return Ok(0);
         }
         if head.eq_ignore_ascii_case("COMMIT") {
             let txn = self.txn.take().ok_or("no transaction open")?;
             txn.commit().map_err(|e| e.to_string())?;
             self.send_command_complete(out, "COMMIT");
-            return Ok(());
+            return Ok(0);
         }
         if head.eq_ignore_ascii_case("ROLLBACK") {
             let txn = self.txn.take().ok_or("no transaction open")?;
             txn.rollback().map_err(|e| e.to_string())?;
             self.send_command_complete(out, "ROLLBACK");
-            return Ok(());
+            return Ok(0);
         }
 
         let guard = self.trace.and_then(|t| t.begin());
@@ -255,7 +321,7 @@ impl<'db> Session<'db> {
             ExecOutcome::Count(n) => self.send_command_complete(out, &format!("OK {n}")),
             ExecOutcome::Done => self.send_command_complete(out, "OK"),
         }
-        Ok(())
+        Ok(rows)
     }
 
     // ---- extended protocol ----------------------------------------------
@@ -285,6 +351,7 @@ impl<'db> Session<'db> {
             prepared: cached.prepared,
             extracted: cached.extracted_params,
             cache_hit: cached.cache_hit,
+            key: cached.key,
         });
         self.statements.insert(name, Arc::clone(&handle));
         let mut p = Vec::new();
@@ -363,16 +430,21 @@ impl<'db> Session<'db> {
                 prepared: cached.prepared,
                 extracted: cached.extracted_params,
                 cache_hit: cached.cache_hit,
+                key: cached.key,
             });
             self.portals.get_mut(&portal_name).expect("checked above").stmt = fresh;
         }
         let portal = &self.portals[&portal_name];
-        let prepared = Arc::clone(&portal.stmt.prepared);
+        let stmt = Arc::clone(&portal.stmt);
+        let prepared = Arc::clone(&stmt.prepared);
         // Extracted literals first, client binds after — together they
         // fill the normalized statement's parameter positions in order.
-        let mut params = portal.stmt.extracted.clone();
+        let mut params = stmt.extracted.clone();
         params.extend(portal.client_values.iter().cloned());
+        self.info.executes.fetch_add(1, Ordering::Relaxed);
+        self.note_statement(&stmt.sql);
         let guard = self.trace.and_then(|t| t.begin());
+        let capture = self.begin_statement_capture();
         let res = if let Some(txn) = self.txn.as_mut() {
             txn.execute_prepared(&prepared, &params)
         } else {
@@ -385,6 +457,12 @@ impl<'db> Session<'db> {
         };
         match res {
             Ok(rows) => {
+                self.finish_statement_capture(
+                    capture,
+                    &stmt.key,
+                    &stmt.sql,
+                    rows.rows.len() as u64,
+                );
                 if let Some(g) = guard {
                     g.finish(
                         SqlOp::Reopen,
@@ -426,4 +504,17 @@ impl<'db> Session<'db> {
         write_frame(out, MSG_CLOSE_COMPLETE, &[]).expect("vec write");
         Disposition::Continue
     }
+}
+
+/// Aggregation key for a simple-protocol statement. SELECTs normalize the
+/// same way the plan cache does, so `M$STATEMENTS` folds literal variants
+/// of a query into one row whichever protocol carried them; everything
+/// else (DML, BEGIN/COMMIT) keys on its collapsed text.
+fn simple_statement_key(sql: &str) -> String {
+    if let Ok(Statement::Select(q)) = parse_statement(sql) {
+        let normalized = if q.has_params() { *q } else { q.parameterized_collect().0 };
+        return format!("{normalized:?}");
+    }
+    let words: Vec<&str> = sql.split_whitespace().collect();
+    words.join(" ").to_ascii_uppercase()
 }

@@ -18,11 +18,18 @@
 //! * [`histogram`] — a log-bucketed, mergeable, lock-free-enough
 //!   [`Histogram`] for latency distributions (dispatcher queue wait and
 //!   service time, per-stream query latencies).
+//! * [`wait`] — the wait-event taxonomy ([`WaitEvent`], [`WaitStats`],
+//!   [`WaitTimer`], [`WaitScope`]) behind the live `M$WAIT_EVENTS` /
+//!   `M$STATEMENTS` monitoring views: wall-clock off-CPU time (lock
+//!   waits, log forces, queue waits) that the deterministic cost clock
+//!   intentionally does not model.
 
 pub mod histogram;
 pub mod meter;
 pub mod span;
+pub mod wait;
 
 pub use histogram::Histogram;
 pub use meter::{fmt_duration, Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
 pub use span::{enabled, span, Span, SpanRecord, Trace, TraceSession};
+pub use wait::{WaitEvent, WaitScope, WaitSnapshot, WaitStats, WaitTimer};

@@ -1,0 +1,126 @@
+//! Property tests for the monitoring primitives under concurrent writers:
+//! the collectors are always-on in production, so their snapshot/merge
+//! operations must stay exact (deltas) or safely bounded (mid-flight
+//! reads) while other threads keep recording.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use trace::{CostMeter, Counter, Histogram};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `MeterSnapshot::since` recovers the exact per-counter contribution
+    /// of a burst of concurrent writers, and deltas compose: a snapshot
+    /// taken mid-flight splits the total without losing or double-counting
+    /// a single increment.
+    #[test]
+    fn since_is_exact_and_composable_under_concurrent_writers(
+        per_thread in prop::collection::vec(1u64..400, 2..5),
+    ) {
+        let meter = CostMeter::new();
+        // A base that is already non-zero, so `since` subtracts for real.
+        meter.add(Counter::SeqPageReads, 17);
+        meter.add(Counter::DbTuples, 3);
+        let base = meter.snapshot();
+
+        let writers: Vec<_> = per_thread
+            .iter()
+            .map(|&n| {
+                let meter = Arc::clone(&meter);
+                std::thread::spawn(move || {
+                    for i in 0..n {
+                        meter.bump(Counter::SeqPageReads);
+                        meter.add(Counter::DbTuples, 2);
+                        if i % 3 == 0 {
+                            meter.bump(Counter::LockWaits);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Mid-flight snapshot races the writers on purpose.
+        let mid = meter.snapshot();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let end = meter.snapshot();
+
+        let pages: u64 = per_thread.iter().sum();
+        let tuples: u64 = per_thread.iter().map(|n| n * 2).sum();
+        let locks: u64 = per_thread.iter().map(|n| n.div_ceil(3)).sum();
+        let total = end.since(&base);
+        prop_assert_eq!(total.get(Counter::SeqPageReads), pages);
+        prop_assert_eq!(total.get(Counter::DbTuples), tuples);
+        prop_assert_eq!(total.get(Counter::LockWaits), locks);
+
+        for c in Counter::ALL {
+            // Monotone: the mid-flight read never exceeds the final state,
+            // and the two half-deltas recompose the full delta exactly.
+            prop_assert!(mid.get(c) <= end.get(c));
+            prop_assert_eq!(
+                mid.since(&base).get(c) + end.since(&mid).get(c),
+                total.get(c)
+            );
+        }
+    }
+
+    /// `Histogram::merge` from a histogram that other threads are still
+    /// recording into never panics, never invents samples, and — once the
+    /// writers are done — a fresh merge matches recording everything into
+    /// a single histogram.
+    #[test]
+    fn merge_is_bounded_mid_flight_and_exact_after_writers_finish(
+        per_thread in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 1..60), 2..5),
+    ) {
+        let src = Arc::new(Histogram::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = per_thread
+            .iter()
+            .map(|values| {
+                let (src, values) = (Arc::clone(&src), values.clone());
+                std::thread::spawn(move || {
+                    for v in values {
+                        src.record(v);
+                    }
+                })
+            })
+            .collect();
+
+        // Merge mid-flight, racing the writers.
+        let total: usize = per_thread.iter().map(Vec::len).sum();
+        while !done.load(Ordering::Relaxed) {
+            let mid = Histogram::new();
+            mid.merge(&src);
+            prop_assert!(mid.count() as usize <= total, "merge invented samples");
+            if writers.iter().all(|w| w.is_finished()) {
+                done.store(true, Ordering::Relaxed);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+
+        let merged = Histogram::new();
+        merged.merge(&src);
+        let single = Histogram::new();
+        let mut expected_sum = 0u64;
+        let mut expected_max = 0u64;
+        for values in &per_thread {
+            for &v in values {
+                single.record(v);
+                expected_sum += v;
+                expected_max = expected_max.max(v);
+            }
+        }
+        prop_assert_eq!(merged.count() as usize, total);
+        prop_assert_eq!(merged.sum(), expected_sum);
+        prop_assert_eq!(merged.max(), expected_max);
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.sum(), single.sum());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+}
