@@ -24,6 +24,13 @@
 //! the baseline in `BENCH_observe.json`. `observe --smoke` is the CI-sized
 //! variant, written to `target/experiments/BENCH_observe_smoke.json`.
 //!
+//! `tracereq` runs the request-tracing experiment (tracing-off vs
+//! tracing-on overhead, M$TRACES/M$SPANS polled over the wire mid-run, the
+//! Chrome trace export, and p99 critical-path attribution across the
+//! blind-plan / 2.2G / 3.0E configurations) and records the baseline in
+//! `BENCH_tracereq.json`. `tracereq --smoke` writes
+//! `target/experiments/BENCH_tracereq_smoke.json`.
+//!
 //! Results print as text tables (paper numbers alongside) and are also
 //! dumped as JSON under `target/experiments/`.
 
@@ -198,6 +205,38 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("observe experiment failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if which.first().map(String::as_str) == Some("tracereq") {
+        let smoke = which.iter().any(|w| w == "--smoke" || w == "smoke");
+        let sf = if args.iter().any(|a| a == "--sf") {
+            sf
+        } else if smoke {
+            0.005
+        } else {
+            0.02
+        };
+        match bench::tracereq::run_tracereq_experiment(sf, smoke) {
+            Ok(doc) => {
+                let json = serde_json::to_string_pretty(&doc).expect("tracereq doc serializes");
+                if let Err(e) = serde_json::from_str(&json) {
+                    eprintln!("tracereq: emitted JSON does not parse: {e}");
+                    std::process::exit(1);
+                }
+                let out = if smoke {
+                    format!("{out_dir}/BENCH_tracereq_smoke.json")
+                } else {
+                    "BENCH_tracereq.json".to_string()
+                };
+                fs::write(&out, json).expect("write baseline");
+                println!("\n  (written to {out})");
+            }
+            Err(e) => {
+                eprintln!("tracereq experiment failed: {e}");
                 std::process::exit(1);
             }
         }

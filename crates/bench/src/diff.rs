@@ -8,6 +8,13 @@
 //! the server experiment): dimensionless, same-machine quotients that are
 //! comparable across hardware. A run fails when any ratio regresses more
 //! than the tolerance (default 10%) below the committed value.
+//!
+//! Attribution *fractions* (`comparison` fields ending in `_fraction`,
+//! introduced by the tracereq experiment) are gated too, but two-sided:
+//! a fraction of end-to-end latency has no "more is better" direction, so
+//! the generated value must stay within ±tolerance (absolute) of the
+//! baseline. Fractions are already in [0, 1], making absolute tolerance
+//! the natural unit.
 
 use serde_json::Json;
 
@@ -62,7 +69,9 @@ pub fn compare_ratios(generated: &Json, baseline: &Json, tolerance: f64) -> Diff
         }
     };
     for (key, value) in fields {
-        if !key.contains("_over_") {
+        let is_ratio = key.contains("_over_");
+        let is_fraction = key.ends_with("_fraction");
+        if !is_ratio && !is_fraction {
             continue;
         }
         let base = match number(value) {
@@ -73,13 +82,26 @@ pub fn compare_ratios(generated: &Json, baseline: &Json, tolerance: f64) -> Diff
         match gen {
             Some(gen) => {
                 out.checked.push((key.clone(), gen, base));
-                let floor = base * (1.0 - tolerance);
-                if gen < floor {
-                    out.failures.push(format!(
-                        "{key}: generated {gen:.4} regressed more than {:.0}% below \
-                         baseline {base:.4} (floor {floor:.4})",
-                        tolerance * 100.0
-                    ));
+                if is_ratio {
+                    // One-sided: only a drop below baseline is a regression.
+                    let floor = base * (1.0 - tolerance);
+                    if gen < floor {
+                        out.failures.push(format!(
+                            "{key}: generated {gen:.4} regressed more than {:.0}% below \
+                             baseline {base:.4} (floor {floor:.4})",
+                            tolerance * 100.0
+                        ));
+                    }
+                } else {
+                    // Two-sided absolute: a fraction drifting either way
+                    // means the latency attribution shape changed.
+                    let drift = (gen - base).abs();
+                    if drift > tolerance {
+                        out.failures.push(format!(
+                            "{key}: generated fraction {gen:.4} drifted {drift:.4} from \
+                             baseline {base:.4} (allowed ±{tolerance:.4} absolute)",
+                        ));
+                    }
                 }
             }
             None => out
@@ -88,7 +110,7 @@ pub fn compare_ratios(generated: &Json, baseline: &Json, tolerance: f64) -> Diff
         }
     }
     if out.checked.is_empty() && out.failures.is_empty() {
-        out.failures.push("baseline 'comparison' has no '_over_' ratio metrics".into());
+        out.failures.push("baseline 'comparison' has no '_over_' or '_fraction' metrics".into());
     }
     out
 }
@@ -146,7 +168,44 @@ mod tests {
         let empty = Json::object().field("comparison", Json::object().field("qthd", 5.0));
         let out = compare_ratios(&doc(0.99), &empty, 0.10);
         assert!(!out.passed());
-        assert!(out.failures[0].contains("no '_over_' ratio metrics"));
+        assert!(out.failures[0].contains("no '_over_' or '_fraction' metrics"));
+    }
+
+    fn frac_doc(lock: f64, exec: f64) -> Json {
+        Json::object().field(
+            "comparison",
+            Json::object()
+                .field("blind_lock_fraction", lock)
+                .field("blind_exec_fraction", exec)
+                .field("p99_end_to_end_us", 120_000.0),
+        )
+    }
+
+    #[test]
+    fn fractions_within_absolute_tolerance_pass_either_direction() {
+        let out = compare_ratios(&frac_doc(0.55, 0.30), &frac_doc(0.60, 0.25), 0.10);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.checked.len(), 2, "both fractions gated, absolute us ignored");
+    }
+
+    #[test]
+    fn fraction_drift_beyond_tolerance_fails_both_directions() {
+        // Down: lock share collapsed.
+        let out = compare_ratios(&frac_doc(0.40, 0.25), &frac_doc(0.60, 0.25), 0.10);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("blind_lock_fraction"), "{:?}", out.failures);
+        // Up: exec share ballooned — equally a shape change.
+        let out = compare_ratios(&frac_doc(0.60, 0.45), &frac_doc(0.60, 0.25), 0.10);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("blind_exec_fraction"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn fraction_missing_from_generated_fails() {
+        let gen = Json::object().field("comparison", Json::object().field("other", 1.0));
+        let out = compare_ratios(&gen, &frac_doc(0.60, 0.25), 0.10);
+        assert!(!out.passed());
+        assert!(out.failures.iter().any(|f| f.contains("missing from generated")));
     }
 
     #[test]

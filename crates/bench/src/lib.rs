@@ -8,6 +8,7 @@ pub mod observe;
 pub mod paper;
 pub mod serverexp;
 pub mod tracecmd;
+pub mod tracereq;
 
 pub use durability::{
     run_order_entry_series, run_qthd_series, OrderEntryResult, DURABILITY_MODELS,

@@ -192,6 +192,7 @@ fn step_stats(name: String, kind: WpKind, started: Instant) -> RequestStats {
         name,
         kind,
         worker: "WIRE-0".into(),
+        trace_id: 0,
         queue_wait: Duration::ZERO,
         service: started.elapsed(),
         work: MeterSnapshot::default(),

@@ -17,7 +17,7 @@
 use crate::R3System;
 use parking_lot::{Condvar, Mutex};
 use rdbms::clock::{Calibration, CostMeter, MeterScope, MeterSnapshot, WaitEvent};
-use rdbms::{DbError, DbResult};
+use rdbms::{DbError, DbResult, RequestCtx};
 use serde_json::Json;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,6 +63,9 @@ struct Request {
     kind: WpKind,
     job: Job,
     enqueued: Instant,
+    /// Trace context minted at submission (queue entry), carried across
+    /// the thread boundary and installed by the serving work process.
+    trace: Option<RequestCtx>,
     handle: Arc<HandleState>,
 }
 
@@ -73,6 +76,9 @@ pub struct RequestStats {
     pub kind: WpKind,
     /// Which work process served the request ("DIA-0", "BTC-1", ...).
     pub worker: String,
+    /// End-to-end trace id for M$TRACES / M$SPANS / ST05 correlation
+    /// (0 when the database monitor was disabled at submission).
+    pub trace_id: u64,
     /// Time spent in the dispatcher queue before a work process picked
     /// the request up.
     pub queue_wait: Duration,
@@ -216,11 +222,20 @@ impl Dispatcher {
         job: impl FnOnce(&R3System) -> DbResult<()> + Send + 'static,
     ) -> RequestHandle {
         let handle = Arc::new(HandleState { done: Mutex::new(None), cv: Condvar::new() });
+        let name = name.into();
+        // Mint the trace at queue entry so the dispatcher wait is inside
+        // the request's end-to-end window; the work process installs it.
+        let origin = match kind {
+            WpKind::Dialog => "r3/dialog",
+            WpKind::Batch => "r3/batch",
+        };
+        let trace = self.shared.sys.db.begin_request(origin, &name);
         let request = Request {
-            name: name.into(),
+            name,
             kind,
             job: Box::new(job),
             enqueued: Instant::now(),
+            trace,
             handle: Arc::clone(&handle),
         };
         {
@@ -291,6 +306,12 @@ fn work_process(shared: Arc<Shared>, kind: WpKind, worker_name: String) {
                 shared.enqueued.wait(&mut q);
             }
         };
+        let mut request = request;
+        // Install the trace context before recording the queue wait so the
+        // DispatchQueue interval (and every wait below the job) attaches
+        // to this request's trace.
+        let trace_id = request.trace.as_ref().map(RequestCtx::trace_id).unwrap_or(0);
+        let traced = request.trace.take().map(RequestCtx::install);
         let queue_wait = request.enqueued.elapsed();
         // Queue time is a real wait the paper measures; surface it in
         // M$WAIT_EVENTS alongside the engine's own block points.
@@ -309,10 +330,15 @@ fn work_process(shared: Arc<Shared>, kind: WpKind, worker_name: String) {
                 ))),
             }
         };
+        // End of the traced window: the finished trace lands in M$TRACES
+        // before the submitter is woken, so a caller holding the stats can
+        // immediately look its trace_id up.
+        drop(traced);
         let stats = RequestStats {
             name: request.name,
             kind: request.kind,
             worker: worker_name.clone(),
+            trace_id,
             queue_wait,
             service: started.elapsed(),
             work: meter.snapshot(),
@@ -409,6 +435,64 @@ mod tests {
         // Every pickup recorded its dispatcher-queue wait.
         let snap = sys.db.wait_stats().snapshot();
         assert!(snap.count(WaitEvent::DispatchQueue) >= 6);
+        dispatcher.shutdown();
+    }
+
+    #[test]
+    fn requests_carry_trace_context_across_the_pool() {
+        let sys = Arc::new(R3System::install_default(Release::R30).unwrap());
+        sys.db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        sys.db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let dispatcher = Dispatcher::start(
+            Arc::clone(&sys),
+            DispatcherConfig { dialog_processes: 1, batch_processes: 0 },
+        );
+        // One worker: the second request must sit in the dispatcher queue
+        // while the first sleeps, making its queue wait trace-visible.
+        let slow = dispatcher.submit(WpKind::Dialog, "slow", |_| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(())
+        });
+        let queued = dispatcher.submit(WpKind::Dialog, "queued", |sys| {
+            sys.db_query_direct("SELECT COUNT(*) FROM t")?;
+            Ok(())
+        });
+        let slow_stats = slow.wait();
+        let queued_stats = queued.wait();
+        assert_ne!(queued_stats.trace_id, 0, "monitor on => request minted a trace");
+        assert_ne!(slow_stats.trace_id, queued_stats.trace_id);
+        // The finished trace is in the ring before wait() returns.
+        let t = sys
+            .db
+            .trace_ring()
+            .get(queued_stats.trace_id)
+            .expect("completed trace landed in M$TRACES ring");
+        assert_eq!(t.origin, "r3/dialog");
+        assert_eq!(t.label, "queued");
+        // Queue time was recorded while the trace was installed...
+        assert!(
+            t.waits.iter().any(|w| w.event == WaitEvent::DispatchQueue),
+            "dispatcher-queue wait attached to the trace: {:?}",
+            t.waits
+        );
+        // ...and the critical path still partitions end-to-end exactly.
+        let p = t.critical_path();
+        assert_eq!(p.sum_us(), t.end_to_end_us());
+        assert!(p.segment(WaitEvent::DispatchQueue) > 0, "{p:?}");
+        dispatcher.shutdown();
+    }
+
+    #[test]
+    fn monitor_off_requests_are_untraced() {
+        let sys = Arc::new(R3System::install_default(Release::R30).unwrap());
+        sys.db.set_monitor_enabled(false);
+        let dispatcher = Dispatcher::start(
+            Arc::clone(&sys),
+            DispatcherConfig { dialog_processes: 1, batch_processes: 0 },
+        );
+        let stats = dispatcher.submit(WpKind::Dialog, "dark", |_| Ok(())).wait();
+        assert_eq!(stats.trace_id, 0);
+        assert_eq!(sys.db.trace_ring().completed(), 0);
         dispatcher.shutdown();
     }
 

@@ -75,6 +75,11 @@ impl SqlOp {
 #[derive(Debug, Clone)]
 pub struct SqlTraceEntry {
     pub seq: u64,
+    /// End-to-end request trace this crossing happened under (see
+    /// `trace::request`); 0 when no request trace was active, so one
+    /// request's crossings are retrievable by id via
+    /// [`SqlTrace::entries_for`].
+    pub trace_id: u64,
     pub op: SqlOp,
     /// Statement text as submitted (parameter markers for Open SQL,
     /// literals for Native SQL).
@@ -94,6 +99,7 @@ impl SqlTraceEntry {
     pub fn to_json(&self) -> Json {
         Json::object()
             .field("seq", self.seq)
+            .field("trace_id", self.trace_id)
             .field("op", self.op.label())
             .field("statement", self.statement.clone())
             .field(
@@ -181,6 +187,18 @@ impl SqlTrace {
         self.dropped.store(0, Ordering::Relaxed);
     }
 
+    /// Non-draining view of the calls recorded under one request trace id
+    /// (ordered by sequence number). This is "show me exactly what SQL
+    /// that request submitted" — the ST05 workflow the paper's authors
+    /// used, now joinable against M$TRACES.
+    pub fn entries_for(&self, trace_id: u64) -> Vec<SqlTraceEntry> {
+        let entries = self.entries.lock().unwrap();
+        let mut out: Vec<SqlTraceEntry> =
+            entries.iter().filter(|e| e.trace_id == trace_id).cloned().collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
     /// Begin recording one interface call; `None` when tracing is off.
     /// The guard's scratch meter scope captures exactly the work performed
     /// on this thread until [`SqlTraceGuard::finish`].
@@ -213,6 +231,7 @@ impl SqlTraceGuard<'_> {
         crossings: u64,
     ) {
         let work = self.meter.snapshot();
+        let trace_id = trace::request::current_trace_id().unwrap_or(0);
         let seq = self.trace.next_seq.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.trace.entries.lock().unwrap();
         if entries.len() == self.trace.capacity {
@@ -221,6 +240,7 @@ impl SqlTraceGuard<'_> {
         }
         entries.push_back(SqlTraceEntry {
             seq,
+            trace_id,
             op,
             statement: statement.into(),
             params: params.to_vec(),
@@ -351,6 +371,39 @@ mod tests {
         assert_eq!(trace.dropped(), 6);
         trace.clear();
         assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn entries_carry_the_active_trace_id_and_are_retrievable_by_it() {
+        let ring = trace::request::TraceRing::new(8);
+        let st05 = SqlTrace::with_capacity(16);
+        st05.enable();
+        // Outside any request: crossings tag trace_id 0.
+        st05.begin().unwrap().finish(SqlOp::Exec, "S-untraced", &[], 0, 1);
+        let ctx = ring.begin("test", "first");
+        let first_id = ctx.trace_id();
+        {
+            let _guard = ctx.install();
+            st05.begin().unwrap().finish(SqlOp::Open, "S-first-a", &[], 1, 1);
+            st05.begin().unwrap().finish(SqlOp::Reopen, "S-first-b", &[], 1, 1);
+        }
+        let ctx = ring.begin("test", "second");
+        let second_id = ctx.trace_id();
+        {
+            let _guard = ctx.install();
+            st05.begin().unwrap().finish(SqlOp::Commit, "S-second", &[], 0, 1);
+        }
+        let first: Vec<String> =
+            st05.entries_for(first_id).iter().map(|e| e.statement.clone()).collect();
+        assert_eq!(first, vec!["S-first-a", "S-first-b"]);
+        assert_eq!(st05.entries_for(second_id).len(), 1);
+        assert_eq!(st05.entries_for(0).len(), 1, "untraced crossing under id 0");
+        // entries_for does not drain: the full ring is still there.
+        assert_eq!(st05.take().len(), 4);
+        // And the JSON export carries the id for offline correlation.
+        st05.begin().unwrap().finish(SqlOp::Exec, "S-json", &[], 0, 1);
+        let json = to_json(&st05.take(), &rdbms::clock::Calibration::default(), 0);
+        assert!(serde_json::to_string(&json).unwrap().contains("\"trace_id\""));
     }
 
     #[test]

@@ -154,6 +154,7 @@ mod tests {
             name: name.to_string(),
             kind,
             worker: "DIA-0".into(),
+            trace_id: 0,
             queue_wait: Duration::from_millis(queue_ms),
             service: Duration::from_millis(service_ms),
             work: MeterSnapshot::default(),

@@ -6,4 +6,8 @@
 //! This module re-exports it under the historical `rdbms::clock` path.
 
 pub use trace::meter::{fmt_duration, Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
+pub use trace::request::{
+    chrome_trace_json, validate_chrome_trace, CriticalPath, RequestCtx, RequestGuard, RequestTrace,
+    TraceRing,
+};
 pub use trace::wait::{WaitEvent, WaitScope, WaitSnapshot, WaitStats, WaitTimer};

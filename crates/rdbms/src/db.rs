@@ -1,7 +1,9 @@
 //! The `Database` façade: parse, plan, execute.
 
 use crate::catalog::Catalog;
-use crate::clock::{Calibration, CostMeter, MeterSnapshot, WaitEvent, WaitStats};
+use crate::clock::{
+    Calibration, CostMeter, MeterSnapshot, RequestCtx, TraceRing, WaitEvent, WaitStats,
+};
 use crate::error::{DbError, DbResult};
 use crate::exec::expr::ExecCtx;
 use crate::exec::plan::{Plan, TableAccess};
@@ -52,6 +54,11 @@ impl Default for DbConfig {
         }
     }
 }
+
+/// Completed request traces retained for M$TRACES / M$SPANS and Chrome
+/// export. 4096 requests of live history — enough for any experiment's
+/// tail analysis, bounded enough to never matter for memory.
+pub const DEFAULT_TRACE_RING_CAPACITY: usize = 4096;
 
 /// A query result set.
 #[derive(Debug, Clone)]
@@ -150,6 +157,10 @@ pub struct Database {
     /// block points (locks, log forces) stay on — they cost nothing unless
     /// the thread actually waited.
     monitor_enabled: AtomicBool,
+    /// Ring of completed per-request traces behind M$TRACES / M$SPANS.
+    /// Requests are minted via [`Database::begin_request`], which gates on
+    /// `monitor_enabled` so collectors-off runs trace nothing.
+    traces: Arc<TraceRing>,
 }
 
 impl Database {
@@ -203,19 +214,23 @@ impl Database {
             wait,
             statements: StatementCollector::new(),
             monitor_enabled: AtomicBool::new(true),
+            traces: TraceRing::new(DEFAULT_TRACE_RING_CAPACITY),
         };
         db.register_builtin_monitor_views();
         db
     }
 
     /// Register the engine-level `M$` views: M$WAIT_EVENTS over the wait
-    /// accumulators, M$STATEMENTS over the per-statement collector, and
-    /// M$LOCKS over the lock manager. The server and R/3 layers register
-    /// their own views (M$SESSIONS, M$PLAN_CACHE, M$WORKLOAD) on top.
+    /// accumulators, M$STATEMENTS over the per-statement collector,
+    /// M$LOCKS over the lock manager, and M$TRACES / M$SPANS over the
+    /// request-trace ring. The server and R/3 layers register their own
+    /// views (M$SESSIONS, M$PLAN_CACHE, M$WORKLOAD) on top.
     fn register_builtin_monitor_views(&self) {
         self.catalog
             .register_monitor_view(crate::monitor::wait_events_view(Arc::clone(&self.wait)));
         self.catalog.register_monitor_view(self.statements.view());
+        self.catalog.register_monitor_view(crate::monitor::traces_view(Arc::clone(&self.traces)));
+        self.catalog.register_monitor_view(crate::monitor::spans_view(Arc::clone(&self.traces)));
         let locks = Arc::clone(&self.locks);
         self.catalog.register_monitor_view(MonitorView::new(
             "M$LOCKS",
@@ -304,6 +319,20 @@ impl Database {
 
     pub fn monitor_enabled(&self) -> bool {
         self.monitor_enabled.load(Ordering::Relaxed)
+    }
+
+    /// The bounded ring of completed request traces (behind M$TRACES and
+    /// M$SPANS, and the source for Chrome trace exports).
+    pub fn trace_ring(&self) -> &Arc<TraceRing> {
+        &self.traces
+    }
+
+    /// Mint a trace id for a request entering the system, or `None` when
+    /// the monitor is disabled (collectors-off runs trace nothing and pay
+    /// nothing). The caller installs the returned context on the serving
+    /// thread; dropping the guard lands the finished trace in the ring.
+    pub fn begin_request(&self, origin: &str, label: &str) -> Option<RequestCtx> {
+        self.monitor_enabled().then(|| self.traces.begin(origin, label))
     }
 
     /// The hierarchical lock manager (strict 2PL for open transactions).

@@ -264,10 +264,13 @@ impl Plan {
     /// When a [`trace::TraceSession`] is active on the calling thread,
     /// every plan node opens a span named like its EXPLAIN line and records
     /// its output cardinality, so a query execution yields an
-    /// `EXPLAIN ANALYZE`-style tree of per-node work deltas. Without a
-    /// session the instrumentation is a single thread-local check.
+    /// `EXPLAIN ANALYZE`-style tree of per-node work deltas. The same spans
+    /// open wall-clock frames in the active *request* trace (`M$SPANS`)
+    /// when one is installed — either listener is enough to pay for the
+    /// label formatting. Without both, the instrumentation is two
+    /// thread-local checks.
     pub fn execute(&self, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
-        if !trace::enabled() {
+        if !trace::enabled() && !trace::request::active() {
             return self.execute_node(ctx);
         }
         let span = trace::span(&self.node_label());

@@ -14,13 +14,15 @@
 //! Monitor views take no locks, have no catalog version, and are invisible
 //! to DDL — reading them never blocks the workload being observed.
 
-use crate::clock::{WaitEvent, WaitSnapshot, WaitStats};
+use crate::clock::{TraceRing, WaitEvent, WaitSnapshot, WaitStats};
 use crate::schema::{Column, Row, Schema};
 use crate::types::{DataType, Value};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use trace::request::SpanNode;
 
 /// True if `name` is in the reserved monitoring namespace (`M$` prefix,
 /// case-insensitive). Such names never reach the catalog's base-table
@@ -126,34 +128,66 @@ struct StatementEntry {
     max_micros: u64,
     waits: WaitSnapshot,
     recent: VecDeque<StatementSample>,
+    /// Recency stamp from the collector's tick, for LRU eviction.
+    last_used: u64,
 }
 
 /// pg_stat_statements-style collector: cumulative per-statement counters
 /// keyed on the plan cache's normalized statement shape, so `SELECT ... =
 /// 1` and `SELECT ... = 2` aggregate into one row while distinct shapes
-/// stay separate.
-#[derive(Debug)]
+/// stay separate. The shape map is bounded: past `max_shapes` distinct
+/// shapes the least-recently-executed one is evicted (and counted), so a
+/// workload generating unbounded distinct SQL cannot grow the collector
+/// without limit.
 pub struct StatementCollector {
-    inner: Mutex<HashMap<String, StatementEntry>>,
+    inner: Mutex<ShapeMap>,
     /// Recent-sample ring capacity per statement shape.
     samples_per_statement: usize,
+    /// Maximum distinct statement shapes retained.
+    max_shapes: usize,
+    /// Shapes evicted to stay under `max_shapes` (surfaced in
+    /// `M$STATEMENTS` as the collector-wide `EVICTED_SHAPES` column).
+    evicted: AtomicU64,
 }
 
-impl std::fmt::Debug for StatementEntry {
+struct ShapeMap {
+    map: HashMap<String, StatementEntry>,
+    /// Monotone use counter stamping `last_used`.
+    tick: u64,
+}
+
+impl std::fmt::Debug for StatementCollector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StatementEntry").field("calls", &self.calls).finish_non_exhaustive()
+        f.debug_struct("StatementCollector")
+            .field("max_shapes", &self.max_shapes)
+            .finish_non_exhaustive()
     }
 }
 
 impl Default for StatementCollector {
     fn default() -> Self {
-        StatementCollector { inner: Mutex::new(HashMap::new()), samples_per_statement: 16 }
+        StatementCollector::bounded(StatementCollector::DEFAULT_MAX_SHAPES)
     }
 }
 
 impl StatementCollector {
+    /// Default bound on distinct shapes: generous for real workloads
+    /// (TPC-D + SAP reach a few dozen), tight enough that pathological
+    /// non-parameterized SQL cannot leak memory.
+    pub const DEFAULT_MAX_SHAPES: usize = 512;
+
     pub fn new() -> Arc<Self> {
         Arc::new(StatementCollector::default())
+    }
+
+    /// A collector bounded to `max_shapes` distinct statement shapes.
+    pub fn bounded(max_shapes: usize) -> StatementCollector {
+        StatementCollector {
+            inner: Mutex::new(ShapeMap { map: HashMap::new(), tick: 0 }),
+            samples_per_statement: 16,
+            max_shapes: max_shapes.max(1),
+            evicted: AtomicU64::new(0),
+        }
     }
 
     /// Record one completed execution. `key` is the normalized statement
@@ -169,7 +203,20 @@ impl StatementCollector {
     ) {
         let micros = elapsed.as_micros() as u64;
         let mut inner = self.inner.lock();
-        let entry = inner.entry(key.to_string()).or_insert_with(|| StatementEntry {
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(key) && inner.map.len() >= self.max_shapes {
+            // Evict the least-recently-executed shape (O(n) scan; the map
+            // is bounded, so n <= max_shapes).
+            if let Some(coldest) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&coldest);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let samples = self.samples_per_statement;
+        let entry = inner.map.entry(key.to_string()).or_insert_with(|| StatementEntry {
             statement: display_text(statement),
             calls: 0,
             rows: 0,
@@ -177,8 +224,10 @@ impl StatementCollector {
             min_micros: u64::MAX,
             max_micros: 0,
             waits: WaitSnapshot::default(),
-            recent: VecDeque::with_capacity(self.samples_per_statement),
+            recent: VecDeque::with_capacity(samples),
+            last_used: 0,
         });
+        entry.last_used = tick;
         entry.calls += 1;
         entry.rows += rows;
         entry.total_micros += micros;
@@ -191,19 +240,30 @@ impl StatementCollector {
         entry.recent.push_back(StatementSample { micros, rows });
     }
 
-    /// Number of distinct statement shapes seen.
+    /// Number of distinct statement shapes currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().map.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().map.is_empty()
+    }
+
+    /// Shapes evicted so far to keep the map under its bound.
+    pub fn evicted_shapes(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// The bound on distinct retained shapes.
+    pub fn max_shapes(&self) -> usize {
+        self.max_shapes
     }
 
     /// Snapshot of all statements, hottest (most total time) first.
     pub fn snapshot(&self) -> Vec<StatementStats> {
         let inner = self.inner.lock();
         let mut out: Vec<StatementStats> = inner
+            .map
             .values()
             .map(|e| StatementStats {
                 statement: e.statement.clone(),
@@ -224,12 +284,15 @@ impl StatementCollector {
     /// Sum of per-statement wait breakdowns (for reconciliation against
     /// the engine-wide [`WaitStats`] and cost meters).
     pub fn total_waits(&self) -> WaitSnapshot {
-        self.inner.lock().values().fold(WaitSnapshot::default(), |acc, e| acc.plus(&e.waits))
+        self.inner.lock().map.values().fold(WaitSnapshot::default(), |acc, e| acc.plus(&e.waits))
     }
 
     /// Forget everything (between experiment phases).
     pub fn reset(&self) {
-        self.inner.lock().clear();
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.tick = 0;
+        self.evicted.store(0, Ordering::Relaxed);
     }
 
     /// Build the `M$STATEMENTS` view over this collector.
@@ -251,8 +314,12 @@ impl StatementCollector {
                 Column::new("WAL_FLUSH_US", DataType::Int),
                 Column::new("GROUP_COMMIT_US", DataType::Int),
                 Column::new("BUFFER_MISSES", DataType::Int),
+                Column::new("EVICTED_SHAPES", DataType::Int),
             ],
             move || {
+                // Collector-wide eviction counter, repeated on every row
+                // (a virtual table has nowhere else to put a scalar).
+                let evicted = collector.evicted_shapes();
                 collector
                     .snapshot()
                     .into_iter()
@@ -271,12 +338,135 @@ impl StatementCollector {
                             int(s.waits.micros(WaitEvent::WalFlush)),
                             int(s.waits.micros(WaitEvent::GroupCommitWait)),
                             int(s.waits.count(WaitEvent::BufferMiss)),
+                            int(evicted),
                         ]
                     })
                     .collect()
             },
         )
     }
+}
+
+/// Build the `M$TRACES` view over a [`TraceRing`]: one row per retained
+/// request trace, newest last, with its critical-path decomposition —
+/// the per-event segment columns plus `APP_SERVER_US` always sum to
+/// `END_TO_END_US` (see `trace::request::critical_path`).
+pub fn traces_view(ring: Arc<TraceRing>) -> Arc<MonitorView> {
+    MonitorView::new(
+        "M$TRACES",
+        vec![
+            Column::new("TRACE_ID", DataType::Int),
+            Column::new("ORIGIN", DataType::VarChar(32)),
+            Column::new("LABEL", DataType::VarChar(200)),
+            Column::new("ENQUEUED_US", DataType::Int),
+            Column::new("STARTED_US", DataType::Int),
+            Column::new("ENDED_US", DataType::Int),
+            Column::new("END_TO_END_US", DataType::Int),
+            Column::new("DISPATCH_QUEUE_US", DataType::Int),
+            Column::new("LOCK_US", DataType::Int),
+            Column::new("WAL_FLUSH_US", DataType::Int),
+            Column::new("GROUP_COMMIT_US", DataType::Int),
+            Column::new("BUFFER_MISS_US", DataType::Int),
+            Column::new("EXEC_US", DataType::Int),
+            Column::new("APP_SERVER_US", DataType::Int),
+            Column::new("SPANS", DataType::Int),
+            Column::new("WAITS", DataType::Int),
+            Column::new("DROPPED_SPANS", DataType::Int),
+            Column::new("DROPPED_WAITS", DataType::Int),
+        ],
+        move || {
+            ring.snapshot()
+                .iter()
+                .map(|t| {
+                    let p = t.critical_path();
+                    vec![
+                        int(t.trace_id),
+                        Value::str(&t.origin),
+                        Value::Str(display_text(&t.label)),
+                        int(t.enqueued_us),
+                        int(t.started_us),
+                        int(t.ended_us),
+                        int(p.end_to_end_us),
+                        int(p.segment(WaitEvent::DispatchQueue)),
+                        int(p.segment(WaitEvent::Lock)),
+                        int(p.segment(WaitEvent::WalFlush)),
+                        int(p.segment(WaitEvent::GroupCommitWait)),
+                        int(p.segment(WaitEvent::BufferMiss)),
+                        int(p.segment(WaitEvent::Exec)),
+                        int(p.app_server_us),
+                        int(t.span_count() as u64),
+                        int(t.waits.len() as u64),
+                        int(t.dropped_spans),
+                        int(t.dropped_waits),
+                    ]
+                })
+                .collect()
+        },
+    )
+}
+
+/// Build the `M$SPANS` view over a [`TraceRing`]: the span trees of every
+/// retained trace flattened in depth-first pre-order, with per-span wait
+/// breakdowns. `SPAN_ID` numbers spans within a trace; `PARENT_ID` is -1
+/// for roots, so the tree reconstructs with one self-join.
+pub fn spans_view(ring: Arc<TraceRing>) -> Arc<MonitorView> {
+    MonitorView::new(
+        "M$SPANS",
+        vec![
+            Column::new("TRACE_ID", DataType::Int),
+            Column::new("SPAN_ID", DataType::Int),
+            Column::new("PARENT_ID", DataType::Int),
+            Column::new("DEPTH", DataType::Int),
+            Column::new("NAME", DataType::VarChar(200)),
+            Column::new("START_US", DataType::Int),
+            Column::new("END_US", DataType::Int),
+            Column::new("ELAPSED_US", DataType::Int),
+            Column::new("LOCK_US", DataType::Int),
+            Column::new("WAL_FLUSH_US", DataType::Int),
+            Column::new("GROUP_COMMIT_US", DataType::Int),
+            Column::new("BUFFER_MISSES", DataType::Int),
+            Column::new("EXEC_US", DataType::Int),
+        ],
+        move || {
+            fn walk(
+                trace_id: u64,
+                node: &SpanNode,
+                parent: i64,
+                depth: u64,
+                next_id: &mut i64,
+                out: &mut Vec<Row>,
+            ) {
+                let id = *next_id;
+                *next_id += 1;
+                out.push(vec![
+                    int(trace_id),
+                    Value::Int(id),
+                    Value::Int(parent),
+                    int(depth),
+                    Value::Str(display_text(&node.name)),
+                    int(node.start_us),
+                    int(node.end_us),
+                    int(node.elapsed_us()),
+                    int(node.wait_micros[WaitEvent::Lock as usize]),
+                    int(node.wait_micros[WaitEvent::WalFlush as usize]),
+                    int(node.wait_micros[WaitEvent::GroupCommitWait as usize]),
+                    int(node.wait_counts[WaitEvent::BufferMiss as usize]),
+                    int(node.wait_micros[WaitEvent::Exec as usize]),
+                ]);
+                for c in &node.children {
+                    walk(trace_id, c, id, depth + 1, next_id, out);
+                }
+            }
+            let mut rows = Vec::new();
+            for t in ring.snapshot() {
+                let mut next_id = 0i64;
+                for root in &t.spans {
+                    walk(t.trace_id, root, -1, 0, &mut next_id, &mut rows);
+                }
+            }
+            rows
+        },
+    )
 }
 
 /// Normalize statement text for display: collapse whitespace, bound the
@@ -361,6 +551,66 @@ mod tests {
         assert_eq!(snap[0].calls, 100);
         assert_eq!(snap[0].recent.len(), 16, "ring bounded");
         assert_eq!(snap[0].recent.last().unwrap().micros, 99, "newest kept");
+    }
+
+    #[test]
+    fn shape_map_is_lru_bounded_and_counts_evictions() {
+        let c = Arc::new(StatementCollector::bounded(4));
+        let w = WaitSnapshot::default();
+        for i in 0..4 {
+            c.record(&format!("K{i}"), "Q", Duration::from_micros(10), 1, &w);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evicted_shapes(), 0);
+        // Touch K0 so K1 becomes the coldest, then overflow.
+        c.record("K0", "Q", Duration::from_micros(10), 1, &w);
+        c.record("K4", "Q", Duration::from_micros(10), 1, &w);
+        assert_eq!(c.len(), 4, "stays bounded");
+        assert_eq!(c.evicted_shapes(), 1);
+        let keys: Vec<String> = c.snapshot().into_iter().map(|s| s.statement).collect();
+        assert_eq!(keys.len(), 4);
+        // K1 (least recently executed) was the one evicted: re-recording
+        // it starts a fresh entry while K0 kept its two calls.
+        c.record("K1", "Q", Duration::from_micros(10), 1, &w);
+        assert_eq!(c.evicted_shapes(), 2);
+        let view = c.view();
+        let rows = view.rows();
+        let evicted_col = view.schema().len() - 1;
+        assert!(
+            rows.iter().all(|r| r[evicted_col] == Value::Int(2)),
+            "EVICTED_SHAPES on every row"
+        );
+        c.reset();
+        assert_eq!(c.evicted_shapes(), 0);
+    }
+
+    #[test]
+    fn traces_and_spans_views_expose_the_ring() {
+        let ring = TraceRing::new(8);
+        {
+            let ctx = ring.begin("test", "demo");
+            let _g = ctx.install();
+            let _outer = trace::span("outer");
+            let _inner = trace::span("inner");
+        }
+        let traces = traces_view(Arc::clone(&ring));
+        let rows = traces.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), traces.schema().len());
+        assert_eq!(rows[0][1], Value::str("test"));
+        // Segment columns (7..=13 incl. APP_SERVER_US) sum to END_TO_END_US.
+        let as_i = |v: &Value| match v {
+            Value::Int(i) => *i,
+            other => panic!("expected int, got {other:?}"),
+        };
+        let total: i64 = (7..=13).map(|c| as_i(&rows[0][c])).sum();
+        assert_eq!(total, as_i(&rows[0][6]), "critical path sums in the view");
+        let spans = spans_view(ring);
+        let srows = spans.rows();
+        assert_eq!(srows.len(), 2);
+        assert_eq!(srows[0][4], Value::str("outer"));
+        assert_eq!(srows[0][2], Value::Int(-1), "root parent");
+        assert_eq!(srows[1][2], srows[0][1], "child links to parent span id");
     }
 
     #[test]

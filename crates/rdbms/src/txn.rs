@@ -319,17 +319,17 @@ impl<'db> Txn<'db> {
 
     fn lock_table(&mut self, table: &str, mode: LockMode) -> DbResult<()> {
         let waited = self.db.lock_manager().acquire(self.id, table, mode)?;
-        self.note_wait(waited);
+        self.note_wait(table, waited);
         Ok(())
     }
 
     fn lock_row(&mut self, table: &str, lock: RowLock) -> DbResult<()> {
         let waited = self.db.lock_manager().acquire_row(self.id, table, lock)?;
-        self.note_wait(waited);
+        self.note_wait(table, waited);
         Ok(())
     }
 
-    fn note_wait(&mut self, waited: Duration) {
+    fn note_wait(&mut self, table: &str, waited: Duration) {
         if waited > Duration::ZERO {
             self.lock_wait += waited;
             self.meter.bump(Counter::LockWaits);
@@ -337,6 +337,9 @@ impl<'db> Txn<'db> {
             // Same condition as the LockWaits meter so M$WAIT_EVENTS lock
             // counts reconcile with it exactly.
             self.db.wait_stats().record(WaitEvent::Lock, waited);
+            // Name the contended table on the active request trace, so a
+            // slow request's lock segment says *what* it waited on.
+            trace::request::annotate("lock_wait_table", table);
         }
     }
 

@@ -736,6 +736,9 @@ impl Wal {
                 if let Some(w) = self.wait.get() {
                     w.record(WaitEvent::WalFlush, force_time);
                 }
+                // This request's commit led the force: its trace shows a
+                // wal_flush segment, a follower's shows group_commit_wait.
+                trace::request::annotate("group_commit_role", "leader");
             }
             self.flushed.notify_all();
             if let Err(e) = io {
@@ -747,6 +750,7 @@ impl Wal {
             if let Some(w) = self.wait.get() {
                 w.record(WaitEvent::GroupCommitWait, started.elapsed());
             }
+            trace::request::annotate("group_commit_role", "follower");
         }
         result
     }

@@ -3,7 +3,8 @@
 //! invalidating plan-cache entries, tables appearing and disappearing,
 //! and statements being re-planned concurrently.
 
-use rdbms::{Database, PlanCache, Value, WaitSnapshot};
+use rdbms::{Database, PlanCache, Value, WaitEvent, WaitSnapshot};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -75,6 +76,90 @@ fn m_view_reads_race_ddl_and_plan_cache_invalidation() {
     assert_eq!(misses, DDL_ROUNDS as u64, "every index DDL on t must force a replan");
     assert_eq!(hits, DDL_ROUNDS as u64, "re-prepares between DDL must hit");
     assert!(view_reads.load(Ordering::Relaxed) > 0, "monitor readers never got a sweep in");
+}
+
+/// `M$TRACES` and `M$SPANS` read the trace ring without stopping it: 16
+/// sessions complete traces as fast as they can — enough to rotate the
+/// ring past its capacity — while readers sweep both views through SQL.
+/// Every fetched row must satisfy the partition invariant, no sweep may
+/// observe a duplicate trace id, and nothing may panic.
+#[test]
+fn m_traces_reads_race_concurrent_trace_completion() {
+    const WRITERS: usize = 16;
+    const PER_WRITER: usize = 300; // 4800 traces > the 4096-slot ring
+
+    let db = Arc::new(Database::with_defaults());
+    let done = Arc::new(AtomicBool::new(false));
+    let sweeps = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (db, done, sweeps) = (Arc::clone(&db), Arc::clone(&done), Arc::clone(&sweeps));
+            std::thread::spawn(move || {
+                let capacity = db.trace_ring().capacity();
+                while !done.load(Ordering::Relaxed) {
+                    let rows = db
+                        .query(
+                            "SELECT TRACE_ID, END_TO_END_US, DISPATCH_QUEUE_US, LOCK_US, \
+                             WAL_FLUSH_US, GROUP_COMMIT_US, BUFFER_MISS_US, EXEC_US, \
+                             APP_SERVER_US FROM M$TRACES",
+                        )
+                        .unwrap_or_else(|e| panic!("M$TRACES read failed mid-churn: {e}"))
+                        .rows;
+                    assert!(rows.len() <= capacity, "ring overflowed its capacity");
+                    let mut seen = HashSet::new();
+                    for row in &rows {
+                        let ints: Vec<i64> = row
+                            .iter()
+                            .map(|v| match v {
+                                Value::Int(i) => *i,
+                                other => panic!("non-integer in M$TRACES: {other:?}"),
+                            })
+                            .collect();
+                        assert!(
+                            seen.insert(ints[0]),
+                            "duplicate trace id {} in one sweep",
+                            ints[0]
+                        );
+                        let sum: i64 = ints[2..].iter().sum();
+                        assert_eq!(sum, ints[1], "segments must sum to END_TO_END_US mid-churn");
+                    }
+                    db.query("SELECT TRACE_ID, SPAN_ID, ELAPSED_US FROM M$SPANS")
+                        .unwrap_or_else(|e| panic!("M$SPANS read failed mid-churn: {e}"));
+                    sweeps.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    let ctx = db
+                        .begin_request("race", &format!("w{w}-{i}"))
+                        .expect("monitor is on by default");
+                    let _guard = ctx.install();
+                    // A real wait on the serving thread, so completed
+                    // traces carry a nonzero Exec segment.
+                    db.wait_stats().record(WaitEvent::Exec, Duration::from_micros(20));
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    let ring = db.trace_ring();
+    assert_eq!(ring.completed(), (WRITERS * PER_WRITER) as u64);
+    assert!(ring.evicted() > 0, "the churn must have rotated the ring");
+    assert!(sweeps.load(Ordering::Relaxed) > 0, "readers never got a sweep in");
 }
 
 /// Monitor plans produce rows at execute time, not plan time: re-running

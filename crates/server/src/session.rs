@@ -27,7 +27,9 @@ use r3::sqltrace::{SqlOp, SqlTrace};
 use rdbms::db::stmt_is_ddl;
 use rdbms::sql::ast::Statement;
 use rdbms::sql::parse_statement;
-use rdbms::{Database, PlanCache, Prepared, QueryResult, Txn, Value, WaitScope, WaitStats};
+use rdbms::{
+    Database, PlanCache, Prepared, QueryResult, RequestCtx, Txn, Value, WaitScope, WaitStats,
+};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -248,6 +250,10 @@ impl<'db> Session<'db> {
         };
         self.info.queries.fetch_add(1, Ordering::Relaxed);
         self.note_statement(&sql);
+        // Trace context first: the request guard wraps the statement so
+        // every span and wait event below attaches to this trace id (the
+        // trace lands in M$TRACES when the guard drops, error or not).
+        let _request = self.db.begin_request("server/simple", &sql).map(RequestCtx::install);
         // The capture wraps the whole statement including COMMIT, so WAL
         // flush and group-commit waits show up on the statement that paid
         // them. Errors record nothing (partial waits would not reconcile).
@@ -443,6 +449,7 @@ impl<'db> Session<'db> {
         params.extend(portal.client_values.iter().cloned());
         self.info.executes.fetch_add(1, Ordering::Relaxed);
         self.note_statement(&stmt.sql);
+        let _request = self.db.begin_request("server/extended", &stmt.sql).map(RequestCtx::install);
         let guard = self.trace.and_then(|t| t.begin());
         let capture = self.begin_statement_capture();
         let res = if let Some(txn) = self.txn.as_mut() {

@@ -117,6 +117,86 @@ fn m_views_are_queryable_live_over_the_wire() {
     assert_eq!(stats.panics, 0);
 }
 
+/// The trace views during a live workload: worker connections hammer the
+/// server over both protocols while a monitor connection reads `M$TRACES`
+/// and `M$SPANS` mid-run. Every fetched trace row's critical-path columns
+/// must sum to its end-to-end latency, and spans must join back to their
+/// traces.
+#[test]
+fn m_traces_and_spans_are_live_and_partition_end_to_end() {
+    let (server, addr, db) = serve();
+
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                for i in 0..40 {
+                    let a = (w * 40 + i) % 50;
+                    c.simple_query(&format!("SELECT b FROM t WHERE a = {a}")).unwrap();
+                    c.extended_query("SELECT COUNT(*) FROM t WHERE b > 100", &[]).unwrap();
+                    if i % 8 == 0 {
+                        c.simple_query(&format!("UPDATE t SET b = b + 1 WHERE a = {a}")).unwrap();
+                    }
+                }
+                c.terminate().unwrap();
+            })
+        })
+        .collect();
+
+    // Monitor mid-run: both views must answer while traces complete.
+    let mut mon = Client::connect(&addr).unwrap();
+    let mut live_trace_rows = 0usize;
+    for _ in 0..20 {
+        let traces = mon
+            .simple_query(
+                "SELECT TRACE_ID, ORIGIN, END_TO_END_US, DISPATCH_QUEUE_US, LOCK_US, \
+                 WAL_FLUSH_US, GROUP_COMMIT_US, BUFFER_MISS_US, EXEC_US, APP_SERVER_US \
+                 FROM M$TRACES",
+            )
+            .unwrap();
+        let e2e = col(&traces, "END_TO_END_US");
+        for row in &traces.rows {
+            let sum: i64 = (e2e + 1..row.len()).map(|i| int_at(row, i)).sum();
+            assert_eq!(sum, int_at(row, e2e), "segments must partition END_TO_END_US: {row:?}");
+        }
+        live_trace_rows = live_trace_rows.max(traces.rows.len());
+        mon.simple_query("SELECT TRACE_ID, SPAN_ID, PARENT_ID, NAME FROM M$SPANS").unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(live_trace_rows > 0, "monitor saw completed traces mid-run");
+
+    // After the workload: both protocols minted traces, and every span
+    // row joins back to a trace the ring still holds.
+    let traces = mon.simple_query("SELECT TRACE_ID, ORIGIN FROM M$TRACES").unwrap();
+    let origin = col(&traces, "ORIGIN");
+    let origins: Vec<String> = traces.rows.iter().map(|r| str_at(r, origin)).collect();
+    assert!(origins.iter().any(|o| o == "server/simple"), "{origins:?}");
+    assert!(origins.iter().any(|o| o == "server/extended"), "{origins:?}");
+    let ids: std::collections::HashSet<i64> = traces.rows.iter().map(|r| int_at(r, 0)).collect();
+    assert_eq!(ids.len(), traces.rows.len(), "trace ids are unique in a snapshot");
+    let spans = mon.simple_query("SELECT TRACE_ID, PARENT_ID, SPAN_ID FROM M$SPANS").unwrap();
+    assert!(!spans.rows.is_empty(), "engine spans attached to requests");
+    // The snapshot taken one statement later can only have gained traces;
+    // the monitor's own M$TRACES read just above is itself traced.
+    let spans_tid = col(&spans, "TRACE_ID");
+    let known: i64 = *ids.iter().max().unwrap();
+    for row in &spans.rows {
+        assert!(
+            int_at(row, spans_tid) <= known + 2,
+            "span row for a trace id far beyond the ring: {row:?}"
+        );
+    }
+
+    assert!(db.trace_ring().completed() > 0);
+    mon.terminate().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+}
+
 #[test]
 fn lock_wait_is_visible_live_and_attributed_to_the_blocked_statement() {
     let (server, addr, db) = serve();

@@ -23,13 +23,26 @@
 //!   `M$STATEMENTS` monitoring views: wall-clock off-CPU time (lock
 //!   waits, log forces, queue waits) that the deterministic cost clock
 //!   intentionally does not model.
+//! * [`request`] — per-request trace context: a [`TraceRing`] mints a
+//!   trace id at request entry, a `Send` [`RequestCtx`] carries it across
+//!   the dispatcher queue, and while its guard is installed every span and
+//!   wait event on the thread attaches to that request. Completed
+//!   [`RequestTrace`]s land in a bounded ring behind the `M$TRACES` /
+//!   `M$SPANS` views, decompose into exact critical-path segments
+//!   ([`critical_path`]), and export as Chrome trace-event JSON
+//!   ([`chrome_trace_json`]).
 
 pub mod histogram;
 pub mod meter;
+pub mod request;
 pub mod span;
 pub mod wait;
 
 pub use histogram::Histogram;
 pub use meter::{fmt_duration, Calibration, CostMeter, Counter, MeterScope, MeterSnapshot};
+pub use request::{
+    chrome_trace_json, critical_path, validate_chrome_trace, CriticalPath, RequestCtx,
+    RequestGuard, RequestTrace, SpanNode, TraceRing, WaitInterval,
+};
 pub use span::{enabled, span, Span, SpanRecord, Trace, TraceSession};
 pub use wait::{WaitEvent, WaitScope, WaitSnapshot, WaitStats, WaitTimer};

@@ -123,12 +123,16 @@ pub fn enabled() -> bool {
 }
 
 /// Open a span. Inert (and nearly free) when no [`TraceSession`] is
-/// installed on this thread.
+/// installed on this thread. Independently of the tracer, the span also
+/// opens a wall-clock frame in the active request trace, if one is
+/// installed on this thread (see [`crate::request`]) — a request being
+/// served and a `TraceSession` are orthogonal instruments.
 pub fn span(name: &str) -> Span {
+    let req = crate::request::frame_open(name);
     TRACER.with(|t| {
         let mut t = t.borrow_mut();
         match t.as_mut() {
-            None => Span { depth: 0, _not_send: PhantomData },
+            None => Span { depth: 0, req, _not_send: PhantomData },
             Some(state) => {
                 let start = state.meter.snapshot();
                 state.stack.push(Frame {
@@ -137,7 +141,7 @@ pub fn span(name: &str) -> Span {
                     start,
                     children: Vec::new(),
                 });
-                Span { depth: state.stack.len(), _not_send: PhantomData }
+                Span { depth: state.stack.len(), req, _not_send: PhantomData }
             }
         }
     })
@@ -150,6 +154,8 @@ pub struct Span {
     /// 1-based position of this span's frame on the tracer stack;
     /// 0 means the guard is inert (no session was active at open).
     depth: usize,
+    /// Whether this span opened a frame in the active request trace.
+    req: bool,
     _not_send: PhantomData<*const ()>,
 }
 
@@ -173,6 +179,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.req {
+            crate::request::frame_close();
+        }
         if self.depth == 0 {
             return;
         }

@@ -94,6 +94,10 @@ impl WaitStats {
         let micros = waited.as_micros() as u64;
         self.counts[event as usize].fetch_add(1, Ordering::Relaxed);
         self.micros[event as usize].fetch_add(micros, Ordering::Relaxed);
+        // Attribute the wait to the request being served on this thread,
+        // if any (see `crate::request`): fires once per logical wait, not
+        // once per mirrored scope.
+        crate::request::note_wait(event, waited);
         WAIT_SCOPES.with(|scopes| {
             for scoped in scopes.borrow().iter() {
                 if !std::ptr::eq(Arc::as_ptr(scoped), self) {

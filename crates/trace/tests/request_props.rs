@@ -1,0 +1,146 @@
+//! Property tests for per-request critical-path attribution: the whole
+//! point of the decomposition is that its segments *provably* sum to the
+//! end-to-end latency, so we check exactly that — first on the pure
+//! analyzer under arbitrary interval soups, then end to end through the
+//! real span/wait machinery under random interleavings.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use trace::request::{critical_path, TraceRing, WaitInterval};
+use trace::{chrome_trace_json, validate_chrome_trace, WaitEvent, WaitStats};
+
+fn arb_event() -> impl Strategy<Value = WaitEvent> {
+    (0..WaitEvent::COUNT).prop_map(|i| WaitEvent::ALL[i])
+}
+
+fn arb_interval(horizon: u64) -> impl Strategy<Value = WaitInterval> {
+    (arb_event(), 0..horizon, 0..horizon).prop_map(|(event, a, b)| WaitInterval {
+        event,
+        start_us: a.min(b),
+        end_us: a.max(b),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure analyzer: for any soup of (possibly overlapping, nested,
+    /// out-of-window, zero-length) wait intervals and any window, the
+    /// per-event segments plus the app-server remainder partition the
+    /// window exactly, in u64 microseconds.
+    #[test]
+    fn segments_partition_any_window_exactly(
+        ivs in prop::collection::vec(arb_interval(10_000), 0..64),
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let p = critical_path(&ivs, lo, hi);
+        prop_assert_eq!(p.end_to_end_us, hi - lo);
+        prop_assert_eq!(p.sum_us(), hi - lo);
+        // And each segment is bounded by the total covered time.
+        let covered: u64 = p.segments.iter().sum();
+        prop_assert!(covered <= p.end_to_end_us);
+        prop_assert_eq!(covered + p.app_server_us, p.end_to_end_us);
+    }
+
+    /// A degenerate window attributes nothing.
+    #[test]
+    fn empty_window_is_all_zero(
+        ivs in prop::collection::vec(arb_interval(1_000), 0..16),
+        at in 0u64..1_000,
+    ) {
+        let p = critical_path(&ivs, at, at);
+        prop_assert_eq!(p.end_to_end_us, 0);
+        prop_assert_eq!(p.sum_us(), 0);
+    }
+
+    /// End to end through the real machinery: install a request, drive a
+    /// random interleaving of span opens/closes and wait records, and the
+    /// finished trace's critical path still sums exactly to its
+    /// end-to-end latency — whatever the fabricated durations and nesting
+    /// did. Also exercises per-frame attribution bookkeeping.
+    #[test]
+    fn random_span_wait_interleavings_still_sum(
+        // 0 = open span, 1 = close span, 2.. = record a wait.
+        ops in prop::collection::vec((0u8..8, arb_event(), 0u64..5_000), 1..80),
+    ) {
+        let ring = TraceRing::new(16);
+        let stats = WaitStats::new();
+        let ctx = ring.begin("proptest", "interleaving");
+        {
+            let _guard = ctx.install();
+            let mut spans = Vec::new();
+            for (op, event, micros) in ops {
+                match op {
+                    0..=2 => spans.push(trace::span("node")),
+                    3..=4 => {
+                        spans.pop();
+                    }
+                    _ => stats.record(event, Duration::from_micros(micros)),
+                }
+            }
+            // RAII closes whatever is still open.
+        }
+        let traces = ring.snapshot();
+        prop_assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        let p = t.critical_path();
+        prop_assert_eq!(p.sum_us(), t.end_to_end_us());
+        prop_assert_eq!(p.end_to_end_us, t.end_to_end_us());
+        // Every recorded wait landed somewhere: the trace-level interval
+        // list plus per-frame counts never lose a record silently.
+        prop_assert!(t.dropped_waits == 0);
+        // The export of whatever came out still validates.
+        let doc = chrome_trace_json(&traces);
+        prop_assert!(validate_chrome_trace(&doc).is_ok());
+    }
+}
+
+/// Concurrent completions: the ring stays bounded, never panics, and a
+/// snapshot taken mid-rotation never observes a duplicated trace id.
+#[test]
+fn concurrent_completions_never_duplicate_ids_in_a_snapshot() {
+    let ring = TraceRing::new(32);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..8)
+        .map(|w| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let stats = WaitStats::new();
+                for i in 0..200 {
+                    let ctx = ring.begin("race", &format!("w{w}-{i}"));
+                    let _g = ctx.install();
+                    let _s = trace::span("work");
+                    stats.record(WaitEvent::Exec, Duration::from_micros(i % 7));
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scans = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = ring.snapshot();
+                let mut ids: Vec<u64> = snap.iter().map(|t| t.trace_id).collect();
+                let n = ids.len();
+                assert!(n <= 32, "ring exceeded its bound: {n}");
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), n, "duplicate trace ids in one snapshot");
+                scans += 1;
+            }
+            scans
+        })
+    };
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let scans = reader.join().unwrap();
+    assert!(scans > 0);
+    assert_eq!(ring.completed(), 8 * 200);
+}
